@@ -1,0 +1,49 @@
+"""Ablation: robustness of the Figure 7 conclusion to timing noise.
+
+The paper's measurements carry run-to-run variability (shared caches,
+NUMA — Section 1); the calibrated model is deterministic.  This bench
+re-runs the HeteroPrio-vs-HEFT comparison with lognormal noise on every
+kernel duration and checks the ordering of the two algorithms survives.
+"""
+
+import numpy as np
+
+from repro.bounds.dag_lp import dag_lower_bound
+from repro.core.platform import Platform
+from repro.dag.cholesky import cholesky_graph
+from repro.dag.priorities import assign_priorities
+from repro.schedulers.online import make_policy
+from repro.simulator import simulate
+from repro.timing.model import TimingModel
+
+PLATFORM = Platform(num_cpus=20, num_gpus=4)
+NOISE = 0.15
+SEEDS = (1, 2, 3)
+
+
+def test_ablation_timing_noise(benchmark):
+    def run():
+        wins = 0
+        ratios = []
+        for seed in SEEDS:
+            timing = TimingModel.for_factorization(
+                "cholesky", noise=NOISE, rng=np.random.default_rng(seed)
+            )
+            graph = cholesky_graph(16, timing)
+            lower = dag_lower_bound(graph, PLATFORM)
+            assign_priorities(graph, PLATFORM, "min")
+            hp = simulate(graph, PLATFORM, make_policy("heteroprio-min")).makespan
+            assign_priorities(graph, PLATFORM, "avg")
+            heft = simulate(graph, PLATFORM, make_policy("heft-avg")).makespan
+            ratios.append((hp / lower, heft / lower))
+            if hp <= heft:
+                wins += 1
+        return wins, ratios
+
+    wins, ratios = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["noise"] = NOISE
+    benchmark.extra_info["ratios (hp, heft) per seed"] = [
+        (round(a, 4), round(b, 4)) for a, b in ratios
+    ]
+    print(f"\nnoise={NOISE}: HeteroPrio beats HEFT on {wins}/{len(SEEDS)} seeds: {ratios}")
+    assert wins >= 2  # the ordering is robust, not a calibration artifact

@@ -1,0 +1,74 @@
+"""Ablation: HeteroPrio with and without the spoliation mechanism.
+
+The paper argues (Sections 2-3) that spoliation is exactly what turns an
+unbounded-ratio list scheduler into a constant-factor one.  This bench
+quantifies that on (a) adversarial independent instances, where the gap
+grows without bound, and (b) the Cholesky DAG, where spoliation buys a
+measurable but modest improvement (it is a safety net, not the engine).
+"""
+
+import pytest
+
+from repro.bounds.dag_lp import dag_lower_bound
+from repro.core.heteroprio import heteroprio_schedule
+from repro.core.platform import Platform
+from repro.core.task import Instance, Task
+from repro.dag.cholesky import cholesky_graph
+from repro.dag.priorities import assign_priorities
+from repro.schedulers.online import HeteroPrioPolicy
+from repro.simulator import simulate
+
+
+def _adversarial_instance(slowdown: float) -> Instance:
+    return Instance(
+        [
+            Task(cpu_time=slowdown, gpu_time=1.0, priority=1.0),
+            Task(cpu_time=slowdown, gpu_time=1.0, priority=0.0),
+        ]
+    )
+
+
+def test_ablation_spoliation_independent(benchmark):
+    platform = Platform(num_cpus=1, num_gpus=1)
+
+    def run():
+        rows = []
+        for slowdown in (5.0, 50.0, 500.0):
+            inst = _adversarial_instance(slowdown)
+            with_spol = heteroprio_schedule(inst, platform, compute_ns=False).makespan
+            preempt = heteroprio_schedule(
+                inst, platform, migration="preemption", compute_ns=False
+            ).makespan
+            without = heteroprio_schedule(
+                inst, platform, spoliation=False, compute_ns=False
+            ).makespan
+            rows.append((slowdown, with_spol, preempt, without))
+        return rows
+
+    rows = benchmark(run)
+    benchmark.extra_info["rows (slowdown, spoliation, preemption, none)"] = rows
+    for slowdown, with_spol, preempt, without in rows:
+        assert with_spol == pytest.approx(2.0)       # bounded with spoliation
+        assert preempt <= with_spol + 1e-9           # idealised preemption wins
+        assert without == pytest.approx(slowdown)    # unbounded without
+
+
+def test_ablation_spoliation_cholesky_dag(benchmark):
+    platform = Platform(num_cpus=20, num_gpus=4)
+    graph = cholesky_graph(16)
+    assign_priorities(graph, platform, "min")
+    lower = dag_lower_bound(graph, platform)
+
+    def run():
+        with_spol = simulate(graph, platform, HeteroPrioPolicy()).makespan
+        without = simulate(
+            graph, platform, HeteroPrioPolicy(spoliation=False)
+        ).makespan
+        return with_spol / lower, without / lower
+
+    ratio_with, ratio_without = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["ratio_with_spoliation"] = round(ratio_with, 4)
+    benchmark.extra_info["ratio_without_spoliation"] = round(ratio_without, 4)
+    print(f"\ncholesky N=16: with spoliation {ratio_with:.3f}, "
+          f"without {ratio_without:.3f}")
+    assert ratio_with <= ratio_without + 1e-9

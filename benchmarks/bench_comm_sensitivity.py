@@ -1,0 +1,28 @@
+"""Extension bench: communication-cost sensitivity of the scheduler ranking.
+
+Not a paper artifact (the paper's model is communication-free); see
+DESIGN.md §5 and ``repro.experiments.comm_sensitivity``.
+"""
+
+from repro.experiments import comm_sensitivity
+
+from conftest import attach_result
+
+
+def test_comm_sensitivity(benchmark, paper_scale):
+    n_tiles = 24 if paper_scale else 12
+    result = benchmark.pedantic(
+        lambda: comm_sensitivity.run("cholesky", n_tiles=n_tiles),
+        rounds=1,
+        iterations=1,
+    )
+    attach_result(benchmark, result)
+    hp = result.series_by_label("heteroprio-min").values
+    heft = result.series_by_label("heft-avg").values
+    aware = result.series_by_label("heft-comm (data-aware)").values
+    # At scale 0 everything matches the communication-free Figure 7 runs;
+    # as transfers grow, HeteroPrio degrades most gracefully and the
+    # data-aware HEFT beats the oblivious one.
+    assert hp[0] <= heft[0] + 1e-9
+    assert hp[-1] < heft[-1]
+    assert aware[-1] < heft[-1]

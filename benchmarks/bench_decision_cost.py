@@ -1,0 +1,90 @@
+"""Scheduler decision cost vs ready-set size (the paper's Section 1 motivation).
+
+Dynamic schedulers sit on the application's critical path, so "the
+complexity to decide which task to execute next should be sublinear in
+the number of ready tasks".  This bench measures the wall-clock cost of
+a full simulated run, divided by the number of scheduling decisions, as
+the ready set grows — confirming HeteroPrio's per-decision cost stays
+flat while online DualHP's grows with the pool (the cost asymmetry the
+paper leverages).
+"""
+
+import time
+
+import pytest
+
+from repro.core.platform import Platform
+from repro.core.task import Task
+from repro.dag.graph import TaskGraph
+from repro.schedulers.online import (
+    BucketHeteroPrioPolicy,
+    DualHPPolicy,
+    HeteroPrioPolicy,
+)
+from repro.simulator import simulate
+
+PLATFORM = Platform(num_cpus=20, num_gpus=4)
+
+
+CHAIN_LENGTH = 3
+
+
+def _chain_bundle(width: int) -> TaskGraph:
+    """*width* parallel 3-task chains: the ready set stays ~*width* wide
+    while completions keep triggering ready events (the regime where
+    online DualHP must keep re-solving over the whole pool)."""
+    g = TaskGraph(f"bundle-{width}")
+    for i in range(width):
+        rho = 0.5 + (i % 97) / 10.0
+        prev = None
+        for pos in range(CHAIN_LENGTH):
+            task = Task(
+                cpu_time=rho * (1.0 + 0.01 * pos),
+                gpu_time=1.0,
+                name=f"w{i}.{pos}",
+                kind=f"k{i % 5}",
+            )
+            g.add_task(task)
+            if prev is not None:
+                g.add_edge(prev, task)
+            prev = task
+    return g
+
+
+def _seconds_per_decision(policy_factory, width: int) -> float:
+    graph = _chain_bundle(width)
+    started = time.perf_counter()
+    schedule = simulate(graph, PLATFORM, policy_factory())
+    elapsed = time.perf_counter() - started
+    assert len(schedule.completed_placements()) == width * CHAIN_LENGTH
+    return elapsed / (width * CHAIN_LENGTH)
+
+
+@pytest.mark.parametrize(
+    "label,factory",
+    [
+        ("heteroprio", HeteroPrioPolicy),
+        ("heteroprio-buckets", BucketHeteroPrioPolicy),
+        ("dualhp", DualHPPolicy),
+    ],
+)
+def test_decision_cost(benchmark, label, factory, paper_scale):
+    widths = (200, 800, 3200) if paper_scale else (200, 800)
+
+    def run():
+        return {w: _seconds_per_decision(factory, w) for w in widths}
+
+    costs = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["us_per_decision"] = {
+        w: round(c * 1e6, 2) for w, c in costs.items()
+    }
+    print(f"\n{label}: " + "  ".join(
+        f"width={w}: {c * 1e6:.1f}us/decision" for w, c in costs.items()
+    ))
+    small, large = costs[widths[0]], costs[widths[-1]]
+    if label.startswith("heteroprio"):
+        # Near-constant per-decision cost as the ready set grows.
+        assert large < small * 8
+    else:
+        # Online DualHP re-solves over the whole pool: super-linear growth.
+        assert large > small

@@ -1,0 +1,13 @@
+"""E-F1: regenerate Figure 1 (example HeteroPrio schedule, S_NS vs S_HP)."""
+
+from repro.experiments import fig1
+
+from conftest import attach_result
+
+
+def test_fig1_example_schedule(benchmark):
+    result = benchmark(fig1.run)
+    attach_result(benchmark, result)
+    ns, hp = result.series_by_label("makespan").values
+    assert hp < ns  # spoliation shortens the schedule
+    assert result.data["spoliations"]

@@ -1,0 +1,12 @@
+"""E-F2/F3: regenerate the Theorem 7 proof situation (Figures 2-3)."""
+
+from repro.experiments import fig23
+
+from conftest import attach_result
+
+
+def test_fig23_proof_scenarios(benchmark):
+    result = benchmark(fig23.run)
+    attach_result(benchmark, result)
+    checks = [note for note in result.notes if note.startswith("check")]
+    assert checks and all("OK" in note for note in checks)

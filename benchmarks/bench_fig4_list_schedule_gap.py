@@ -1,0 +1,18 @@
+"""E-F4: regenerate Figure 4 (optimal vs worst list schedule of T2)."""
+
+from repro.experiments import fig4
+
+from conftest import attach_result
+
+
+def test_fig4_list_schedule_gap(benchmark, paper_scale):
+    k_values = (1, 2, 4, 8, 16, 32) if paper_scale else (1, 2, 4, 8)
+    result = benchmark.pedantic(
+        lambda: fig4.run(k_values=k_values), rounds=1, iterations=1
+    )
+    attach_result(benchmark, result)
+    optimal = result.series_by_label("optimal makespan (= n)").values
+    worst = result.series_by_label("worst list makespan (= 2n - 1)").values
+    for k, opt, lst in zip(k_values, optimal, worst):
+        assert opt == 6 * k
+        assert lst == 12 * k - 1

@@ -1,0 +1,20 @@
+"""E-F5: regenerate Figure 5 (HeteroPrio on the Theorem 14 instance)."""
+
+import pytest
+
+from repro.experiments import fig5
+
+from conftest import attach_result
+
+
+def test_fig5_theorem14(benchmark, paper_scale):
+    k_values = (1, 2, 3, 4, 6) if paper_scale else (1, 2, 3)
+    result = benchmark.pedantic(
+        lambda: fig5.run(k_values=k_values), rounds=1, iterations=1
+    )
+    attach_result(benchmark, result)
+    hp = result.series_by_label("HeteroPrio makespan").values
+    predicted = result.series_by_label("predicted x + n/r + 2n - 1").values
+    assert hp == pytest.approx(predicted)
+    ratios = result.series_by_label("ratio (-> 3.155)").values
+    assert ratios == sorted(ratios)  # monotone convergence towards 3.155

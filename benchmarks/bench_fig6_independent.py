@@ -1,0 +1,28 @@
+"""E-F6: regenerate Figure 6 (independent tasks, ratio to area bound)."""
+
+import pytest
+
+from repro.experiments import fig6
+from repro.experiments.workloads import FULL_N_VALUES
+
+from conftest import attach_result
+
+FAST_N = (4, 8, 12, 16, 24, 32)
+
+
+@pytest.mark.parametrize("kernel", ["cholesky", "qr", "lu"])
+def test_fig6_independent(benchmark, kernel, paper_scale):
+    n_values = FULL_N_VALUES if paper_scale else FAST_N
+    result = benchmark.pedantic(
+        lambda: fig6.run(kernel, n_values=n_values), rounds=1, iterations=1
+    )
+    attach_result(benchmark, result)
+    hp = result.series_by_label("heteroprio").values
+    dual = result.series_by_label("dualhp").values
+    heft = result.series_by_label("heft").values
+    # Paper shape: HeteroPrio at least as good as DualHP for small N ...
+    assert hp[0] <= dual[0] + 1e-9
+    # ... both near-optimal for large N ...
+    assert hp[-1] < 1.05 and dual[-1] < 1.05
+    # ... and HEFT left behind at large N (no affinity).
+    assert heft[-1] > max(hp[-1], dual[-1])

@@ -1,0 +1,51 @@
+"""E-F7: regenerate Figure 7 (DAG scheduling, 7 algorithms, ratio to LP bound).
+
+The per-ready-event reassignment of the online DualHP variants makes
+large-N sweeps expensive; the default bench uses N up to 16 (which
+covers the paper's interesting intermediate regime); pass
+``--paper-scale`` for N up to 32.
+"""
+
+import pytest
+
+from repro.experiments import fig7
+
+from conftest import attach_result
+
+FAST_N = (4, 8, 12, 16)
+SCALE_N = (4, 8, 12, 16, 24, 32)
+
+
+@pytest.mark.parametrize("kernel", ["cholesky", "qr", "lu"])
+def test_fig7_dags(benchmark, kernel, paper_scale):
+    n_values = SCALE_N if paper_scale else FAST_N
+    result = benchmark.pedantic(
+        lambda: fig7.run(kernel, n_values=n_values), rounds=1, iterations=1
+    )
+    attach_result(benchmark, result)
+    # Paper shape: the best HeteroPrio ranking stays within ~40% of the
+    # (optimistic) bound over the whole sweep — the paper reports ~30%
+    # against its measured bound — and every ratio is a valid (>= 1)
+    # normalisation.
+    hp_best = [
+        min(
+            result.series_by_label("heteroprio-min").values[i],
+            result.series_by_label("heteroprio-avg").values[i],
+        )
+        for i in range(len(n_values))
+    ]
+    assert max(hp_best) < 1.40
+    for series in result.series:
+        assert all(v >= 1.0 - 1e-9 for v in series.values)
+    # HeteroPrio (best ranking) is the best algorithm in the
+    # intermediate regime (largest N of the sweep's first half onwards).
+    mid = len(n_values) // 2
+    for i in range(mid, len(n_values)):
+        best_hp = min(
+            result.series_by_label("heteroprio-min").values[i],
+            result.series_by_label("heteroprio-avg").values[i],
+        )
+        others = [
+            s.values[i] for s in result.series if not s.label.startswith("heteroprio")
+        ]
+        assert best_hp <= min(others) + 0.05

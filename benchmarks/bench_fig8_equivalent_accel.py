@@ -1,0 +1,31 @@
+"""E-F8: regenerate Figure 8 (equivalent acceleration factors).
+
+Shares the simulation sweep with the Figure 7 bench through the
+process-level cache in :mod:`repro.experiments.dags`.
+"""
+
+import pytest
+
+from repro.experiments import fig8
+
+from conftest import attach_result
+
+FAST_N = (4, 8, 12, 16)
+SCALE_N = (4, 8, 12, 16, 24, 32)
+
+
+@pytest.mark.parametrize("kernel", ["cholesky", "qr", "lu"])
+def test_fig8_equivalent_accel(benchmark, kernel, paper_scale):
+    n_values = SCALE_N if paper_scale else FAST_N
+    result = benchmark.pedantic(
+        lambda: fig8.run(kernel, n_values=n_values), rounds=1, iterations=1
+    )
+    attach_result(benchmark, result)
+    # At the largest N of the sweep, every algorithm's GPU mix is more
+    # accelerated than its CPU mix, and HeteroPrio's CPU mix is less
+    # accelerated than HEFT's (better adequacy — the Figure 8 headline).
+    last = len(n_values) - 1
+    for name in ("heteroprio-min", "heft-avg", "dualhp-avg"):
+        cpu = result.series_by_label(f"{name} [CPU]").values[last]
+        gpu = result.series_by_label(f"{name} [GPU]").values[last]
+        assert gpu > cpu or cpu != cpu  # NaN-safe

@@ -1,0 +1,31 @@
+"""E-F9: regenerate Figure 9 (normalized idle time, aborted work = idle).
+
+Shares the simulation sweep with the Figure 7 bench through the
+process-level cache in :mod:`repro.experiments.dags`.
+"""
+
+import pytest
+
+from repro.experiments import fig9
+
+from conftest import attach_result
+
+FAST_N = (4, 8, 12, 16)
+SCALE_N = (4, 8, 12, 16, 24, 32)
+
+
+@pytest.mark.parametrize("kernel", ["cholesky", "qr", "lu"])
+def test_fig9_idle_time(benchmark, kernel, paper_scale):
+    n_values = SCALE_N if paper_scale else FAST_N
+    result = benchmark.pedantic(
+        lambda: fig9.run(kernel, n_values=n_values), rounds=1, iterations=1
+    )
+    attach_result(benchmark, result)
+    for series in result.series:
+        assert all(v >= -1e-9 for v in series.values)
+    # The Figure 9 headline: at the largest N of the sweep DualHP parks
+    # its CPUs more than HeteroPrio does.
+    last = len(n_values) - 1
+    hp = result.series_by_label("heteroprio-min [CPU]").values[last]
+    dual = result.series_by_label("dualhp-avg [CPU]").values[last]
+    assert dual >= hp

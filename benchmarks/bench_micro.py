@@ -1,0 +1,62 @@
+"""Micro-benchmarks of the core primitives.
+
+Not tied to a paper artifact; these track the scheduling-loop costs that
+matter for a runtime scheduler (the paper's motivation for HeteroPrio
+is precisely its low decision cost).
+"""
+
+import numpy as np
+import pytest
+
+from repro.bounds.area import area_bound, area_bound_lp
+from repro.core.heteroprio import heteroprio_schedule
+from repro.core.platform import Platform
+from repro.core.task import Instance
+from repro.dag.cholesky import cholesky_graph
+from repro.dag.priorities import assign_priorities
+from repro.schedulers.online import HeteroPrioPolicy
+from repro.simulator import simulate
+
+PLATFORM = Platform(num_cpus=20, num_gpus=4)
+
+
+@pytest.fixture(scope="module")
+def random_instance():
+    rng = np.random.default_rng(0)
+    return Instance.uniform_random(2000, rng)
+
+
+def test_heteroprio_2000_independent_tasks(benchmark, random_instance):
+    result = benchmark(
+        heteroprio_schedule, random_instance, PLATFORM, compute_ns=False
+    )
+    assert len(result.schedule.completed_placements()) == 2000
+
+
+def test_area_bound_closed_form_2000_tasks(benchmark, random_instance):
+    value = benchmark(lambda: area_bound(random_instance, PLATFORM).value)
+    assert value > 0
+
+
+def test_area_bound_lp_2000_tasks(benchmark, random_instance):
+    closed = area_bound(random_instance, PLATFORM).value
+    value = benchmark.pedantic(
+        lambda: area_bound_lp(random_instance, PLATFORM), rounds=1, iterations=1
+    )
+    assert value == pytest.approx(closed, rel=1e-6)
+
+
+def test_cholesky_graph_generation_n24(benchmark):
+    graph = benchmark(cholesky_graph, 24)
+    assert len(graph) == 2600
+
+
+def test_simulator_heteroprio_cholesky_n16(benchmark):
+    graph = cholesky_graph(16)
+    assign_priorities(graph, PLATFORM, "min")
+    schedule = benchmark.pedantic(
+        lambda: simulate(graph, PLATFORM, HeteroPrioPolicy()),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(schedule.completed_placements()) == len(graph)

@@ -1,0 +1,13 @@
+"""E-T1: regenerate Table 1 (Cholesky kernel acceleration factors)."""
+
+from repro.experiments import table1
+
+from conftest import attach_result
+
+
+def test_table1_acceleration_factors(benchmark):
+    result = benchmark(table1.run)
+    attach_result(benchmark, result)
+    paper = result.series_by_label("paper (GPU / 1 core)").values
+    model = result.series_by_label("model (GPU / 1 core)").values
+    assert model == paper or all(abs(m - p) / p < 1e-12 for m, p in zip(model, paper))

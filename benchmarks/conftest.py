@@ -1,0 +1,40 @@
+"""Shared configuration for the benchmark suite.
+
+Each ``bench_*`` module regenerates one table or figure of the paper
+(see DESIGN.md's per-experiment index).  The regenerated rows/series are
+attached to each benchmark's ``extra_info`` so they appear in the
+``pytest-benchmark`` JSON output, and are printed to stdout (visible
+with ``pytest -s`` or in the captured output summary).
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--paper-scale",
+        action="store_true",
+        default=False,
+        help="run the figure sweeps at the paper's full N range (slow)",
+    )
+
+
+@pytest.fixture(scope="session")
+def paper_scale(request) -> bool:
+    return request.config.getoption("--paper-scale")
+
+
+def attach_result(benchmark, result) -> None:
+    """Record an ExperimentResult's series in the benchmark metadata."""
+    benchmark.extra_info["experiment"] = result.experiment
+    benchmark.extra_info["x_values"] = list(result.x_values)
+    for series in result.series:
+        benchmark.extra_info[series.label] = [round(v, 6) for v in series.values]
+    print()
+    print(result.render())

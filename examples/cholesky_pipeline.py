@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Schedule a tiled Cholesky factorization DAG, StarPU-style.
+
+This is the paper's flagship workload: the kernel-level task graph of a
+tiled Cholesky factorization (POTRF/TRSM/SYRK/GEMM), executed on a
+20-CPU + 4-GPU node by three runtime schedulers.  The example prints,
+for each scheduler, the makespan normalised by the dependency-aware
+lower bound, the per-class equivalent acceleration factors, and the
+spoliation activity — a one-graph slice of Figures 7-9.
+
+Run with::
+
+    python examples/cholesky_pipeline.py [N_TILES]
+"""
+
+import sys
+
+from repro.bounds.dag_lp import dag_lower_bound
+from repro.core.platform import Platform
+from repro.dag import assign_priorities, cholesky_graph
+from repro.schedulers.online import make_policy
+from repro.simulator import compute_metrics, simulate
+
+
+def main(n_tiles: int = 16) -> None:
+    platform = Platform(num_cpus=20, num_gpus=4)
+    graph = cholesky_graph(n_tiles)
+    print(f"graph    : {graph} ({graph.kind_histogram()})")
+    print(f"platform : {platform}")
+
+    lower = dag_lower_bound(graph, platform)
+    print(f"LP lower bound: {lower:.3f}s\n")
+
+    header = f"{'scheduler':16s} {'ratio':>6s} {'CPU accel':>10s} {'GPU accel':>10s} " \
+             f"{'CPU idle':>9s} {'spoliations':>12s}"
+    print(header)
+    print("-" * len(header))
+    for name in ("heteroprio-min", "heft-avg", "dualhp-avg"):
+        scheme = name.split("-", 1)[1]
+        assign_priorities(graph, platform, scheme)
+        schedule = simulate(graph, platform, make_policy(name))
+        schedule.validate()
+        metrics = compute_metrics(schedule, platform, lower_bound=lower)
+        print(
+            f"{name:16s} {metrics.ratio:6.3f} "
+            f"{metrics.cpu_equivalent_acceleration:10.2f} "
+            f"{metrics.gpu_equivalent_acceleration:10.2f} "
+            f"{metrics.cpu_normalized_idle:9.3f} "
+            f"{metrics.spoliation_count:12d}"
+        )
+    print(
+        "\nHeteroPrio keeps the CPU acceleration factor low (good affinity)"
+        "\nand recovers affinity mistakes through spoliation."
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 16)

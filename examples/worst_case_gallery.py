@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Gallery of the paper's tight worst-case instances (Theorems 8, 11, 14).
+
+For each platform shape of Table 2, builds the adversarial instance,
+runs HeteroPrio, and shows how close the measured ratio gets to the
+theoretical worst case as the construction grows.
+
+Run with::
+
+    python examples/worst_case_gallery.py
+"""
+
+from repro.core.heteroprio import heteroprio_schedule
+from repro.theory.constants import (
+    RATIO_1CPU_1GPU,
+    RATIO_GENERAL_WORST_EXAMPLE,
+    RATIO_MCPU_1GPU,
+)
+from repro.theory.worst_cases import (
+    theorem8_instance,
+    theorem11_instance,
+    theorem14_instance,
+)
+
+
+def show(label: str, worst, limit: float) -> None:
+    result = heteroprio_schedule(worst.instance, worst.platform, compute_ns=False)
+    result.schedule.validate(worst.instance)
+    ratio = result.makespan / worst.optimal_upper
+    print(
+        f"{label:32s} tasks={len(worst.instance):7d} "
+        f"HP={result.makespan:9.3f} OPT<={worst.optimal_upper:8.3f} "
+        f"ratio={ratio:.4f} (limit {limit:.4f})"
+    )
+
+
+def main() -> None:
+    print("Theorem 8 — (1 CPU, 1 GPU), exact tightness at phi:")
+    show("  theorem8", theorem8_instance(), RATIO_1CPU_1GPU)
+
+    print("\nTheorem 11 — (m CPUs, 1 GPU), ratio -> 1 + phi as m grows:")
+    for m in (4, 16, 64, 256):
+        show(f"  theorem11 m={m}", theorem11_instance(m, granularity=64), RATIO_MCPU_1GPU)
+
+    print("\nTheorem 14 — (n^2 CPUs, n = 6k GPUs), ratio -> 2 + 2/sqrt(3):")
+    for k in (1, 2, 4):
+        show(f"  theorem14 k={k}", theorem14_instance(k), RATIO_GENERAL_WORST_EXAMPLE)
+
+    print("\nThe Theorem 8 schedule (the GPU refuses a useless spoliation):")
+    worst = theorem8_instance()
+    result = heteroprio_schedule(worst.instance, worst.platform)
+    print(result.schedule.gantt())
+
+
+if __name__ == "__main__":
+    main()

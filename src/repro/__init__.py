@@ -1,0 +1,54 @@
+"""heteroprio-repro: reproduction of the IPDPS 2017 HeteroPrio paper.
+
+Beaumont, Eyraud-Dubois, Kumar — *Approximation Proofs of a Fast and
+Efficient List Scheduling Algorithm for Task-Based Runtime Systems on
+Multicores and GPUs*, IPDPS 2017.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import Instance, Platform, heteroprio_schedule, area_bound
+>>> rng = np.random.default_rng(0)
+>>> instance = Instance.uniform_random(50, rng)
+>>> platform = Platform(num_cpus=4, num_gpus=2)
+>>> result = heteroprio_schedule(instance, platform)
+>>> result.makespan >= area_bound(instance, platform).value
+True
+
+See ``README.md`` for the full tour and ``DESIGN.md`` for the map from
+the paper's tables and figures to the code.
+"""
+
+from repro.core.heteroprio import HeteroPrioResult, SpoliationEvent, heteroprio_schedule
+from repro.core.platform import Platform, ResourceKind, Worker
+from repro.core.schedule import Placement, Schedule, ScheduleError
+from repro.core.task import Instance, Task
+from repro.bounds.area import AreaBoundResult, area_bound
+from repro.bounds.simple import makespan_lower_bound
+from repro.bounds.dag_lp import dag_lower_bound
+from repro.dag.graph import TaskGraph
+from repro.theory.constants import PHI, approximation_ratio
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Task",
+    "Instance",
+    "Platform",
+    "ResourceKind",
+    "Worker",
+    "Placement",
+    "Schedule",
+    "ScheduleError",
+    "HeteroPrioResult",
+    "SpoliationEvent",
+    "heteroprio_schedule",
+    "AreaBoundResult",
+    "area_bound",
+    "makespan_lower_bound",
+    "dag_lower_bound",
+    "TaskGraph",
+    "PHI",
+    "approximation_ratio",
+    "__version__",
+]

@@ -1,0 +1,24 @@
+"""Lower bounds on the optimal makespan.
+
+* :mod:`repro.bounds.area` — the divisible-load *area bound* of
+  Section 4.2 (closed form and LP reference implementation), together
+  with the structural properties of Lemmas 1 and 2;
+* :mod:`repro.bounds.simple` — elementary bounds
+  (``max_i min(p_i, q_i)``, per-class forced work);
+* :mod:`repro.bounds.dag_lp` — the dependency-aware LP bound of
+  reference [12] used to normalise the DAG experiments (Figure 7).
+"""
+
+from repro.bounds.area import AreaBoundResult, area_bound, area_bound_lp
+from repro.bounds.simple import makespan_lower_bound, min_time_bound
+from repro.bounds.dag_lp import dag_lower_bound, dag_lp_bound
+
+__all__ = [
+    "AreaBoundResult",
+    "area_bound",
+    "area_bound_lp",
+    "min_time_bound",
+    "makespan_lower_bound",
+    "dag_lower_bound",
+    "dag_lp_bound",
+]

@@ -1,0 +1,177 @@
+"""The area bound (Section 4.2): a divisible-load LP lower bound.
+
+Tasks are made divisible: a fraction ``x_i`` of task ``T_i`` runs on the
+CPU class (consuming ``x_i * p_i`` CPU time) and the rest on the GPU class
+(consuming ``(1 - x_i) * q_i`` GPU time).  The *area bound* is the optimal
+value of::
+
+    minimize  AB
+    s.t.      sum_i x_i p_i        <= m * AB         (CPU area)
+              sum_i (1 - x_i) q_i  <= n * AB         (GPU area)
+              0 <= x_i <= 1
+
+Because any valid schedule induces a feasible point,
+``AreaBound(I) <= C_max_opt(I)``.
+
+Two implementations are provided:
+
+* :func:`area_bound` — a closed-form solution exploiting the structure
+  proved in the paper: Lemma 1 (both constraints are tight at the
+  optimum) and Lemma 2 (the optimal fractional assignment is a threshold
+  on the acceleration factor).  Runs in ``O(N log N)``.
+* :func:`area_bound_lp` — an independent ``scipy.optimize.linprog``
+  formulation, used as a cross-check in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.platform import Platform, ResourceKind
+from repro.core.task import Instance
+
+__all__ = ["AreaBoundResult", "area_bound", "area_bound_lp"]
+
+
+@dataclass(frozen=True)
+class AreaBoundResult:
+    """Solution of the area-bound linear program.
+
+    Attributes
+    ----------
+    value:
+        The bound ``AreaBound(I)`` itself.
+    cpu_fractions:
+        Optimal ``x_i`` (CPU fraction of each task), in instance order.
+    cpu_load, gpu_load:
+        Total work placed on each class, i.e. ``sum x_i p_i`` and
+        ``sum (1 - x_i) q_i``.  By Lemma 1 these equal ``m * value`` and
+        ``n * value`` whenever both classes exist and the bound is
+        positive.
+    threshold:
+        The acceleration-factor threshold ``k`` of Lemma 2: every task
+        strictly above runs on GPUs, every task strictly below on CPUs
+        (at most one task is split across the threshold).
+    """
+
+    value: float
+    cpu_fractions: np.ndarray
+    cpu_load: float
+    gpu_load: float
+    threshold: float
+
+    def class_load(self, kind: ResourceKind) -> float:
+        """Work assigned to one resource class in the bound's solution."""
+        return self.cpu_load if kind is ResourceKind.CPU else self.gpu_load
+
+
+def area_bound(instance: Instance, platform: Platform) -> AreaBoundResult:
+    """Closed-form area bound via the threshold structure of Lemma 2.
+
+    Tasks sorted by non-increasing acceleration factor are moved to the
+    GPU class one by one; the per-class completion times
+    ``G(k) = (sum of first k GPU times) / n`` and
+    ``C(k) = (sum of remaining CPU times) / m`` are respectively
+    non-decreasing and non-increasing in ``k``, so the optimum balances
+    them, splitting at most one task fractionally.
+    """
+    n_tasks = len(instance)
+    m, n = platform.num_cpus, platform.num_gpus
+    fractions = np.zeros(n_tasks)
+    if n_tasks == 0:
+        return AreaBoundResult(0.0, fractions, 0.0, 0.0, float("inf"))
+
+    p = instance.cpu_times()
+    q = instance.gpu_times()
+
+    if m == 0:
+        # Everything is forced on the GPUs.
+        value = float(q.sum()) / n
+        return AreaBoundResult(value, fractions, 0.0, float(q.sum()), float("inf"))
+    if n == 0:
+        fractions[:] = 1.0
+        value = float(p.sum()) / m
+        return AreaBoundResult(value, fractions, float(p.sum()), 0.0, 0.0)
+
+    rho = p / q
+    order = np.argsort(-rho, kind="stable")  # GPU-preferred first
+    p_sorted = p[order]
+    q_sorted = q[order]
+
+    # G[k] = GPU completion if the first k sorted tasks run on GPUs;
+    # C[k] = CPU completion for the remaining tasks.  k in 0..N.
+    gpu_prefix = np.concatenate(([0.0], np.cumsum(q_sorted)))
+    cpu_suffix = np.concatenate((np.cumsum(p_sorted[::-1])[::-1], [0.0]))
+    g = gpu_prefix / n
+    c = cpu_suffix / m
+
+    # Smallest k with g(k) >= c(k); exists because g(N) >= 0 = c(N).
+    k = int(np.argmax(g >= c))
+    if g[k] == c[k] or k == 0:
+        value = float(g[k]) if g[k] >= c[k] else float(c[k])
+        # k == 0 with g(0)=0 >= c(0) means there is no CPU work at all.
+        split_index = None
+        split_fraction_gpu = 0.0
+    else:
+        # The crossing lies while splitting sorted task k-1: a fraction f
+        # of it on GPU balances (gpu_prefix[k-1] + f q) / n with
+        # (cpu_suffix[k] + (1 - f) p) / m.
+        split_index = k - 1
+        ps, qs = p_sorted[split_index], q_sorted[split_index]
+        f = (n * (cpu_suffix[k] + ps) - m * gpu_prefix[split_index]) / (m * qs + n * ps)
+        split_fraction_gpu = float(np.clip(f, 0.0, 1.0))
+        value = float((gpu_prefix[split_index] + split_fraction_gpu * qs) / n)
+
+    # Reconstruct the x_i vector (CPU fractions) in instance order.
+    if split_index is None:
+        fractions[order[k:]] = 1.0
+        threshold = float(rho[order[k - 1]]) if k > 0 else float("inf")
+    else:
+        fractions[order[split_index + 1:]] = 1.0
+        fractions[order[split_index]] = 1.0 - split_fraction_gpu
+        threshold = float(rho[order[split_index]])
+
+    cpu_load = float(np.dot(fractions, p))
+    gpu_load = float(np.dot(1.0 - fractions, q))
+    return AreaBoundResult(
+        value=value,
+        cpu_fractions=fractions,
+        cpu_load=cpu_load,
+        gpu_load=gpu_load,
+        threshold=threshold,
+    )
+
+
+def area_bound_lp(instance: Instance, platform: Platform) -> float:
+    """Reference LP solution of the area bound using ``scipy`` (HiGHS).
+
+    Slower than :func:`area_bound`; retained as an independent oracle for
+    the property tests.
+    """
+    from scipy.optimize import linprog
+
+    n_tasks = len(instance)
+    if n_tasks == 0:
+        return 0.0
+    m, n = platform.num_cpus, platform.num_gpus
+    p = instance.cpu_times()
+    q = instance.gpu_times()
+    if m == 0:
+        return float(q.sum()) / n
+    if n == 0:
+        return float(p.sum()) / m
+
+    # Variables: x_0..x_{N-1}, AB.
+    c = np.zeros(n_tasks + 1)
+    c[-1] = 1.0
+    a_cpu = np.concatenate((p, [-float(m)]))
+    a_gpu = np.concatenate((-q, [-float(n)]))
+    a_ub = np.vstack((a_cpu, a_gpu))
+    b_ub = np.array([0.0, -float(q.sum())])
+    bounds = [(0.0, 1.0)] * n_tasks + [(0.0, None)]
+    res = linprog(c, A_ub=a_ub, b_ub=b_ub, bounds=bounds, method="highs")
+    if not res.success:  # pragma: no cover - LP is always feasible
+        raise RuntimeError(f"area bound LP failed: {res.message}")
+    return float(res.fun)

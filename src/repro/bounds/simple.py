@@ -1,0 +1,30 @@
+"""Elementary lower bounds on the optimal makespan for independent tasks."""
+
+from __future__ import annotations
+
+from repro.core.platform import Platform
+from repro.core.task import Instance
+
+__all__ = ["min_time_bound", "makespan_lower_bound"]
+
+
+def min_time_bound(instance: Instance, platform: Platform) -> float:
+    """``max_i`` (fastest possible execution of task ``i``).
+
+    Every task must run entirely on some resource; when one class is
+    absent from the platform the other class's time is forced.
+    """
+    if len(instance) == 0:
+        return 0.0
+    if platform.num_cpus == 0:
+        return max(t.gpu_time for t in instance)
+    if platform.num_gpus == 0:
+        return max(t.cpu_time for t in instance)
+    return max(t.min_time() for t in instance)
+
+
+def makespan_lower_bound(instance: Instance, platform: Platform) -> float:
+    """Best available lower bound: ``max(AreaBound, min-time bound)``."""
+    from repro.bounds.area import area_bound
+
+    return max(area_bound(instance, platform).value, min_time_bound(instance, platform))

@@ -1,0 +1,123 @@
+"""Command-line interface: regenerate any table or figure of the paper.
+
+Usage::
+
+    python -m repro list                 # available experiments
+    python -m repro table2               # one experiment
+    python -m repro fig7 --kernel lu     # one kernel family panel
+    python -m repro all --fast           # everything, reduced sweeps
+
+Figures 6-9 accept ``--kernel {cholesky,qr,lu,all}`` and ``--full`` for
+the paper's complete N = 4..64 sweep (slow: the online DualHP
+reassignment is expensive at large N).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Sequence
+
+from repro.experiments import ALL_EXPERIMENTS
+from repro.experiments.workloads import DEFAULT_N_VALUES, FULL_N_VALUES
+
+__all__ = ["main"]
+
+_KERNEL_EXPERIMENTS = {"fig6", "fig7", "fig8", "fig9"}
+_FAST_N_VALUES: tuple[int, ...] = (4, 8, 12, 16)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the tables and figures of the HeteroPrio paper (IPDPS 2017).",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(ALL_EXPERIMENTS) + ["all", "list"],
+        help="experiment id (paper table/figure), 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--kernel",
+        choices=["cholesky", "qr", "lu", "all"],
+        default="all",
+        help="kernel family for figures 6-9 (default: all)",
+    )
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="reduced sweeps (N <= 16) for a quick smoke run",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="the paper's full N = 4..64 sweep (slow)",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="DIR",
+        default=None,
+        help="also write each experiment's output to DIR/<name>.txt",
+    )
+    return parser
+
+
+def _n_values(args: argparse.Namespace) -> tuple[int, ...]:
+    if args.full:
+        return FULL_N_VALUES
+    if args.fast:
+        return _FAST_N_VALUES
+    return DEFAULT_N_VALUES
+
+
+def _run_one(name: str, args: argparse.Namespace) -> list:
+    module = ALL_EXPERIMENTS[name]
+    if name in _KERNEL_EXPERIMENTS:
+        kwargs = {"n_values": _n_values(args)}
+        if args.kernel == "all":
+            return module.run_all(**kwargs)
+        return [module.run(args.kernel, **kwargs)]
+    if name == "table2" and args.fast:
+        return [module.run(m_cpus=16, granularity=16, k=2)]
+    if name == "fig5" and args.fast:
+        return [module.run(k_values=(1, 2))]
+    if name == "comm" and args.fast:
+        return [module.run(n_tiles=8, scales=(0.0, 1.0, 2.0))]
+    if name == "robustness" and args.fast:
+        return [module.run(n_tiles=8, seeds=(1, 2))]
+    return [module.run()]
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.experiment == "list":
+        for name, module in sorted(ALL_EXPERIMENTS.items()):
+            doc = (module.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:8s} {doc}")
+        return 0
+    names = sorted(ALL_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    out_dir = None
+    if args.out is not None:
+        from pathlib import Path
+
+        out_dir = Path(args.out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+    for name in names:
+        started = time.perf_counter()
+        renders = []
+        for result in _run_one(name, args):
+            text = result.render()
+            renders.append(text)
+            print(text)
+            print()
+        if out_dir is not None:
+            (out_dir / f"{name}.txt").write_text("\n\n".join(renders) + "\n")
+        elapsed = time.perf_counter() - started
+        print(f"[{name} done in {elapsed:.1f}s]", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,93 @@
+"""Transfer-time model between the memory spaces of a CPU+GPU node.
+
+Memory topology (the StarPU view of the paper's machine):
+
+* one **main RAM**, directly accessible by every CPU core;
+* one private memory per GPU, connected to RAM over PCIe;
+* GPU-to-GPU movements are staged through RAM (no peer-to-peer), i.e.
+  they cost one device-to-host plus one host-to-device transfer.
+
+A transfer of ``b`` bytes over one link costs ``latency + b / bandwidth``.
+Defaults model PCIe 3.0 x16 with realistic effective bandwidth: one
+960x960 double tile (~7.4 MB) moves in ~0.65 ms, i.e. the same order as
+the GPU kernel durations of :mod:`repro.timing.kernels` — exactly the
+regime where data-awareness starts to matter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.core.platform import ResourceKind, Worker
+
+__all__ = ["Location", "RAM", "gpu_memory", "location_of", "CommunicationModel"]
+
+#: Main memory (shared by all CPU cores).
+RAM = "RAM"
+
+#: A location is main RAM or one GPU's private memory (by GPU index).
+Location = Union[str, int]
+
+
+def gpu_memory(index: int) -> Location:
+    """The private memory of GPU *index*."""
+    return int(index)
+
+
+def location_of(worker: Worker) -> Location:
+    """The memory space a worker computes from."""
+    return RAM if worker.kind is ResourceKind.CPU else gpu_memory(worker.index)
+
+
+@dataclass(frozen=True)
+class CommunicationModel:
+    """Latency + bandwidth transfer costs over the node's links.
+
+    Parameters
+    ----------
+    bandwidth:
+        Effective host<->device bandwidth in bytes per second.
+    latency:
+        Per-transfer setup latency in seconds.
+    scale:
+        Global multiplier on every transfer time; the sensitivity
+        experiment sweeps this (0 = the paper's communication-free
+        model).
+    """
+
+    bandwidth: float = 11.5e9  # ~PCIe 3.0 x16 effective
+    latency: float = 12e-6
+    scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.latency < 0 or self.scale < 0:
+            raise ValueError("latency and scale must be non-negative")
+
+    def link_time(self, size_bytes: int) -> float:
+        """Cost of moving *size_bytes* over one host<->device link."""
+        if size_bytes < 0:
+            raise ValueError("size must be non-negative")
+        return self.scale * (self.latency + size_bytes / self.bandwidth)
+
+    def transfer_time(self, src: Location, dst: Location, size_bytes: int) -> float:
+        """Cost of bringing a copy from *src* into *dst* (0 if same space).
+
+        GPU-to-GPU is staged through RAM: two link traversals.
+        """
+        if src == dst or self.scale == 0.0:
+            return 0.0
+        hops = 2 if (src != RAM and dst != RAM) else 1
+        return hops * self.link_time(size_bytes)
+
+    def scaled(self, scale: float) -> "CommunicationModel":
+        """A copy of this model with a different global *scale*."""
+        return CommunicationModel(
+            bandwidth=self.bandwidth, latency=self.latency, scale=scale
+        )
+
+
+#: Transfer-free model: reproduces the paper's original setting exactly.
+ZERO_COMM = CommunicationModel(scale=0.0)

@@ -1,0 +1,31 @@
+"""Core data model of the HeteroPrio reproduction.
+
+This package contains the building blocks shared by every other subsystem:
+
+* :mod:`repro.core.task` — tasks with unrelated CPU/GPU processing times
+  and independent-task instances;
+* :mod:`repro.core.platform` — heterogeneous nodes made of ``m`` CPUs and
+  ``n`` GPUs;
+* :mod:`repro.core.schedule` — explicit schedules (placements with start
+  and end times, including aborted executions left behind by spoliation),
+  validation and rendering;
+* :mod:`repro.core.heteroprio` — the HeteroPrio algorithm for independent
+  tasks (Algorithm 1 of the paper), including the spoliation mechanism.
+"""
+
+from repro.core.platform import Platform, ResourceKind, Worker
+from repro.core.schedule import Placement, Schedule
+from repro.core.task import Instance, Task
+from repro.core.heteroprio import HeteroPrioResult, heteroprio_schedule
+
+__all__ = [
+    "Task",
+    "Instance",
+    "Platform",
+    "ResourceKind",
+    "Worker",
+    "Placement",
+    "Schedule",
+    "HeteroPrioResult",
+    "heteroprio_schedule",
+]

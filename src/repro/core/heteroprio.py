@@ -1,0 +1,317 @@
+"""HeteroPrio for independent tasks (Algorithm 1 of the paper).
+
+The algorithm keeps every ready task in one queue ``Q`` sorted by
+non-increasing acceleration factor ``rho = p / q``.  Idle GPUs pop from the
+front of ``Q`` (most GPU-friendly task) and idle CPUs pop from the back
+(least GPU-friendly).  When ``Q`` is empty, an idle worker attempts
+**spoliation**: among the tasks currently running on the *other* resource
+class, taken in decreasing order of expected completion time, it restarts
+(from scratch) the first one it could finish strictly earlier.
+
+Tie-breaking follows Section 2.2 of the paper: among tasks with equal
+acceleration factor, the highest-priority task is placed first in the
+queue when ``rho >= 1`` and last when ``rho < 1``, so that both ends of
+the queue serve urgent tasks first.  Among spoliation candidates with
+equal expected completion times, the highest-priority one is chosen.
+
+The module exposes:
+
+* :func:`heteroprio_schedule` — run HeteroPrio and return the final
+  schedule :math:`S_{HP}`, the no-spoliation list schedule
+  :math:`S_{HP}^{NS}`, the first-idle instant :math:`T_{FirstIdle}` and
+  the list of spoliation events;
+* :class:`SpoliationEvent` — one task migration record.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Literal
+
+from repro.core.platform import Platform, ResourceKind, Worker
+from repro.core.schedule import Schedule, TIME_EPS
+from repro.core.task import Instance, Task
+
+__all__ = ["SpoliationEvent", "HeteroPrioResult", "heteroprio_schedule", "sorted_queue"]
+
+ServiceOrder = Literal["gpu_first", "cpu_first"]
+
+#: How an idle worker may take over a task running on the other class:
+#: ``"spoliation"`` restarts it from scratch (the paper's mechanism),
+#: ``"preemption"`` is the idealised comparison point the paper mentions
+#: (progress carries over proportionally; not implementable on real
+#: CPU/GPU pairs), ``"none"`` disables migration entirely.
+MigrationMode = Literal["spoliation", "preemption", "none"]
+
+
+@dataclass(frozen=True)
+class SpoliationEvent:
+    """One spoliation: *task* moved from *victim_worker* to *new_worker*.
+
+    ``abort_time`` is the instant the victim execution was cancelled (and
+    the new one started); ``old_completion`` is when the task would have
+    finished had it not been spoliated; ``new_completion`` is its actual
+    finish time.  The paper's rule guarantees
+    ``new_completion < old_completion``.
+    """
+
+    task: Task
+    victim_worker: Worker
+    new_worker: Worker
+    abort_time: float
+    old_completion: float
+    new_completion: float
+
+
+@dataclass
+class HeteroPrioResult:
+    """Outcome of a HeteroPrio run on an independent-task instance."""
+
+    #: Final schedule :math:`S_{HP}` (with spoliation, unless disabled).
+    schedule: Schedule
+    #: The list schedule :math:`S_{HP}^{NS}` obtained with spoliation disabled.
+    ns_schedule: Schedule
+    #: First instant at which any worker is idle in :math:`S_{HP}^{NS}`.
+    t_first_idle: float
+    #: Spoliation events, in chronological order.
+    spoliations: list[SpoliationEvent] = field(default_factory=list)
+
+    @property
+    def makespan(self) -> float:
+        """Makespan :math:`C_{max}^{HP}` of the final schedule."""
+        return self.schedule.makespan
+
+
+def _queue_key(task: Task) -> tuple[float, float, int]:
+    """Sort key placing tasks in CPU-end-first (ascending rho) order.
+
+    Index 0 of the sorted list is the CPU end (smallest acceleration
+    factor); the last index is the GPU end.  Ties on the acceleration
+    factor are resolved so that *both* ends serve the highest-priority
+    task first, per Section 2.2; ``uid`` makes the order total.
+    """
+    rho = task.acceleration
+    if rho >= 1.0:
+        return (rho, task.priority, task.uid)
+    return (rho, -task.priority, -task.uid)
+
+
+def sorted_queue(instance: Instance) -> list[Task]:
+    """The initial HeteroPrio queue, CPU end at index 0, GPU end at -1."""
+    return sorted(instance, key=_queue_key)
+
+
+@dataclass
+class _Running:
+    """Mutable record of a task (or task fraction) executing on a worker."""
+
+    task: Task
+    worker: Worker
+    start: float
+    end: float
+    generation: int  # invalidates stale heap events after spoliation
+    fraction: float = 1.0  # fraction of the task this execution covers
+
+
+def heteroprio_schedule(
+    instance: Instance,
+    platform: Platform,
+    *,
+    spoliation: bool = True,
+    migration: MigrationMode = "spoliation",
+    service_order: ServiceOrder = "gpu_first",
+    compute_ns: bool = True,
+) -> HeteroPrioResult:
+    """Run HeteroPrio (Algorithm 1) on an independent-task instance.
+
+    Parameters
+    ----------
+    instance:
+        The independent tasks to schedule.
+    platform:
+        The target ``(m, n)`` node.  Must have at least one CPU and one
+        GPU when *spoliation* is enabled (otherwise spoliation is moot).
+    spoliation:
+        When ``False``, produce the pure list schedule
+        :math:`S_{HP}^{NS}` (used by the proofs and for analysis).
+    migration:
+        ``"spoliation"`` (the paper's restart-from-scratch mechanism,
+        default), ``"preemption"`` (idealised progress-preserving
+        migration — an upper bound on what any migration mechanism could
+        achieve; the resulting schedule is marked non-strict), or
+        ``"none"``.  Ignored when *spoliation* is ``False``.
+    service_order:
+        Which class of simultaneously idle workers is served first.  The
+        paper leaves this choice free ("select an idle worker"); GPUs
+        first is the natural choice for runtime systems (and the one that
+        realises the worst-case constructions of Theorems 8, 11 and 14).
+    compute_ns:
+        Also compute :math:`S_{HP}^{NS}` (a second, spoliation-free run)
+        so the result carries both schedules.  Disable for speed when
+        only the final makespan matters.
+
+    Returns
+    -------
+    HeteroPrioResult
+        The final schedule, the no-spoliation schedule, the first-idle
+        instant and the chronological list of spoliations.
+    """
+    if platform.num_cpus == 0 and platform.num_gpus == 0:
+        raise ValueError("platform has no workers")
+    if len(instance) == 0:
+        empty = Schedule(platform)
+        return HeteroPrioResult(schedule=empty, ns_schedule=Schedule(platform), t_first_idle=0.0)
+
+    mode: MigrationMode = migration if spoliation else "none"
+    if mode not in ("spoliation", "preemption", "none"):
+        raise ValueError(f"unknown migration mode {mode!r}")
+    schedule, spoliations, t_first_idle = _run(instance, platform, mode, service_order)
+    if compute_ns:
+        if mode != "none":
+            ns_schedule, _, ns_first_idle = _run(instance, platform, "none", service_order)
+        else:
+            ns_schedule, ns_first_idle = schedule, t_first_idle
+    else:
+        ns_schedule, ns_first_idle = Schedule(platform), t_first_idle
+    return HeteroPrioResult(
+        schedule=schedule,
+        ns_schedule=ns_schedule,
+        t_first_idle=ns_first_idle,
+        spoliations=spoliations,
+    )
+
+
+def _worker_service_key(order: ServiceOrder):
+    def key(worker: Worker) -> tuple[int, int]:
+        gpu_rank = 0 if worker.kind is ResourceKind.GPU else 1
+        if order == "cpu_first":
+            gpu_rank = 1 - gpu_rank
+        return (gpu_rank, worker.index)
+
+    return key
+
+
+def _run(
+    instance: Instance,
+    platform: Platform,
+    migration: MigrationMode,
+    service_order: ServiceOrder,
+) -> tuple[Schedule, list[SpoliationEvent], float]:
+    """Discrete-event execution of Algorithm 1."""
+    queue = sorted_queue(instance)  # index 0 = CPU end, index -1 = GPU end
+    # Preempted tasks complete in several partial placements, so exact
+    # per-placement durations cannot be enforced.
+    schedule = Schedule(platform, strict=(migration != "preemption"))
+    spoliations: list[SpoliationEvent] = []
+
+    running: dict[Worker, _Running] = {}
+    idle: set[Worker] = set(platform.workers())
+    remaining = len(instance)
+    t_first_idle: float | None = None
+
+    # Event heap: (time, sequence, worker, generation).  The generation
+    # counter invalidates completion events of spoliated executions.
+    events: list[tuple[float, int, Worker, int]] = []
+    seq = itertools.count()
+    generations: dict[Worker, int] = {w: 0 for w in platform.workers()}
+
+    service_key = _worker_service_key(service_order)
+
+    def start_task(
+        task: Task, worker: Worker, now: float, fraction: float = 1.0
+    ) -> None:
+        nonlocal remaining
+        end = now + fraction * task.time_on(worker.kind)
+        generations[worker] += 1
+        record = _Running(task=task, worker=worker, start=now, end=end,
+                          generation=generations[worker], fraction=fraction)
+        running[worker] = record
+        idle.discard(worker)
+        heapq.heappush(events, (end, next(seq), worker, record.generation))
+
+    def try_assign(worker: Worker, now: float) -> bool:
+        """Give *worker* a task from the queue, or spoliate.  True on action."""
+        nonlocal t_first_idle
+        if queue:
+            task = queue.pop() if worker.kind is ResourceKind.GPU else queue.pop(0)
+            start_task(task, worker, now)
+            return True
+        if t_first_idle is None:
+            t_first_idle = now
+        if migration == "none":
+            return False
+        # Migration attempt: victims on the other class, by decreasing
+        # expected completion time, ties broken by higher priority.
+        victims = [r for r in running.values() if r.worker.kind is worker.kind.other]
+        victims.sort(key=lambda r: (-r.end, -r.task.priority, r.task.uid))
+        for victim in victims:
+            if migration == "preemption":
+                # Progress carries over: only the unfinished fraction of
+                # the task must run on the new worker.
+                done_share = (now - victim.start) / (victim.end - victim.start)
+                fraction = victim.fraction * (1.0 - done_share)
+            else:
+                fraction = 1.0  # spoliation: progress is lost
+            new_end = now + fraction * victim.task.time_on(worker.kind)
+            if new_end < victim.end - TIME_EPS:
+                schedule.add(victim.task, victim.worker, victim.start, end=now, aborted=True)
+                del running[victim.worker]
+                idle.add(victim.worker)
+                generations[victim.worker] += 1  # cancel its completion event
+                spoliations.append(
+                    SpoliationEvent(
+                        task=victim.task,
+                        victim_worker=victim.worker,
+                        new_worker=worker,
+                        abort_time=now,
+                        old_completion=victim.end,
+                        new_completion=new_end,
+                    )
+                )
+                start_task(victim.task, worker, now, fraction)
+                return True
+        return False
+
+    def settle(now: float) -> None:
+        """Serve idle workers until no further action is possible."""
+        progress = True
+        while progress:
+            progress = False
+            for worker in sorted(idle, key=service_key):
+                if worker in idle and try_assign(worker, now):
+                    progress = True
+
+    settle(0.0)
+    while remaining > 0:
+        if not events:  # pragma: no cover - defensive; cannot happen
+            raise RuntimeError("HeteroPrio stalled with unfinished tasks")
+        time, _, worker, gen = heapq.heappop(events)
+        if generations.get(worker) != gen:
+            continue  # stale event: the execution was spoliated
+        record = running.pop(worker)
+        schedule.add(record.task, worker, record.start, end=record.end)
+        remaining -= 1
+        idle.add(worker)
+        # Batch all completions at the same instant before re-dispatching,
+        # so simultaneous finishers see a consistent queue state.
+        while events and events[0][0] <= time + TIME_EPS:
+            time2, _, worker2, gen2 = heapq.heappop(events)
+            if generations.get(worker2) != gen2:
+                continue
+            record2 = running.pop(worker2)
+            schedule.add(record2.task, worker2, record2.start, end=record2.end)
+            remaining -= 1
+            idle.add(worker2)
+        if remaining > 0:
+            settle(time)
+
+    if t_first_idle is None:
+        # Every worker was busy continuously until its final completion:
+        # the first idle instant is the earliest of those final completions.
+        t_first_idle = min(
+            max((p.end for p in schedule.worker_timeline(w)), default=0.0)
+            for w in platform.workers()
+        )
+    return schedule, spoliations, t_first_idle

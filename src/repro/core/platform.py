@@ -1,0 +1,100 @@
+"""Heterogeneous platforms: ``m`` identical CPUs plus ``n`` identical GPUs.
+
+The paper's model has two *classes* of resources.  Machines are identical
+within a class and unrelated across classes.  A :class:`Platform` is thus
+fully described by the pair ``(m, n)``; :class:`Worker` objects give each
+individual resource an identity so that schedules can be validated and
+rendered.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["ResourceKind", "Worker", "Platform"]
+
+
+class ResourceKind(enum.Enum):
+    """The two resource classes of the model."""
+
+    CPU = "cpu"
+    GPU = "gpu"
+
+    @property
+    def other(self) -> "ResourceKind":
+        """The opposite resource class (spoliation always crosses classes)."""
+        return ResourceKind.GPU if self is ResourceKind.CPU else ResourceKind.CPU
+
+    def __str__(self) -> str:
+        return self.value.upper()
+
+
+@dataclass(frozen=True, order=True)
+class Worker:
+    """One individual resource: a class plus an index within that class."""
+
+    kind: ResourceKind
+    index: int
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError("worker index must be non-negative")
+
+    def __str__(self) -> str:
+        return f"{self.kind}{self.index}"
+
+
+@dataclass(frozen=True)
+class Platform:
+    """A node with ``num_cpus`` CPUs and ``num_gpus`` GPUs.
+
+    The paper's notation uses ``m`` CPUs and ``n`` GPUs; properties with
+    those names are provided for proof-adjacent code.
+    """
+
+    num_cpus: int
+    num_gpus: int
+
+    def __post_init__(self) -> None:
+        if self.num_cpus < 0 or self.num_gpus < 0:
+            raise ValueError("resource counts must be non-negative")
+        if self.num_cpus + self.num_gpus == 0:
+            raise ValueError("platform must have at least one resource")
+
+    @property
+    def m(self) -> int:
+        """Number of CPUs (paper notation)."""
+        return self.num_cpus
+
+    @property
+    def n(self) -> int:
+        """Number of GPUs (paper notation)."""
+        return self.num_gpus
+
+    def count(self, kind: ResourceKind) -> int:
+        """Number of workers of the given class."""
+        return self.num_cpus if kind is ResourceKind.CPU else self.num_gpus
+
+    def workers(self, kind: ResourceKind | None = None) -> Iterator[Worker]:
+        """Iterate over the workers (of one class, or CPUs then GPUs)."""
+        if kind in (None, ResourceKind.CPU):
+            for i in range(self.num_cpus):
+                yield Worker(ResourceKind.CPU, i)
+        if kind in (None, ResourceKind.GPU):
+            for i in range(self.num_gpus):
+                yield Worker(ResourceKind.GPU, i)
+
+    @property
+    def total_workers(self) -> int:
+        """Total resource count ``m + n``."""
+        return self.num_cpus + self.num_gpus
+
+    def __str__(self) -> str:
+        return f"Platform({self.num_cpus} CPUs, {self.num_gpus} GPUs)"
+
+
+#: The experimental platform of the paper's Section 6 (two 10-core Haswell
+#: Xeon E5-2680 processors = 20 CPU cores, and 4 Nvidia K40-M GPUs).
+PAPER_PLATFORM = Platform(num_cpus=20, num_gpus=4)

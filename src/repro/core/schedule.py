@@ -1,0 +1,313 @@
+"""Explicit schedules: placements with start/end times on identified workers.
+
+A schedule in this library is a list of :class:`Placement` records.  A
+placement is either *completed* (the task ran to completion there) or
+*aborted* (the task started there but was spoliated before finishing; its
+progress is lost, as in the paper's spoliation mechanism — this is not
+preemption).  Aborted placements still occupy their worker for the
+interval during which they ran, and the metric code of Section 6 counts
+that interval as idle time, exactly as footnote 1 of the paper prescribes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from repro.core.platform import Platform, ResourceKind, Worker
+from repro.core.task import Instance, Task
+
+__all__ = ["Placement", "Schedule", "ScheduleError"]
+
+#: Absolute tolerance used in schedule validation.  Durations in the
+#: experiments span roughly [1e-3, 1e3], so 1e-7 is far below any real gap.
+TIME_EPS = 1e-7
+
+
+class ScheduleError(ValueError):
+    """Raised when a schedule violates a structural invariant."""
+
+
+@dataclass(frozen=True)
+class Placement:
+    """One execution attempt of a task on a worker.
+
+    Attributes
+    ----------
+    task:
+        The task being executed.
+    worker:
+        The worker executing it.
+    start, end:
+        Execution interval.  For a completed placement,
+        ``end - start`` equals the task's processing time on the worker's
+        class.  For an aborted placement (spoliation victim), ``end`` is
+        the abort instant and may be anywhere in
+        ``[start, start + processing_time)``.
+    aborted:
+        ``True`` when the execution was cut short by spoliation.
+    """
+
+    task: Task
+    worker: Worker
+    start: float
+    end: float
+    aborted: bool = False
+
+    def __post_init__(self) -> None:
+        if self.start < -TIME_EPS:
+            raise ScheduleError(f"negative start time {self.start} for {self.task.name}")
+        if self.end < self.start - TIME_EPS:
+            raise ScheduleError(
+                f"placement of {self.task.name} ends before it starts "
+                f"({self.start} -> {self.end})"
+            )
+
+    @property
+    def duration(self) -> float:
+        """Length of the (possibly truncated) execution interval."""
+        return self.end - self.start
+
+    @property
+    def full_duration(self) -> float:
+        """Processing time of the task on this placement's resource class."""
+        return self.task.time_on(self.worker.kind)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flag = " (aborted)" if self.aborted else ""
+        return (
+            f"Placement({self.task.name} on {self.worker} "
+            f"[{self.start:.4g}, {self.end:.4g}]{flag})"
+        )
+
+
+class Schedule:
+    """A full schedule of an instance on a platform.
+
+    The class is intentionally dumb storage plus validation and metrics;
+    algorithms build schedules, they never mutate them afterwards.
+    """
+
+    def __init__(
+        self,
+        platform: Platform,
+        placements: Iterable[Placement] = (),
+        *,
+        strict: bool = True,
+    ):
+        self.platform = platform
+        self._placements: list[Placement] = list(placements)
+        #: Strict schedules enforce exact compute durations and the
+        #: spoliation-improvement property.  The communication-aware
+        #: runtime produces non-strict schedules: aborted intervals may
+        #: include transfer time, and improvement is defined against
+        #: transfer-inclusive estimates.
+        self.strict = strict
+
+    # -- construction --------------------------------------------------------
+
+    def add(
+        self,
+        task: Task,
+        worker: Worker,
+        start: float,
+        *,
+        end: float | None = None,
+        aborted: bool = False,
+    ) -> Placement:
+        """Append a placement; ``end`` defaults to a complete execution."""
+        if end is None:
+            end = start + task.time_on(worker.kind)
+        placement = Placement(task=task, worker=worker, start=start, end=end, aborted=aborted)
+        self._placements.append(placement)
+        return placement
+
+    # -- access ---------------------------------------------------------------
+
+    @property
+    def placements(self) -> Sequence[Placement]:
+        return tuple(self._placements)
+
+    def completed_placements(self) -> list[Placement]:
+        """Placements that ran to completion (exactly one per task)."""
+        return [p for p in self._placements if not p.aborted]
+
+    def aborted_placements(self) -> list[Placement]:
+        """Partial executions left behind by spoliation."""
+        return [p for p in self._placements if p.aborted]
+
+    def placement_of(self, task: Task) -> Placement:
+        """The completed placement of *task* (raises if absent)."""
+        for p in self._placements:
+            if not p.aborted and p.task == task:
+                return p
+        raise KeyError(f"task {task.name} has no completed placement")
+
+    def completion_time(self, task: Task) -> float:
+        """Finish time of *task* in this schedule."""
+        return self.placement_of(task).end
+
+    def worker_timeline(self, worker: Worker) -> list[Placement]:
+        """All placements on *worker*, sorted by start time."""
+        return sorted(
+            (p for p in self._placements if p.worker == worker),
+            key=lambda p: (p.start, p.end),
+        )
+
+    def tasks(self) -> list[Task]:
+        """Tasks with a completed placement."""
+        return [p.task for p in self.completed_placements()]
+
+    # -- metrics ---------------------------------------------------------------
+
+    @property
+    def makespan(self) -> float:
+        """Latest completion time over completed placements (0 when empty)."""
+        completed = self.completed_placements()
+        if not completed:
+            return 0.0
+        return max(p.end for p in completed)
+
+    def class_work(self, kind: ResourceKind) -> float:
+        """Completed work executed on resource class *kind*."""
+        return sum(p.duration for p in self.completed_placements() if p.worker.kind is kind)
+
+    def aborted_work(self, kind: ResourceKind | None = None) -> float:
+        """Wasted work from aborted executions (optionally one class only)."""
+        return sum(
+            p.duration
+            for p in self.aborted_placements()
+            if kind is None or p.worker.kind is kind
+        )
+
+    def idle_time(self, kind: ResourceKind, *, horizon: float | None = None) -> float:
+        """Total idle time on class *kind* up to *horizon* (default makespan).
+
+        Following footnote 1 of the paper, work performed on aborted
+        (spoliated) tasks is counted as idle time, so that all algorithms
+        are compared on the same amount of useful work.
+        """
+        if horizon is None:
+            horizon = self.makespan
+        capacity = self.platform.count(kind) * horizon
+        useful = sum(
+            min(p.end, horizon) - min(p.start, horizon)
+            for p in self.completed_placements()
+            if p.worker.kind is kind
+        )
+        return capacity - useful
+
+    def equivalent_acceleration(self, kind: ResourceKind) -> float:
+        """Acceleration factor of the 'equivalent task' run on class *kind*.
+
+        Defined in Section 6.2 as ``sum(p_i) / sum(q_i)`` over the tasks
+        *completed* on that class.  Returns ``nan`` when the class executed
+        nothing.
+        """
+        tasks = [p.task for p in self.completed_placements() if p.worker.kind is kind]
+        if not tasks:
+            return float("nan")
+        return sum(t.cpu_time for t in tasks) / sum(t.gpu_time for t in tasks)
+
+    # -- validation -------------------------------------------------------------
+
+    def validate(self, instance: Instance | None = None, *, eps: float = TIME_EPS) -> None:
+        """Check the structural invariants; raise :class:`ScheduleError` if broken.
+
+        Checks performed:
+
+        1. every placement's worker exists on the platform;
+        2. completed placements last exactly the task's processing time on
+           their resource class; aborted ones last at most that;
+        3. placements on the same worker never overlap;
+        4. each task has at most one completed placement — and exactly one
+           for each task of *instance* when an instance is supplied;
+        5. an aborted placement of a task must be followed (in time) by a
+           completed placement of the same task on the *other* resource
+           class that finishes no later than the aborted execution would
+           have (spoliation must strictly help, per the paper's rule).
+        """
+        workers = set(self.platform.workers())
+        for p in self._placements:
+            if p.worker not in workers:
+                raise ScheduleError(f"{p} uses unknown worker {p.worker}")
+            full = p.full_duration
+            if p.aborted:
+                if self.strict and p.duration > full + eps:
+                    raise ScheduleError(f"{p} aborted but ran longer than its full duration")
+            elif self.strict and abs(p.duration - full) > eps:
+                raise ScheduleError(
+                    f"{p} has duration {p.duration}, expected {full} on {p.worker.kind}"
+                )
+            elif not self.strict and p.duration > full + eps:
+                # Non-strict schedules (preemptive migration) may complete
+                # a task in a shorter, partial placement — never a longer one.
+                raise ScheduleError(f"{p} ran longer than the task's full duration")
+
+        for worker in workers:
+            timeline = self.worker_timeline(worker)
+            for prev, nxt in zip(timeline, timeline[1:]):
+                if nxt.start < prev.end - eps:
+                    raise ScheduleError(f"overlap on {worker}: {prev} then {nxt}")
+
+        completed_by_task: dict[Task, Placement] = {}
+        for p in self.completed_placements():
+            if p.task in completed_by_task:
+                raise ScheduleError(f"task {p.task.name} completed twice")
+            completed_by_task[p.task] = p
+
+        if instance is not None:
+            missing = [t for t in instance if t not in completed_by_task]
+            if missing:
+                names = ", ".join(t.name for t in missing[:5])
+                raise ScheduleError(f"{len(missing)} task(s) never completed: {names} ...")
+            extra = [t for t in completed_by_task if t not in set(instance)]
+            if extra:
+                raise ScheduleError(f"schedule contains tasks outside the instance: {extra[:5]}")
+
+        for p in self.aborted_placements():
+            done = completed_by_task.get(p.task)
+            if done is None:
+                raise ScheduleError(f"aborted {p} has no completed counterpart")
+            if done.worker.kind is p.worker.kind:
+                raise ScheduleError(
+                    f"spoliation of {p.task.name} stayed on class {p.worker.kind}"
+                )
+            if self.strict:
+                would_have_finished = p.start + p.full_duration
+                if done.end > would_have_finished + eps:
+                    raise ScheduleError(
+                        f"spoliation of {p.task.name} did not improve its completion "
+                        f"({done.end} vs {would_have_finished})"
+                    )
+
+    # -- rendering ---------------------------------------------------------------
+
+    def gantt(self, *, width: int = 78) -> str:
+        """ASCII Gantt chart (one line per worker), for small schedules."""
+        makespan = max((p.end for p in self._placements), default=0.0)
+        if makespan <= 0:
+            return "(empty schedule)"
+        scale = (width - 12) / makespan
+        lines = [f"makespan = {self.makespan:.4g}"]
+        for worker in self.platform.workers():
+            cells = [" "] * (width - 12)
+            for p in self.worker_timeline(worker):
+                lo = int(p.start * scale)
+                hi = max(lo + 1, int(p.end * scale))
+                label = (p.task.name + ("*" if p.aborted else ""))[: hi - lo]
+                fill = "." if p.aborted else "#"
+                for k in range(lo, min(hi, len(cells))):
+                    cells[k] = fill
+                for k, ch in enumerate(label):
+                    if lo + k < len(cells):
+                        cells[lo + k] = ch
+            lines.append(f"{str(worker):>8} |{''.join(cells)}|")
+        lines.append("(* = aborted by spoliation)")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Schedule({self.platform}, {len(self.completed_placements())} completed, "
+            f"{len(self.aborted_placements())} aborted, makespan={self.makespan:.4g})"
+        )

@@ -1,0 +1,229 @@
+"""Tasks with unrelated CPU/GPU processing times, and independent instances.
+
+The scheduling problem studied in the paper is a special case of
+``R || C_max`` with exactly two classes of identical machines.  Every task
+``T_i`` carries a processing time ``p_i`` on any CPU and ``q_i`` on any GPU.
+The ratio ``rho_i = p_i / q_i`` is the *acceleration factor*: the larger it
+is, the better suited the task is to a GPU.  Acceleration factors may be
+smaller than one (tasks that run faster on a CPU).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["Task", "Instance"]
+
+_task_counter = itertools.count()
+
+
+@dataclass(eq=False)
+class Task:
+    """A sequential task with unrelated processing times on CPU and GPU.
+
+    Tasks compare and hash by *identity* (two tasks with equal durations
+    remain distinct scheduling entities).  All attributes except
+    ``priority`` are immutable by convention; ``priority`` may be
+    assigned after construction, e.g. once bottom-levels of a task graph
+    have been computed (see :mod:`repro.dag.priorities`).
+
+    Parameters
+    ----------
+    cpu_time:
+        Processing time ``p`` of the task on one CPU core.  Must be positive.
+    gpu_time:
+        Processing time ``q`` of the task on one GPU.  Must be positive.
+    name:
+        Human-readable identifier.  Auto-generated when omitted.
+    kind:
+        Optional kernel family tag (e.g. ``"GEMM"``); used by the linear
+        algebra generators and by the metric aggregations of Section 6.
+    priority:
+        Offline priority used for tie-breaking, typically a bottom-level
+        computed from a task graph.  Higher values mean more urgent.
+    uid:
+        Unique integer identity.  Auto-assigned; two tasks with identical
+        durations remain distinguishable.
+    """
+
+    cpu_time: float
+    gpu_time: float
+    name: str = ""
+    kind: str = ""
+    priority: float = 0.0
+    uid: int = field(default_factory=lambda: next(_task_counter))
+
+    def __post_init__(self) -> None:
+        if not (self.cpu_time > 0 and np.isfinite(self.cpu_time)):
+            raise ValueError(f"cpu_time must be positive and finite, got {self.cpu_time}")
+        if not (self.gpu_time > 0 and np.isfinite(self.gpu_time)):
+            raise ValueError(f"gpu_time must be positive and finite, got {self.gpu_time}")
+        if not self.name:
+            self.name = f"task{self.uid}"
+
+    @property
+    def acceleration(self) -> float:
+        """Acceleration factor ``rho = p / q`` (GPU speed-up; may be < 1)."""
+        return self.cpu_time / self.gpu_time
+
+    def time_on(self, kind: "ResourceKind") -> float:  # noqa: F821
+        """Processing time of this task on a resource of class *kind*."""
+        from repro.core.platform import ResourceKind
+
+        return self.cpu_time if kind is ResourceKind.CPU else self.gpu_time
+
+    def min_time(self) -> float:
+        """``min(p, q)`` — a lower bound on this task's execution anywhere."""
+        return min(self.cpu_time, self.gpu_time)
+
+    def max_time(self) -> float:
+        """``max(p, q)``."""
+        return max(self.cpu_time, self.gpu_time)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Task({self.name!r}, p={self.cpu_time:.4g}, q={self.gpu_time:.4g}, "
+            f"rho={self.acceleration:.4g})"
+        )
+
+
+class Instance:
+    """An instance of the independent-tasks scheduling problem.
+
+    An :class:`Instance` is an immutable ordered collection of
+    :class:`Task` objects.  It provides the aggregate quantities used by
+    the bounds and the algorithms (total work per resource class, simple
+    lower bounds, sorted views by acceleration factor).
+    """
+
+    __slots__ = ("_tasks",)
+
+    def __init__(self, tasks: Iterable[Task]):
+        self._tasks: tuple[Task, ...] = tuple(tasks)
+        if any(not isinstance(t, Task) for t in self._tasks):
+            raise TypeError("Instance accepts Task objects only")
+
+    # -- construction helpers ------------------------------------------------
+
+    @classmethod
+    def from_times(
+        cls,
+        cpu_times: Sequence[float],
+        gpu_times: Sequence[float],
+        *,
+        prefix: str = "t",
+        priorities: Sequence[float] | None = None,
+    ) -> "Instance":
+        """Build an instance from parallel sequences of ``p`` and ``q``."""
+        if len(cpu_times) != len(gpu_times):
+            raise ValueError("cpu_times and gpu_times must have equal length")
+        if priorities is not None and len(priorities) != len(cpu_times):
+            raise ValueError("priorities must match the number of tasks")
+        tasks = [
+            Task(
+                cpu_time=float(p),
+                gpu_time=float(q),
+                name=f"{prefix}{i}",
+                priority=float(priorities[i]) if priorities is not None else 0.0,
+            )
+            for i, (p, q) in enumerate(zip(cpu_times, gpu_times))
+        ]
+        return cls(tasks)
+
+    @classmethod
+    def uniform_random(
+        cls,
+        n_tasks: int,
+        rng: np.random.Generator,
+        *,
+        cpu_range: tuple[float, float] = (1.0, 100.0),
+        gpu_range: tuple[float, float] = (1.0, 100.0),
+    ) -> "Instance":
+        """Sample an instance with independent uniform ``p`` and ``q``."""
+        p = rng.uniform(*cpu_range, size=n_tasks)
+        q = rng.uniform(*gpu_range, size=n_tasks)
+        return cls.from_times(p, q)
+
+    # -- container protocol --------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __iter__(self) -> Iterator[Task]:
+        return iter(self._tasks)
+
+    def __getitem__(self, index: int) -> Task:
+        return self._tasks[index]
+
+    def __contains__(self, task: object) -> bool:
+        return task in self._tasks
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Instance):
+            return NotImplemented
+        return self._tasks == other._tasks
+
+    def __hash__(self) -> int:
+        return hash(self._tasks)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Instance({len(self._tasks)} tasks)"
+
+    @property
+    def tasks(self) -> tuple[Task, ...]:
+        """The tasks of this instance, in construction order."""
+        return self._tasks
+
+    # -- aggregates ----------------------------------------------------------
+
+    def cpu_times(self) -> np.ndarray:
+        """Vector of ``p_i`` in task order."""
+        return np.array([t.cpu_time for t in self._tasks], dtype=float)
+
+    def gpu_times(self) -> np.ndarray:
+        """Vector of ``q_i`` in task order."""
+        return np.array([t.gpu_time for t in self._tasks], dtype=float)
+
+    def accelerations(self) -> np.ndarray:
+        """Vector of acceleration factors ``rho_i`` in task order."""
+        return self.cpu_times() / self.gpu_times()
+
+    def total_cpu_work(self) -> float:
+        """Total work if every task ran on a CPU: ``sum_i p_i``."""
+        return float(sum(t.cpu_time for t in self._tasks))
+
+    def total_gpu_work(self) -> float:
+        """Total work if every task ran on a GPU: ``sum_i q_i``."""
+        return float(sum(t.gpu_time for t in self._tasks))
+
+    def sorted_by_acceleration(self, *, descending: bool = True) -> list[Task]:
+        """Tasks sorted by acceleration factor.
+
+        Ties are broken the HeteroPrio way (Section 2.2): among equal
+        acceleration factors, tasks with acceleration factor ``>= 1`` are
+        ordered by *decreasing* priority (the GPU end serves urgent tasks
+        first) and tasks with factor ``< 1`` by *increasing* priority (so
+        that the CPU end, which pops from the back, also serves urgent
+        tasks first).
+        """
+
+        def key(t: Task) -> tuple[float, float]:
+            if t.acceleration >= 1.0:
+                return (t.acceleration, t.priority)
+            return (t.acceleration, -t.priority)
+
+        return sorted(self._tasks, key=key, reverse=descending)
+
+    def min_time_lower_bound(self) -> float:
+        """``max_i min(p_i, q_i)`` — every task must run somewhere."""
+        if not self._tasks:
+            return 0.0
+        return max(t.min_time() for t in self._tasks)
+
+    def restrict(self, tasks: Iterable[Task]) -> "Instance":
+        """A new instance containing only *tasks* (kept in this order)."""
+        return Instance(tasks)

@@ -1,0 +1,31 @@
+"""Task-graph substrate: DAG structure, priorities and workload generators.
+
+This package plays the role of Chameleon in the paper's experiments: it
+produces the kernel-level task graphs of tiled dense linear algebra
+factorizations (Cholesky, QR, LU), using a StarPU-style superscalar
+dependency-inference engine (:mod:`repro.dag.dataflow`) so that the
+dependency structure is derived from declared data accesses exactly the
+way the real runtime derives it.
+"""
+
+from repro.dag.graph import TaskGraph
+from repro.dag.dataflow import AccessMode, DataflowTracker
+from repro.dag.priorities import assign_priorities, bottom_levels, critical_path_length
+from repro.dag.cholesky import cholesky_graph
+from repro.dag.qr import qr_graph
+from repro.dag.lu import lu_graph
+from repro.dag.random_graphs import layered_random_graph, random_chain_graph
+
+__all__ = [
+    "TaskGraph",
+    "AccessMode",
+    "DataflowTracker",
+    "assign_priorities",
+    "bottom_levels",
+    "critical_path_length",
+    "cholesky_graph",
+    "qr_graph",
+    "lu_graph",
+    "layered_random_graph",
+    "random_chain_graph",
+]

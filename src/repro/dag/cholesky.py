@@ -1,0 +1,83 @@
+"""Tiled Cholesky factorization task graph (right-looking variant).
+
+For an ``N x N`` tile matrix the algorithm submits, for each step ``k``::
+
+    POTRF(k)            : RW A[k][k]
+    TRSM(i, k)  (i > k) : R  A[k][k], RW A[i][k]
+    SYRK(i, k)  (i > k) : R  A[i][k], RW A[i][i]
+    GEMM(i, j, k) (i > j > k) : R A[i][k], R A[j][k], RW A[i][j]
+
+Dependencies are inferred by the superscalar tracker from these accesses,
+mirroring Chameleon's submission to StarPU.  Task counts: ``N`` POTRF,
+``N(N-1)/2`` TRSM, ``N(N-1)/2`` SYRK and ``N(N-1)(N-2)/6`` GEMM.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.task import Task
+from repro.dag.dataflow import AccessMode, DataflowTracker
+from repro.dag.graph import TaskGraph
+from repro.timing.model import TimingModel
+
+__all__ = ["cholesky_graph", "cholesky_task_count", "TILE_BYTES"]
+
+#: Size of one 960x960 double-precision tile (the paper's tile size).
+TILE_BYTES = 960 * 960 * 8
+
+
+def cholesky_task_count(n_tiles: int) -> int:
+    """Number of kernels in a tiled Cholesky with ``n_tiles`` tiles."""
+    n = n_tiles
+    return n + n * (n - 1) + n * (n - 1) * (n - 2) // 6
+
+
+def cholesky_graph(
+    n_tiles: int,
+    timing: TimingModel | None = None,
+) -> TaskGraph:
+    """Build the task graph of a tiled Cholesky factorization.
+
+    Parameters
+    ----------
+    n_tiles:
+        Number of tile rows/columns ``N`` (the paper sweeps 4..64).
+    timing:
+        Timing model supplying kernel durations; defaults to the
+        calibrated deterministic Cholesky table.
+    """
+    if n_tiles < 1:
+        raise ValueError("n_tiles must be >= 1")
+    if timing is None:
+        timing = TimingModel.for_factorization("cholesky")
+
+    tracker = DataflowTracker(
+        name=f"cholesky-{n_tiles}", default_handle_bytes=TILE_BYTES
+    )
+    read, write = AccessMode.READ, AccessMode.READ_WRITE
+
+    def kernel(kind: str, label: str) -> Task:
+        p, q = timing.sample(kind)
+        return Task(cpu_time=p, gpu_time=q, name=label, kind=kind)
+
+    for k in range(n_tiles):
+        tracker.submit(kernel("POTRF", f"POTRF({k})"), [((k, k), write)])
+        for i in range(k + 1, n_tiles):
+            tracker.submit(
+                kernel("TRSM", f"TRSM({i},{k})"),
+                [((k, k), read), ((i, k), write)],
+            )
+        for i in range(k + 1, n_tiles):
+            tracker.submit(
+                kernel("SYRK", f"SYRK({i},{k})"),
+                [((i, k), read), ((i, i), write)],
+            )
+            for j in range(k + 1, i):
+                tracker.submit(
+                    kernel("GEMM", f"GEMM({i},{j},{k})"),
+                    [((i, k), read), ((j, k), read), ((i, j), write)],
+                )
+    graph = tracker.graph
+    assert len(graph) == cholesky_task_count(n_tiles)
+    return graph

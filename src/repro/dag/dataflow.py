@@ -1,0 +1,112 @@
+"""StarPU-style superscalar dependency inference.
+
+Task-based runtime systems (StarPU, StarSs, QUARK, PaRSEC, ...) do not ask
+the programmer for explicit edges: tasks declare *data accesses* (which
+tile they read or write) and the runtime derives the DAG from the program
+order, exactly like an out-of-order processor tracks register hazards:
+
+* **RAW** (read after write): a reader depends on the last writer;
+* **WAR** (write after read): a writer depends on every reader since the
+  last write;
+* **WAW** (write after write): a writer depends on the previous writer
+  (implied by WAR+RAW bookkeeping below).
+
+The linear-algebra generators submit kernels in program order through a
+:class:`DataflowTracker`; the resulting :class:`~repro.dag.graph.TaskGraph`
+has exactly the dependency structure Chameleon submits to StarPU.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable
+
+from repro.core.task import Task
+from repro.dag.graph import TaskGraph
+
+__all__ = ["AccessMode", "Access", "DataflowTracker"]
+
+
+class AccessMode(enum.Enum):
+    """How a kernel touches one data handle."""
+
+    READ = "R"
+    WRITE = "W"
+    READ_WRITE = "RW"
+
+    @property
+    def reads(self) -> bool:
+        return self in (AccessMode.READ, AccessMode.READ_WRITE)
+
+    @property
+    def writes(self) -> bool:
+        return self in (AccessMode.WRITE, AccessMode.READ_WRITE)
+
+
+@dataclass(frozen=True)
+class Access:
+    """One (handle, mode) pair in a kernel's access list."""
+
+    handle: Hashable
+    mode: AccessMode
+
+
+@dataclass
+class _HandleState:
+    """Hazard-tracking state of one data handle."""
+
+    last_writer: Task | None = None
+    readers_since_write: list[Task] = field(default_factory=list)
+
+
+class DataflowTracker:
+    """Builds a :class:`TaskGraph` from kernels submitted in program order.
+
+    Example
+    -------
+    >>> tracker = DataflowTracker("toy")
+    >>> a = tracker.submit(Task(1.0, 1.0, name="writeA"), [("A", AccessMode.WRITE)])
+    >>> b = tracker.submit(Task(1.0, 1.0, name="readA"), [("A", AccessMode.READ)])
+    >>> [(p.name, s.name) for p, s in tracker.graph.edges()]
+    [('writeA', 'readA')]
+    """
+
+    def __init__(self, name: str = "dataflow", *, default_handle_bytes: int = 0):
+        self.graph = TaskGraph(name=name)
+        self._state: dict[Hashable, _HandleState] = {}
+        self.default_handle_bytes = default_handle_bytes
+
+    def set_handle_bytes(self, handle: Hashable, size: int) -> None:
+        """Declare the size of one data handle (for transfer models)."""
+        self.graph.handle_bytes[handle] = int(size)
+
+    def submit(
+        self,
+        task: Task,
+        accesses: Iterable[Access | tuple[Hashable, AccessMode]],
+    ) -> Task:
+        """Register *task* with its data accesses; infer and add edges."""
+        self.graph.add_task(task)
+        recorded: list[Access] = []
+        for access in accesses:
+            if isinstance(access, tuple):
+                access = Access(*access)
+            recorded.append(access)
+            if access.handle not in self.graph.handle_bytes:
+                self.graph.handle_bytes[access.handle] = self.default_handle_bytes
+            state = self._state.setdefault(access.handle, _HandleState())
+            if access.mode.reads and state.last_writer is not None:
+                self.graph.add_edge(state.last_writer, task)  # RAW
+            if access.mode.writes:
+                for reader in state.readers_since_write:
+                    if reader is not task:
+                        self.graph.add_edge(reader, task)  # WAR
+                if state.last_writer is not None and not access.mode.reads:
+                    self.graph.add_edge(state.last_writer, task)  # WAW
+                state.last_writer = task
+                state.readers_since_write = []
+            if access.mode.reads and not access.mode.writes:
+                state.readers_since_write.append(task)
+        self.graph.accesses[task] = tuple(recorded)
+        return task

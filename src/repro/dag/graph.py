@@ -1,0 +1,180 @@
+"""Directed acyclic task graphs.
+
+A :class:`TaskGraph` stores :class:`~repro.core.task.Task` nodes and
+precedence edges.  It offers the traversals the schedulers and bounds
+need: topological order, predecessor/successor access, source/sink sets,
+and conversion to an :class:`~repro.core.task.Instance` (dropping the
+edges, as done by the paper's independent-task experiments which treat
+the measured kernels of a factorization as an independent set).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Iterable, Iterator
+
+from repro.core.task import Instance, Task
+
+__all__ = ["TaskGraph", "CycleError"]
+
+
+class CycleError(ValueError):
+    """Raised when a graph operation requires acyclicity and finds none."""
+
+
+class TaskGraph:
+    """A DAG of tasks with unrelated CPU/GPU processing times."""
+
+    def __init__(self, name: str = "graph"):
+        self.name = name
+        self._tasks: list[Task] = []
+        self._succ: dict[Task, list[Task]] = {}
+        self._pred: dict[Task, list[Task]] = {}
+        #: Data accesses per task (populated by the dataflow tracker);
+        #: empty for graphs built from explicit edges.  Used by the
+        #: communication-aware runtime (:mod:`repro.comm`).
+        self.accesses: dict[Task, tuple] = {}
+        #: Size in bytes of each data handle (for transfer-time models).
+        self.handle_bytes: dict = {}
+
+    # -- construction -----------------------------------------------------------
+
+    def add_task(self, task: Task) -> Task:
+        """Insert a node (no-op if already present)."""
+        if task not in self._succ:
+            self._tasks.append(task)
+            self._succ[task] = []
+            self._pred[task] = []
+        return task
+
+    def add_edge(self, pred: Task, succ: Task) -> None:
+        """Insert a precedence constraint ``pred -> succ``.
+
+        Both endpoints are added if missing; duplicate edges are ignored.
+        """
+        if pred is succ:
+            raise CycleError(f"self-dependency on {pred.name}")
+        self.add_task(pred)
+        self.add_task(succ)
+        if succ not in self._succ[pred]:
+            self._succ[pred].append(succ)
+            self._pred[succ].append(pred)
+
+    # -- structure ---------------------------------------------------------------
+
+    @property
+    def tasks(self) -> list[Task]:
+        """All nodes, in insertion order."""
+        return list(self._tasks)
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __iter__(self) -> Iterator[Task]:
+        return iter(self._tasks)
+
+    def __contains__(self, task: object) -> bool:
+        return task in self._succ
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(s) for s in self._succ.values())
+
+    def edges(self) -> Iterator[tuple[Task, Task]]:
+        """Iterate over all precedence edges."""
+        for task, succs in self._succ.items():
+            for succ in succs:
+                yield task, succ
+
+    def successors(self, task: Task) -> list[Task]:
+        return list(self._succ[task])
+
+    def predecessors(self, task: Task) -> list[Task]:
+        return list(self._pred[task])
+
+    def in_degree(self, task: Task) -> int:
+        return len(self._pred[task])
+
+    def out_degree(self, task: Task) -> int:
+        return len(self._succ[task])
+
+    def sources(self) -> list[Task]:
+        """Tasks with no predecessors (initially ready)."""
+        return [t for t in self._tasks if not self._pred[t]]
+
+    def sinks(self) -> list[Task]:
+        """Tasks with no successors."""
+        return [t for t in self._tasks if not self._succ[t]]
+
+    # -- traversals ----------------------------------------------------------------
+
+    def topological_order(self) -> list[Task]:
+        """Kahn topological sort; raises :class:`CycleError` on cycles."""
+        indeg = {t: len(self._pred[t]) for t in self._tasks}
+        ready = deque(t for t in self._tasks if indeg[t] == 0)
+        order: list[Task] = []
+        while ready:
+            task = ready.popleft()
+            order.append(task)
+            for succ in self._succ[task]:
+                indeg[succ] -= 1
+                if indeg[succ] == 0:
+                    ready.append(succ)
+        if len(order) != len(self._tasks):
+            raise CycleError(f"graph {self.name!r} contains a cycle")
+        return order
+
+    def validate(self) -> None:
+        """Check acyclicity and pred/succ symmetry."""
+        self.topological_order()
+        for task, succs in self._succ.items():
+            for succ in succs:
+                if task not in self._pred[succ]:
+                    raise ValueError(f"asymmetric edge {task.name} -> {succ.name}")
+
+    def longest_path(self, weight: Callable[[Task], float]) -> float:
+        """Length of the longest path, nodes weighted by ``weight``."""
+        best = 0.0
+        dist: dict[Task, float] = {}
+        for task in self.topological_order():
+            here = max((dist[p] for p in self._pred[task]), default=0.0) + weight(task)
+            dist[task] = here
+            best = max(best, here)
+        return best
+
+    # -- conversions ---------------------------------------------------------------
+
+    def to_instance(self) -> Instance:
+        """Drop the edges: the node set as an independent-task instance."""
+        return Instance(self._tasks)
+
+    def to_networkx(self):
+        """Export as a :mod:`networkx` ``DiGraph`` (nodes are Task objects)."""
+        import networkx as nx
+
+        g = nx.DiGraph(name=self.name)
+        g.add_nodes_from(self._tasks)
+        g.add_edges_from(self.edges())
+        return g
+
+    def transitive_reduction(self) -> "TaskGraph":
+        """A new graph with redundant (transitively implied) edges removed."""
+        import networkx as nx
+
+        reduced = nx.transitive_reduction(self.to_networkx())
+        out = TaskGraph(name=f"{self.name}-reduced")
+        for task in self._tasks:
+            out.add_task(task)
+        for pred, succ in reduced.edges():
+            out.add_edge(pred, succ)
+        return out
+
+    def kind_histogram(self) -> dict[str, int]:
+        """Number of tasks per kernel kind (e.g. POTRF/TRSM/SYRK/GEMM)."""
+        hist: dict[str, int] = {}
+        for task in self._tasks:
+            hist[task.kind] = hist.get(task.kind, 0) + 1
+        return hist
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TaskGraph({self.name!r}, {len(self)} tasks, {self.num_edges} edges)"

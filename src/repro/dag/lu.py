@@ -1,0 +1,70 @@
+"""Tiled LU factorization (without pivoting) task graph.
+
+For an ``N x N`` tile matrix, step ``k`` submits::
+
+    GETRF(k)               : RW A[k][k]
+    TRSM_row(k, j) (j > k) : R  A[k][k], RW A[k][j]     (L solve, row panel)
+    TRSM_col(i, k) (i > k) : R  A[k][k], RW A[i][k]     (U solve, column panel)
+    GEMM(i, j, k) (i, j > k): R A[i][k], R A[k][j], RW A[i][j]
+
+Both TRSM flavours share the ``TRSM`` kernel timing.  Task counts:
+``N`` GETRF, ``N(N-1)`` TRSM and ``sum_k (N-1-k)^2`` GEMM.
+"""
+
+from __future__ import annotations
+
+from repro.core.task import Task
+from repro.dag.cholesky import TILE_BYTES
+from repro.dag.dataflow import AccessMode, DataflowTracker
+from repro.dag.graph import TaskGraph
+from repro.timing.model import TimingModel
+
+__all__ = ["lu_graph", "lu_task_count"]
+
+
+def lu_task_count(n_tiles: int) -> int:
+    """Number of kernels in a tiled LU (no pivoting) with ``n_tiles`` tiles."""
+    n = n_tiles
+    gemm = sum((n - 1 - k) ** 2 for k in range(n))
+    return n + n * (n - 1) + gemm
+
+
+def lu_graph(
+    n_tiles: int,
+    timing: TimingModel | None = None,
+) -> TaskGraph:
+    """Build the task graph of a tiled LU factorization without pivoting."""
+    if n_tiles < 1:
+        raise ValueError("n_tiles must be >= 1")
+    if timing is None:
+        timing = TimingModel.for_factorization("lu")
+
+    tracker = DataflowTracker(
+        name=f"lu-{n_tiles}", default_handle_bytes=TILE_BYTES
+    )
+    read, rw = AccessMode.READ, AccessMode.READ_WRITE
+
+    def kernel(kind: str, label: str) -> Task:
+        p, q = timing.sample(kind)
+        return Task(cpu_time=p, gpu_time=q, name=label, kind=kind)
+
+    for k in range(n_tiles):
+        tracker.submit(kernel("GETRF", f"GETRF({k})"), [((k, k), rw)])
+        for j in range(k + 1, n_tiles):
+            tracker.submit(
+                kernel("TRSM", f"TRSM_row({k},{j})"),
+                [((k, k), read), ((k, j), rw)],
+            )
+        for i in range(k + 1, n_tiles):
+            tracker.submit(
+                kernel("TRSM", f"TRSM_col({i},{k})"),
+                [((k, k), read), ((i, k), rw)],
+            )
+            for j in range(k + 1, n_tiles):
+                tracker.submit(
+                    kernel("GEMM", f"GEMM({i},{j},{k})"),
+                    [((i, k), read), ((k, j), read), ((i, j), rw)],
+                )
+    graph = tracker.graph
+    assert len(graph) == lu_task_count(n_tiles)
+    return graph

@@ -1,0 +1,88 @@
+"""Bottom-level priorities for task graphs (Section 6.2 ranking schemes).
+
+The *bottom level* of a task is the maximum weight of a path from the
+task to an exit node, where nodes are weighted by an estimate of their
+execution time.  The paper uses two heterogeneous weighting schemes:
+
+* ``avg`` — each node weighs its average execution time over all
+  resources (the standard HEFT rank): ``(m p + n q) / (m + n)``;
+* ``min`` — the optimistic scheme: ``min(p, q)``.
+
+:func:`assign_priorities` stores the computed bottom level in each task's
+``priority`` attribute, where both HeteroPrio (tie-breaking and
+spoliation-candidate selection) and HEFT/DualHP (processing order) read
+it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Literal
+
+from repro.core.platform import Platform
+from repro.core.task import Task
+from repro.dag.graph import TaskGraph
+
+__all__ = ["RankScheme", "node_weight", "bottom_levels", "assign_priorities",
+           "critical_path_length"]
+
+RankScheme = Literal["avg", "min", "fifo"]
+
+
+def node_weight(task: Task, platform: Platform, scheme: RankScheme) -> float:
+    """Scalar execution-time estimate of one task under a ranking scheme."""
+    if scheme == "avg":
+        m, n = platform.num_cpus, platform.num_gpus
+        return (m * task.cpu_time + n * task.gpu_time) / (m + n)
+    if scheme == "min":
+        return task.min_time()
+    raise ValueError(f"scheme {scheme!r} does not define node weights")
+
+
+def bottom_levels(
+    graph: TaskGraph,
+    weight: Callable[[Task], float],
+) -> dict[Task, float]:
+    """Bottom level of every task under an arbitrary node-weight function."""
+    levels: dict[Task, float] = {}
+    for task in reversed(graph.topological_order()):
+        below = max((levels[s] for s in graph.successors(task)), default=0.0)
+        levels[task] = weight(task) + below
+    return levels
+
+
+def assign_priorities(
+    graph: TaskGraph,
+    platform: Platform,
+    scheme: RankScheme = "avg",
+) -> dict[Task, float]:
+    """Compute bottom levels and store them as task priorities.
+
+    With ``scheme="fifo"`` all priorities are reset to zero (tasks are
+    then processed in ready order, the DualHP-fifo variant of Section 6.2).
+    Returns the computed levels.
+    """
+    if scheme == "fifo":
+        levels = {task: 0.0 for task in graph}
+    else:
+        levels = bottom_levels(graph, lambda t: node_weight(t, platform, scheme))
+    for task, level in levels.items():
+        task.priority = level
+    return levels
+
+
+def critical_path_length(graph: TaskGraph, *, weight: str = "min") -> float:
+    """Longest path with per-node ``min(p, q)`` (or ``"cpu"``/``"gpu"``) weights.
+
+    With the default ``min`` weighting this is a valid lower bound on any
+    schedule's makespan, used by :func:`repro.bounds.dag_lower_bound`.
+    """
+    weights: dict[str, Callable[[Task], float]] = {
+        "min": Task.min_time,
+        "cpu": lambda t: t.cpu_time,
+        "gpu": lambda t: t.gpu_time,
+    }
+    try:
+        fn = weights[weight]
+    except KeyError:
+        raise ValueError(f"unknown weight {weight!r}; expected min/cpu/gpu") from None
+    return graph.longest_path(fn)

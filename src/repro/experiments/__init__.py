@@ -1,0 +1,63 @@
+"""Experiment harness: one entry point per table/figure of the paper.
+
+Every module exposes a ``run(...) -> ExperimentResult`` function whose
+result renders the same rows/series as the corresponding paper artifact
+(see the per-experiment index in DESIGN.md).  The CLI
+(``python -m repro``) and the benchmark suite are thin wrappers around
+these functions.
+"""
+
+from repro.experiments.report import ExperimentResult, Series, format_table
+from repro.experiments import (
+    table1,
+    table2,
+    fig1,
+    fig23,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    comm_sensitivity,
+    robustness,
+    scorecard,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "Series",
+    "format_table",
+    "table1",
+    "table2",
+    "fig1",
+    "fig23",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "comm_sensitivity",
+    "robustness",
+    "scorecard",
+    "ALL_EXPERIMENTS",
+]
+
+#: Experiment registry, in paper order (name -> module with ``run()``);
+#: ``comm`` is an extension experiment beyond the paper's artifacts.
+ALL_EXPERIMENTS = {
+    "table1": table1,
+    "table2": table2,
+    "fig1": fig1,
+    "fig23": fig23,
+    "fig4": fig4,
+    "fig5": fig5,
+    "fig6": fig6,
+    "fig7": fig7,
+    "fig8": fig8,
+    "fig9": fig9,
+    "comm": comm_sensitivity,
+    "robustness": robustness,
+    "scorecard": scorecard,
+}

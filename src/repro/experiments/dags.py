@@ -1,0 +1,57 @@
+"""Shared DAG-simulation sweep backing Figures 7, 8 and 9.
+
+Each (kernel, N, algorithm) run produces a full
+:class:`~repro.simulator.metrics.RunMetrics`; Figures 7-9 are different
+projections of the same runs, so the sweep is computed once and cached
+per process.
+"""
+
+from __future__ import annotations
+
+from repro.bounds.dag_lp import dag_lower_bound
+from repro.core.platform import Platform
+from repro.dag.priorities import assign_priorities
+from repro.experiments.workloads import DEFAULT_N_VALUES, PAPER_PLATFORM, build_graph
+from repro.schedulers.online import PAPER_ALGORITHMS, make_policy
+from repro.simulator import compute_metrics, simulate
+from repro.simulator.metrics import RunMetrics
+
+__all__ = ["dag_sweep", "clear_cache"]
+
+_CACHE: dict[tuple, dict[tuple[str, int], RunMetrics]] = {}
+
+
+def clear_cache() -> None:
+    """Drop memoised sweep results (mainly for tests)."""
+    _CACHE.clear()
+
+
+def dag_sweep(
+    kernel: str,
+    *,
+    n_values: tuple[int, ...] = DEFAULT_N_VALUES,
+    algorithms: tuple[str, ...] = PAPER_ALGORITHMS,
+    platform: Platform = PAPER_PLATFORM,
+    bound_method: str = "auto",
+) -> dict[tuple[str, int], RunMetrics]:
+    """Simulate every (algorithm, N) pair for one kernel family.
+
+    Returns a mapping ``(algorithm, N) -> RunMetrics``.  Results are
+    cached per argument combination for the lifetime of the process.
+    """
+    key = (kernel, n_values, algorithms, platform, bound_method)
+    if key in _CACHE:
+        return _CACHE[key]
+    results: dict[tuple[str, int], RunMetrics] = {}
+    for n_tiles in n_values:
+        graph = build_graph(kernel, n_tiles)
+        lower = dag_lower_bound(graph, platform, method=bound_method)
+        for name in algorithms:
+            scheme = name.split("-", 1)[1]
+            assign_priorities(graph, platform, scheme)
+            schedule = simulate(graph, platform, make_policy(name))
+            results[(name, n_tiles)] = compute_metrics(
+                schedule, platform, lower_bound=lower
+            )
+    _CACHE[key] = results
+    return results

@@ -1,0 +1,56 @@
+"""Figure 4 — optimal vs worst list schedule of task set ``T2``.
+
+For ``n = 6k`` homogeneous processors, the task set ``T2`` (one task of
+length ``6k`` plus six tasks of each length ``2k + i``) admits a perfect
+packing of makespan ``n``, while an adversarial list-scheduling order
+reaches ``2n - 1`` — the classical Graham gap, realised with a smallest
+task of length ``C_opt / 3`` (the property Theorem 14 needs).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.report import ExperimentResult, Series
+from repro.theory.worst_cases import (
+    figure4_optimal_assignment,
+    figure4_t2_tasks,
+    figure4_worst_order,
+    list_schedule_homogeneous,
+)
+
+__all__ = ["run"]
+
+
+def run(*, k_values: tuple[int, ...] = (1, 2, 4, 8, 16)) -> ExperimentResult:
+    """Measure the optimal and worst-list makespans of ``T2(k)``."""
+    optimal: list[float] = []
+    worst: list[float] = []
+    gap: list[float] = []
+    for k in k_values:
+        n = 6 * k
+        machines = figure4_optimal_assignment(k)
+        opt = max(sum(m) for m in machines)
+        # Sanity: the packing uses exactly the T2 multiset of durations.
+        flat = sorted(d for machine in machines for d in machine)
+        assert flat == sorted(figure4_t2_tasks(k))
+        lst = list_schedule_homogeneous(figure4_worst_order(k), n)
+        optimal.append(opt)
+        worst.append(lst)
+        gap.append(lst / opt)
+    result = ExperimentResult(
+        experiment="fig4",
+        title="Optimal vs worst list schedule of T2 on n = 6k processors",
+        x_label="k (n = 6k)",
+        x_values=list(k_values),
+        series=[
+            Series("optimal makespan (= n)", optimal),
+            Series("worst list makespan (= 2n - 1)", worst),
+            Series("ratio (-> 2)", gap),
+        ],
+        data={"k_values": list(k_values), "optimal": optimal, "worst": worst},
+    )
+    result.notes.append(
+        "smallest T2 task = 2k = C_opt/3: large enough to carry a large "
+        "CPU time in the Theorem 14 instance without an extreme "
+        "acceleration factor."
+    )
+    return result

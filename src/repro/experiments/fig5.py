@@ -1,0 +1,56 @@
+"""Figure 5 — optimal vs HeteroPrio schedules on the Theorem 14 instance.
+
+For each ``k`` (``n = 6k`` GPUs, ``m = n^2`` CPUs) the experiment runs
+HeteroPrio on the tight instance, checks the predicted adversarial
+makespan ``x + n/r + 2n - 1`` is reached exactly, and reports the ratio
+to the certified optimal, which tends to ``2 + 2/sqrt(3) ~ 3.15``.
+"""
+
+from __future__ import annotations
+
+from repro.core.heteroprio import heteroprio_schedule
+from repro.experiments.report import ExperimentResult, Series
+from repro.theory.constants import RATIO_GENERAL_WORST_EXAMPLE
+from repro.theory.worst_cases import theorem14_instance, theorem14_r
+
+__all__ = ["run"]
+
+
+def run(*, k_values: tuple[int, ...] = (1, 2, 3, 4)) -> ExperimentResult:
+    """Run HeteroPrio on Theorem 14 instances of growing size."""
+    hp_makespans: list[float] = []
+    predicted: list[float] = []
+    optimal_upper: list[float] = []
+    ratios: list[float] = []
+    spoliations: list[float] = []
+    for k in k_values:
+        worst = theorem14_instance(k)
+        result = heteroprio_schedule(worst.instance, worst.platform, compute_ns=False)
+        hp_makespans.append(result.makespan)
+        predicted.append(worst.heteroprio_expected)
+        optimal_upper.append(worst.optimal_upper)
+        ratios.append(result.makespan / worst.optimal_upper)
+        spoliations.append(len(result.spoliations))
+
+    result = ExperimentResult(
+        experiment="fig5",
+        title="HeteroPrio on the Theorem 14 instance (n = 6k GPUs, m = n^2 CPUs)",
+        x_label="k",
+        x_values=list(k_values),
+        series=[
+            Series("HeteroPrio makespan", hp_makespans),
+            Series("predicted x + n/r + 2n - 1", predicted),
+            Series("certified optimal (upper bd)", optimal_upper),
+            Series("ratio (-> 3.155)", ratios),
+            Series("spoliations", spoliations),
+        ],
+        data={
+            "limit": RATIO_GENERAL_WORST_EXAMPLE,
+            "r_values": [theorem14_r(6 * k) for k in k_values],
+        },
+    )
+    result.notes.append(
+        f"asymptotic ratio: 2 + 2/sqrt(3) = {RATIO_GENERAL_WORST_EXAMPLE:.4f}; "
+        "convergence in k is slow (x/n -> 1, r -> 3 + 2 sqrt(3))."
+    )
+    return result

@@ -1,0 +1,65 @@
+"""Figure 6 — independent tasks: ratio to the area bound.
+
+The kernels of each factorization are treated as an *independent* task
+set (edges dropped), scheduled on the (20 CPU, 4 GPU) platform by
+HeteroPrio, DualHP and HEFT, and normalised by the area bound.
+
+Expected shape (paper Section 6.1): HeteroPrio and DualHP converge to 1
+for large N; HeteroPrio beats DualHP for small N (below ~20) because
+DualHP balances class *loads* while individual CPUs stay unbalanced;
+HEFT stays visibly above both because it ignores acceleration factors.
+"""
+
+from __future__ import annotations
+
+from repro.bounds.area import area_bound
+from repro.core.heteroprio import heteroprio_schedule
+from repro.core.platform import Platform
+from repro.experiments.report import ExperimentResult, Series
+from repro.experiments.workloads import DEFAULT_N_VALUES, PAPER_PLATFORM, build_graph
+from repro.schedulers.dualhp import dualhp_schedule
+from repro.schedulers.heft import heft_schedule
+
+__all__ = ["run", "ALGORITHMS"]
+
+ALGORITHMS = ("heteroprio", "dualhp", "heft")
+
+
+def run(
+    kernel: str = "cholesky",
+    *,
+    n_values: tuple[int, ...] = DEFAULT_N_VALUES,
+    platform: Platform = PAPER_PLATFORM,
+) -> ExperimentResult:
+    """Reproduce one panel of Figure 6 (one kernel family)."""
+    ratios: dict[str, list[float]] = {name: [] for name in ALGORITHMS}
+    for n_tiles in n_values:
+        instance = build_graph(kernel, n_tiles).to_instance()
+        bound = area_bound(instance, platform).value
+        ratios["heteroprio"].append(
+            heteroprio_schedule(instance, platform, compute_ns=False).makespan / bound
+        )
+        ratios["dualhp"].append(dualhp_schedule(instance, platform).makespan / bound)
+        ratios["heft"].append(heft_schedule(instance, platform).makespan / bound)
+
+    result = ExperimentResult(
+        experiment="fig6",
+        title=f"Independent tasks ({kernel}): makespan / area bound",
+        x_label="N (tiles)",
+        x_values=list(n_values),
+        series=[Series(name, ratios[name]) for name in ALGORITHMS],
+        data={"kernel": kernel, "ratios": ratios},
+    )
+    return result
+
+
+def run_all(
+    *,
+    n_values: tuple[int, ...] = DEFAULT_N_VALUES,
+    platform: Platform = PAPER_PLATFORM,
+) -> list[ExperimentResult]:
+    """All three panels (Cholesky, QR, LU) of Figure 6."""
+    return [
+        run(kernel, n_values=n_values, platform=platform)
+        for kernel in ("cholesky", "qr", "lu")
+    ]

@@ -1,0 +1,73 @@
+"""Plain-text rendering of experiment outputs (tables and plot series).
+
+The paper's figures are line plots; without a plotting dependency we
+render each figure as a table whose columns are the x-axis values and
+whose rows are the plotted series — enough to compare shapes against
+the paper (who wins, by what factor, where curves cross).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+__all__ = ["Series", "ExperimentResult", "format_table"]
+
+
+@dataclass
+class Series:
+    """One plotted line: a label plus y-values aligned with the x-axis."""
+
+    label: str
+    values: list[float]
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one experiment: header, axis, series, free-form notes."""
+
+    experiment: str
+    title: str
+    x_label: str = ""
+    x_values: list = field(default_factory=list)
+    series: list[Series] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+    #: Raw extra payload for programmatic consumers (benchmarks, tests).
+    data: dict = field(default_factory=dict)
+
+    def series_by_label(self, label: str) -> Series:
+        for s in self.series:
+            if s.label == label:
+                return s
+        raise KeyError(f"no series {label!r} in {self.experiment}")
+
+    def render(self) -> str:
+        lines = [f"== {self.experiment}: {self.title} =="]
+        if self.series:
+            header = [self.x_label or "x"] + [f"{x}" for x in self.x_values]
+            rows = [
+                [s.label] + [_fmt(v) for v in s.values] for s in self.series
+            ]
+            lines.append(format_table(header, rows))
+        lines.extend(self.notes)
+        return "\n".join(lines)
+
+
+def _fmt(value: float) -> str:
+    if value != value:  # NaN
+        return "-"
+    if abs(value) >= 1000 or (abs(value) < 1e-3 and value != 0):
+        return f"{value:.3g}"
+    return f"{value:.3f}"
+
+
+def format_table(header: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Monospace table with column alignment."""
+    columns = [list(col) for col in zip(header, *rows)]
+    widths = [max(len(cell) for cell in col) for col in columns]
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.rjust(w) for cell, w in zip(cells, widths))
+    sep = "-+-".join("-" * w for w in widths)
+    out = [line(header), sep]
+    out.extend(line(row) for row in rows)
+    return "\n".join(out)

@@ -1,0 +1,131 @@
+"""Reproduction scorecard: one command that checks every claimed shape.
+
+Runs reduced-size versions of all artifacts and evaluates the success
+criteria of DESIGN.md / EXPERIMENTS.md as PASS/FAIL checks.  This is the
+fastest way to convince yourself (or CI) that the reproduction holds on
+a new machine: ``python -m repro scorecard`` (~1 minute).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments import fig1, fig23, fig4, fig5, fig6, fig7, table1, table2
+from repro.experiments.report import ExperimentResult, Series
+from repro.theory.constants import PHI
+
+__all__ = ["run"]
+
+_FAST_N = (4, 8, 12, 16)
+
+
+@dataclass
+class _Check:
+    artifact: str
+    claim: str
+    passed: bool
+
+
+def _checks() -> list[_Check]:
+    checks: list[_Check] = []
+
+    def add(artifact: str, claim: str, passed: bool) -> None:
+        checks.append(_Check(artifact, claim, bool(passed)))
+
+    # Table 1.
+    r = table1.run()
+    paper = r.series_by_label("paper (GPU / 1 core)").values
+    model = r.series_by_label("model (GPU / 1 core)").values
+    add("table1", "acceleration factors match the paper exactly",
+        all(abs(a - b) < 1e-9 for a, b in zip(paper, model)))
+
+    # Table 2.
+    r = table2.run(m_cpus=32, granularity=32, k=2)
+    measured = r.series_by_label("measured on tight instance").values
+    proved = r.series_by_label("proved ratio").values
+    add("table2", "(1,1) tight instance reaches exactly phi",
+        abs(measured[0] - PHI) < 1e-6)
+    add("table2", "measured ratios never exceed the proved bounds",
+        all(m <= p + 1e-9 for m, p in zip(measured, proved)))
+
+    # Figure 1.
+    r = fig1.run()
+    ns, hp = r.series_by_label("makespan").values
+    add("fig1", "spoliation strictly shortens the example schedule", hp < ns)
+
+    # Figures 2-3.
+    r = fig23.run()
+    add("fig23", "all Theorem 7 proof inequalities hold numerically",
+        all("OK" in note for note in r.notes if note.startswith("check")))
+
+    # Figure 4.
+    r = fig4.run(k_values=(1, 4))
+    worst = r.series_by_label("worst list makespan (= 2n - 1)").values
+    add("fig4", "worst list schedule of T2 reaches 2n - 1",
+        worst == [11.0, 47.0])
+
+    # Figure 5.
+    r = fig5.run(k_values=(1, 2))
+    hp_vals = r.series_by_label("HeteroPrio makespan").values
+    predicted = r.series_by_label("predicted x + n/r + 2n - 1").values
+    add("fig5", "HeteroPrio replays the Theorem 14 trajectory exactly",
+        all(abs(a - b) < 1e-6 for a, b in zip(hp_vals, predicted)))
+
+    # Figure 6 (cholesky panel).
+    r = fig6.run("cholesky", n_values=_FAST_N)
+    hp_series = r.series_by_label("heteroprio").values
+    dual = r.series_by_label("dualhp").values
+    heft = r.series_by_label("heft").values
+    add("fig6", "HeteroPrio beats DualHP at the smallest N",
+        hp_series[0] <= dual[0] + 1e-9)
+    add("fig6", "HeteroPrio and DualHP converge to the area bound",
+        hp_series[-1] < 1.05 and dual[-1] < 1.05)
+    add("fig6", "HEFT trails at the largest N",
+        heft[-1] > max(hp_series[-1], dual[-1]))
+
+    # Figure 7 (cholesky panel; figures 8/9 share these runs).
+    r = fig7.run("cholesky", n_values=_FAST_N)
+    hp_best = [
+        min(r.series_by_label("heteroprio-min").values[i],
+            r.series_by_label("heteroprio-avg").values[i])
+        for i in range(len(_FAST_N))
+    ]
+    others_best = [
+        min(s.values[i] for s in r.series if not s.label.startswith("heteroprio"))
+        for i in range(len(_FAST_N))
+    ]
+    add("fig7", "best HeteroPrio ranking stays within 40% of the bound",
+        max(hp_best) < 1.40)
+    add("fig7", "HeteroPrio never trails the field by more than 5%",
+        all(h <= o + 0.05 for h, o in zip(hp_best, others_best)))
+    metrics = r.data["metrics"]
+    mid = _FAST_N[-1]
+    add("fig9", "DualHP parks CPUs more than HeteroPrio at mid N",
+        metrics[("dualhp-avg", mid)].cpu_normalized_idle
+        > metrics[("heteroprio-min", mid)].cpu_normalized_idle)
+    add("fig8", "every scheduler's GPU mix is more accelerated than its CPU mix",
+        all(
+            metrics[(name, mid)].gpu_equivalent_acceleration
+            > metrics[(name, mid)].cpu_equivalent_acceleration
+            for name in ("heteroprio-min", "heft-avg", "dualhp-avg")
+        ))
+    return checks
+
+
+def run() -> ExperimentResult:
+    """Evaluate all reproduction claims on reduced-size runs."""
+    checks = _checks()
+    passed = sum(c.passed for c in checks)
+    result = ExperimentResult(
+        experiment="scorecard",
+        title=f"Reproduction scorecard: {passed}/{len(checks)} checks pass",
+        x_label="check",
+        x_values=list(range(1, len(checks) + 1)),
+        series=[Series("pass", [1.0 if c.passed else 0.0 for c in checks])],
+        data={"passed": passed, "total": len(checks),
+              "failed": [c.claim for c in checks if not c.passed]},
+    )
+    for i, check in enumerate(checks, 1):
+        status = "PASS" if check.passed else "FAIL"
+        result.notes.append(f"[{status}] {i:2d}. {check.artifact}: {check.claim}")
+    return result

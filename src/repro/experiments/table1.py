@@ -1,0 +1,40 @@
+"""Table 1 — acceleration factors of the Cholesky kernels (tile 960).
+
+Paper values: DPOTRF 1.72, DTRSM 8.72, DSYRK 26.96, DGEMM 28.80.  Our
+timing model is calibrated to these exactly, so this experiment is a
+round-trip check of the calibration (and prints the absolute synthetic
+durations the calibration implies).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.report import ExperimentResult, Series
+from repro.timing.kernels import CHOLESKY_KERNELS
+
+__all__ = ["run", "PAPER_VALUES"]
+
+#: Table 1 of the paper (GPU / 1 core speed-ups, tile size 960).
+PAPER_VALUES = {"POTRF": 1.72, "TRSM": 8.72, "SYRK": 26.96, "GEMM": 28.80}
+
+
+def run() -> ExperimentResult:
+    """Reproduce Table 1 from the calibrated timing model."""
+    kinds = ["POTRF", "TRSM", "SYRK", "GEMM"]
+    measured = [CHOLESKY_KERNELS[k].acceleration for k in kinds]
+    paper = [PAPER_VALUES[k] for k in kinds]
+    result = ExperimentResult(
+        experiment="table1",
+        title="Acceleration factors for Cholesky kernels (tile size 960)",
+        x_label="kernel",
+        x_values=kinds,
+        series=[
+            Series("paper (GPU / 1 core)", paper),
+            Series("model (GPU / 1 core)", measured),
+            Series("model CPU time [s]", [CHOLESKY_KERNELS[k].cpu_time for k in kinds]),
+            Series("model GPU time [s]", [CHOLESKY_KERNELS[k].gpu_time for k in kinds]),
+        ],
+        data={"measured": dict(zip(kinds, measured)), "paper": PAPER_VALUES},
+    )
+    worst = max(abs(m - p) / p for m, p in zip(measured, paper))
+    result.notes.append(f"max relative deviation from the paper: {worst:.2e}")
+    return result

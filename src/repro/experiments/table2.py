@@ -1,0 +1,84 @@
+"""Table 2 — approximation ratios and worst-case examples.
+
+Three platform shapes, each with (a) the proved upper bound, (b) the
+paper's worst-case example value, and (c) the ratio our implementation
+*measures* by running HeteroPrio on the tight instances of Theorems 8,
+11 and 14 (against the certified optimal of the construction).  The
+measured values approach the worst-case column as the instance parameter
+grows.
+"""
+
+from __future__ import annotations
+
+from repro.core.heteroprio import heteroprio_schedule
+from repro.experiments.report import ExperimentResult, Series
+from repro.theory.constants import (
+    PHI,
+    RATIO_1CPU_1GPU,
+    RATIO_GENERAL,
+    RATIO_GENERAL_WORST_EXAMPLE,
+    RATIO_MCPU_1GPU,
+)
+from repro.theory.worst_cases import (
+    theorem8_instance,
+    theorem11_instance,
+    theorem14_instance,
+)
+
+__all__ = ["run"]
+
+
+def _measured_ratio(worst_case) -> float:
+    result = heteroprio_schedule(
+        worst_case.instance, worst_case.platform, compute_ns=False
+    )
+    return result.makespan / worst_case.optimal_upper
+
+
+def run(*, m_cpus: int = 64, granularity: int = 64, k: int = 4) -> ExperimentResult:
+    """Reproduce Table 2 with measured ratios on the tight instances.
+
+    Parameters
+    ----------
+    m_cpus, granularity:
+        Size of the Theorem 11 instance (ratio -> ``1 + phi`` as both grow).
+    k:
+        Size of the Theorem 14 instance (``n = 6k`` GPUs, ``m = n^2``
+        CPUs; ratio -> ``2 + 2/sqrt(3)`` as ``k`` grows).
+    """
+    wc8 = theorem8_instance()
+    wc11 = theorem11_instance(m=m_cpus, granularity=granularity)
+    wc14 = theorem14_instance(k=k)
+    measured = [_measured_ratio(wc8), _measured_ratio(wc11), _measured_ratio(wc14)]
+
+    shapes = ["(1,1)", "(m,1)", "(m,n)"]
+    result = ExperimentResult(
+        experiment="table2",
+        title="Approximation ratios and worst case examples",
+        x_label="(#CPUs,#GPUs)",
+        x_values=shapes,
+        series=[
+            Series("proved ratio", [RATIO_1CPU_1GPU, RATIO_MCPU_1GPU, RATIO_GENERAL]),
+            Series(
+                "worst-case example",
+                [RATIO_1CPU_1GPU, RATIO_MCPU_1GPU, RATIO_GENERAL_WORST_EXAMPLE],
+            ),
+            Series("measured on tight instance", measured),
+        ],
+        data={
+            "phi": PHI,
+            "theorem11_m": m_cpus,
+            "theorem14_k": k,
+            "measured": dict(zip(shapes, measured)),
+        },
+    )
+    result.notes.append(
+        f"Theorem 11 instance: m={m_cpus}, K={granularity} "
+        f"({len(wc11.instance)} tasks); Theorem 14 instance: k={k} "
+        f"({len(wc14.instance)} tasks, platform {wc14.platform})."
+    )
+    result.notes.append(
+        "Measured ratios increase towards the worst-case column as m, K "
+        "and k grow (the constructions are asymptotically tight)."
+    )
+    return result

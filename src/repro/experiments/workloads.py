@@ -1,0 +1,46 @@
+"""Shared workload definitions for the Section 6 experiments."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.platform import Platform
+from repro.dag.cholesky import cholesky_graph
+from repro.dag.graph import TaskGraph
+from repro.dag.lu import lu_graph
+from repro.dag.qr import qr_graph
+
+__all__ = [
+    "FACTORIZATIONS",
+    "PAPER_PLATFORM",
+    "DEFAULT_N_VALUES",
+    "FULL_N_VALUES",
+    "build_graph",
+]
+
+#: The three kernel families of Section 6 and their DAG generators.
+FACTORIZATIONS: dict[str, Callable[[int], TaskGraph]] = {
+    "cholesky": cholesky_graph,
+    "qr": qr_graph,
+    "lu": lu_graph,
+}
+
+#: The paper's evaluation platform: 20 CPU cores + 4 GPUs.
+PAPER_PLATFORM = Platform(num_cpus=20, num_gpus=4)
+
+#: Default tile-count sweep (fast); the paper uses 4..64.
+DEFAULT_N_VALUES: tuple[int, ...] = (4, 8, 12, 16, 20, 24, 28, 32)
+
+#: Full paper sweep (slow, mostly because of online DualHP reassignment).
+FULL_N_VALUES: tuple[int, ...] = (4, 8, 12, 16, 20, 24, 28, 32, 40, 48, 56, 64)
+
+
+def build_graph(kernel: str, n_tiles: int) -> TaskGraph:
+    """Build the task graph of one factorization kernel family."""
+    try:
+        generator = FACTORIZATIONS[kernel.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown kernel {kernel!r}; expected one of {sorted(FACTORIZATIONS)}"
+        ) from None
+    return generator(n_tiles)

@@ -1,0 +1,32 @@
+"""Scheduling algorithms: baselines for independent tasks and online DAG policies.
+
+Independent-task algorithms (Section 6.1 competitors):
+
+* :func:`repro.schedulers.heft.heft_schedule` — HEFT-style earliest
+  finish time with ``avg`` or ``min`` ranking;
+* :func:`repro.schedulers.dualhp.dualhp_schedule` — the dual
+  approximation scheme of Bleuse et al. [15] (2-approximation);
+* :mod:`repro.schedulers.greedy` — naive list baselines;
+* :func:`repro.schedulers.exact.optimal_makespan` — branch-and-bound
+  optimum for small instances (test oracle).
+
+Online DAG policies (Section 6.2, the 7 compared algorithms) live in
+:mod:`repro.schedulers.online` and plug into
+:class:`repro.simulator.runtime.RuntimeSimulator`.
+"""
+
+from repro.schedulers.heft import heft_schedule
+from repro.schedulers.dualhp import DualHPResult, dualhp_schedule, dualhp_try
+from repro.schedulers.greedy import eft_list_schedule, single_class_schedule
+from repro.schedulers.exact import optimal_makespan, optimal_schedule
+
+__all__ = [
+    "heft_schedule",
+    "DualHPResult",
+    "dualhp_schedule",
+    "dualhp_try",
+    "eft_list_schedule",
+    "single_class_schedule",
+    "optimal_makespan",
+    "optimal_schedule",
+]

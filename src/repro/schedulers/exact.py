@@ -1,0 +1,201 @@
+"""Exact optimal makespan for small independent instances (test oracle).
+
+Branch and bound over the assignment of tasks to individual workers.
+Within a class, workers are identical, so symmetry is broken by only
+branching on the first worker among those with equal current load.  The
+incumbent is initialised with HeteroPrio's makespan (a feasible
+schedule), which prunes aggressively; additional pruning uses the area
+bound of the remaining tasks stacked on the current class loads.
+
+Intended for instances of at most ~16 tasks on small platforms — enough
+to verify the approximation theorems empirically.
+"""
+
+from __future__ import annotations
+
+from repro.core.platform import Platform, ResourceKind, Worker
+from repro.core.schedule import Schedule
+from repro.core.task import Instance, Task
+
+__all__ = ["optimal_makespan", "optimal_schedule"]
+
+#: Guard against accidental use on instances where B&B would blow up.
+MAX_EXACT_TASKS = 24
+
+
+def optimal_makespan(
+    instance: Instance,
+    platform: Platform,
+    *,
+    upper_bound: float | None = None,
+) -> float:
+    """Exact optimal makespan ``C_max^Opt`` by branch and bound."""
+    return _solve(instance, platform, upper_bound, want_schedule=False)[0]
+
+
+def optimal_schedule(
+    instance: Instance,
+    platform: Platform,
+    *,
+    upper_bound: float | None = None,
+) -> Schedule:
+    """An optimal schedule (tasks packed back-to-back per worker)."""
+    value, assignment = _solve(instance, platform, upper_bound, want_schedule=True)
+    schedule = Schedule(platform)
+    loads: dict[Worker, float] = {w: 0.0 for w in platform.workers()}
+    for task, worker in assignment:
+        schedule.add(task, worker, loads[worker])
+        loads[worker] += task.time_on(worker.kind)
+    assert abs(schedule.makespan - value) < 1e-9
+    return schedule
+
+
+def _solve(
+    instance: Instance,
+    platform: Platform,
+    upper_bound: float | None,
+    want_schedule: bool,
+) -> tuple[float, list[tuple[Task, Worker]]]:
+    tasks = sorted(instance, key=lambda t: -t.min_time())
+    if len(tasks) > MAX_EXACT_TASKS:
+        raise ValueError(
+            f"exact solver limited to {MAX_EXACT_TASKS} tasks, got {len(tasks)}"
+        )
+    m, n = platform.num_cpus, platform.num_gpus
+    if m == 0 and n == 0:
+        raise ValueError("empty platform")
+    if not tasks:
+        return 0.0, []
+
+    if upper_bound is None:
+        from repro.core.heteroprio import heteroprio_schedule
+
+        if m > 0 and n > 0:
+            upper_bound = heteroprio_schedule(
+                instance, platform, compute_ns=False
+            ).makespan
+        else:
+            from repro.schedulers.greedy import single_class_schedule
+
+            kind = ResourceKind.CPU if m > 0 else ResourceKind.GPU
+            upper_bound = single_class_schedule(instance, platform, kind).makespan
+
+    eps = 1e-12
+
+    cpu_loads = [0.0] * m
+    gpu_loads = [0.0] * n
+    best = upper_bound + eps
+    best_assignment: list[list[int]] = [[-1] * len(tasks)]
+    current = [-1] * len(tasks)
+
+    # Suffix sums of min times: a weak but cheap completion bound.
+    suffix_min = [0.0] * (len(tasks) + 1)
+    for i in range(len(tasks) - 1, -1, -1):
+        suffix_min[i] = suffix_min[i + 1] + tasks[i].min_time()
+    capacity = m + n
+
+    def recurse(index: int, cur_max: float) -> None:
+        nonlocal best
+        if cur_max >= best - eps:
+            return
+        if index == len(tasks):
+            best = cur_max
+            best_assignment[0] = current.copy()
+            return
+        # Average-load pruning: every task adds at least min(p, q) to the
+        # total load, and the max load is at least the average load.
+        used = sum(cpu_loads) + sum(gpu_loads)
+        if (used + suffix_min[index]) / capacity >= best - eps:
+            return
+        task = tasks[index]
+        tried: set[float] = set()
+        for slot in range(m):
+            load = cpu_loads[slot]
+            if load in tried:
+                continue  # identical machines: symmetric branch
+            tried.add(load)
+            new_load = load + task.cpu_time
+            if new_load < best - eps:
+                cpu_loads[slot] = new_load
+                current[index] = slot
+                recurse(index + 1, max(cur_max, new_load))
+                cpu_loads[slot] = load
+        tried.clear()
+        for slot in range(n):
+            load = gpu_loads[slot]
+            if load in tried:
+                continue
+            tried.add(load)
+            new_load = load + task.gpu_time
+            if new_load < best - eps:
+                gpu_loads[slot] = new_load
+                current[index] = m + slot
+                recurse(index + 1, max(cur_max, new_load))
+                gpu_loads[slot] = load
+        current[index] = -1
+
+    recurse(0, 0.0)
+    # If no branch beat the incumbent, the incumbent value is optimal
+    # (every schedule with makespan exactly `upper_bound` is pruned by
+    # the strict comparison, but the incumbent itself is feasible).
+    best = min(max(best, 0.0), upper_bound)
+    # The incumbent (upper_bound) might itself be optimal and never be
+    # "rediscovered" exactly; in that case report the incumbent value but
+    # rebuild an assignment by re-running with a slightly relaxed bound.
+    if best_assignment[0][0] == -1 and tasks:
+        relaxed = _solve_assignment_fallback(tasks, platform, best + 1e-9)
+        best_assignment[0] = relaxed
+    assignment: list[tuple[Task, Worker]] = []
+    if want_schedule:
+        workers = list(platform.workers(ResourceKind.CPU)) + list(
+            platform.workers(ResourceKind.GPU)
+        )
+        for task, slot in zip(tasks, best_assignment[0]):
+            assignment.append((task, workers[slot]))
+    return min(best, upper_bound), assignment
+
+
+def _solve_assignment_fallback(
+    tasks: list[Task],
+    platform: Platform,
+    bound: float,
+) -> list[int]:
+    """First-found assignment achieving makespan <= *bound* (DFS)."""
+    m, n = platform.num_cpus, platform.num_gpus
+    cpu_loads = [0.0] * m
+    gpu_loads = [0.0] * n
+    result = [-1] * len(tasks)
+
+    def dfs(index: int) -> bool:
+        if index == len(tasks):
+            return True
+        task = tasks[index]
+        tried: set[float] = set()
+        for slot in range(m):
+            load = cpu_loads[slot]
+            if load in tried:
+                continue
+            tried.add(load)
+            if load + task.cpu_time <= bound:
+                cpu_loads[slot] = load + task.cpu_time
+                result[index] = slot
+                if dfs(index + 1):
+                    return True
+                cpu_loads[slot] = load
+        tried.clear()
+        for slot in range(n):
+            load = gpu_loads[slot]
+            if load in tried:
+                continue
+            tried.add(load)
+            if load + task.gpu_time <= bound:
+                gpu_loads[slot] = load + task.gpu_time
+                result[index] = m + slot
+                if dfs(index + 1):
+                    return True
+                gpu_loads[slot] = load
+        return False
+
+    if not dfs(0):  # pragma: no cover - bound is feasible by construction
+        raise RuntimeError("fallback DFS found no schedule within the bound")
+    return result

@@ -1,0 +1,171 @@
+"""Exact optimal makespan for tiny task *graphs* (test oracle).
+
+Branch and bound over semi-active schedules: decisions are taken in
+chronological order, and each decision either starts a ready task on an
+idle worker *now* or deliberately keeps the worker idle until the next
+completion event (on unrelated machines the optimum may require such
+waiting, so pure list enumeration is not enough).  Every regular
+objective admits an optimal semi-active schedule, so the search is
+exhaustive for the makespan.
+
+State-dominance memoisation: two search nodes with the same set of
+completed tasks and the same multiset of (task, per-class worker count,
+remaining time) running work are interchangeable; we keep the earliest
+time each canonical state was reached.
+
+Intended for graphs of at most ~12 tasks on small platforms.
+"""
+
+from __future__ import annotations
+
+from repro.core.platform import Platform, ResourceKind
+from repro.core.task import Task
+from repro.dag.graph import TaskGraph
+
+__all__ = ["optimal_dag_makespan", "MAX_EXACT_DAG_TASKS"]
+
+#: Guard against accidental use on graphs where the search would blow up.
+MAX_EXACT_DAG_TASKS = 14
+
+
+def optimal_dag_makespan(
+    graph: TaskGraph,
+    platform: Platform,
+    *,
+    upper_bound: float | None = None,
+) -> float:
+    """Exact optimal DAG makespan by branch and bound.
+
+    ``upper_bound`` seeds the incumbent (any feasible makespan); by
+    default a HeteroPrio simulation provides it.
+    """
+    tasks = graph.tasks
+    if len(tasks) > MAX_EXACT_DAG_TASKS:
+        raise ValueError(
+            f"exact DAG solver limited to {MAX_EXACT_DAG_TASKS} tasks, got {len(tasks)}"
+        )
+    if not tasks:
+        return 0.0
+
+    if upper_bound is None:
+        from repro.dag.priorities import assign_priorities
+        from repro.schedulers.online import HeteroPrioPolicy
+        from repro.simulator import simulate
+
+        if platform.num_cpus > 0 and platform.num_gpus > 0:
+            assign_priorities(graph, platform, "min")
+            upper_bound = simulate(graph, platform, HeteroPrioPolicy()).makespan
+        else:
+            kind = ResourceKind.CPU if platform.num_cpus else ResourceKind.GPU
+            # Serial schedule on one worker in topological order.
+            upper_bound = sum(t.time_on(kind) for t in tasks)
+
+    index = {task: i for i, task in enumerate(tasks)}
+    succs = [[index[s] for s in graph.successors(t)] for t in tasks]
+    preds_left = [graph.in_degree(t) for t in tasks]
+    cpu_time = [t.cpu_time for t in tasks]
+    gpu_time = [t.gpu_time for t in tasks]
+    min_time = [min(p, q) for p, q in zip(cpu_time, gpu_time)]
+    m, n = platform.num_cpus, platform.num_gpus
+    if m == 0:
+        min_time = list(gpu_time)
+    elif n == 0:
+        min_time = list(cpu_time)
+
+    # Critical-path lower bound from each task (min durations).
+    tail = [0.0] * len(tasks)
+    for t in reversed(graph.topological_order()):
+        i = index[t]
+        tail[i] = min_time[i] + max((tail[j] for j in succs[i]), default=0.0)
+
+    eps = 1e-12
+    best = upper_bound + eps
+    seen: dict[tuple, float] = {}
+
+    def search(
+        time: float,
+        running: tuple[tuple[float, int, int], ...],  # (end, task, 0=cpu/1=gpu)
+        ready: frozenset[int],
+        indeg: tuple[int, ...],
+        done_mask: int,
+        cur_max: float,
+    ) -> None:
+        nonlocal best
+        if cur_max >= best - eps:
+            return
+        # Lower bound: every unfinished task's tail path must still fit.
+        for end, task_i, _ in running:
+            if end + max((tail[j] for j in succs[task_i]), default=0.0) >= best - eps:
+                return
+        for i in ready:
+            if time + tail[i] >= best - eps:
+                return
+
+        if not running and not ready:
+            best = cur_max
+            return
+
+        canon = (done_mask, running, ready)
+        prev = seen.get(canon)
+        if prev is not None and prev <= time + eps:
+            return
+        seen[canon] = time
+
+        used_cpu = sum(1 for _, _, c in running if c == 0)
+        used_gpu = sum(1 for _, _, c in running if c == 1)
+        free_cpu = m - used_cpu
+        free_gpu = n - used_gpu
+
+        # Option A: start one ready task on one free class now.
+        for i in sorted(ready):
+            remaining_ready = ready - {i}
+            if free_cpu > 0:
+                end = time + cpu_time[i]
+                search(
+                    time,
+                    tuple(sorted(running + ((end, i, 0),))),
+                    remaining_ready,
+                    indeg,
+                    done_mask,
+                    max(cur_max, end),
+                )
+            if free_gpu > 0:
+                end = time + gpu_time[i]
+                search(
+                    time,
+                    tuple(sorted(running + ((end, i, 1),))),
+                    remaining_ready,
+                    indeg,
+                    done_mask,
+                    max(cur_max, end),
+                )
+
+        # Option B: advance to the next completion (deliberate idling of
+        # every currently free worker until then).
+        if running:
+            next_end = running[0][0]
+            finished = [r for r in running if r[0] <= next_end + eps]
+            still = tuple(r for r in running if r[0] > next_end + eps)
+            new_indeg = list(indeg)
+            new_ready = set(ready)
+            new_done = done_mask
+            for _, i, _ in finished:
+                new_done |= 1 << i
+                for j in succs[i]:
+                    new_indeg[j] -= 1
+                    if new_indeg[j] == 0:
+                        new_ready.add(j)
+            search(
+                next_end,
+                still,
+                frozenset(new_ready),
+                tuple(new_indeg),
+                new_done,
+                cur_max,
+            )
+
+    initial_ready = frozenset(
+        index[t] for t in tasks if graph.in_degree(t) == 0
+    )
+    search(0.0, (), initial_ready, tuple(preds_left), 0, 0.0)
+    return min(best, upper_bound)

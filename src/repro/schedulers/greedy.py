@@ -1,0 +1,98 @@
+"""Naive list-scheduling baselines.
+
+These exist mainly as sanity baselines and test fixtures; the paper's
+Section 3 observes that plain list scheduling on unrelated resources has
+*no* bounded approximation ratio (a slow resource may grab a huge task),
+which the test suite demonstrates with :func:`eft_list_schedule` on
+adversarial two-task instances.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.core.platform import Platform, ResourceKind, Worker
+from repro.core.schedule import Schedule
+from repro.core.task import Instance, Task
+
+__all__ = ["eft_list_schedule", "earliest_start_schedule", "single_class_schedule"]
+
+
+def eft_list_schedule(
+    instance: Instance,
+    platform: Platform,
+    *,
+    key: Callable[[Task], float] | None = None,
+) -> Schedule:
+    """Greedy earliest-finish-time in a fixed task order (no ranking).
+
+    Tasks are processed in instance order, or sorted by *key* when
+    given, and each goes to the worker finishing it earliest.
+    """
+    tasks: Iterable[Task] = instance
+    if key is not None:
+        tasks = sorted(instance, key=key)
+    schedule = Schedule(platform)
+    loads: dict[Worker, float] = {w: 0.0 for w in platform.workers()}
+    for task in tasks:
+        worker = min(loads, key=lambda w: (loads[w] + task.time_on(w.kind), str(w)))
+        schedule.add(task, worker, loads[worker])
+        loads[worker] += task.time_on(worker.kind)
+    return schedule
+
+
+def earliest_start_schedule(
+    instance: Instance,
+    platform: Platform,
+    *,
+    cpu_first: bool = True,
+) -> Schedule:
+    """The canonical 'never leave a resource idle' list scheduler.
+
+    Each task (in instance order) goes to the worker that can *start* it
+    earliest, regardless of how slow that worker is — the rule whose
+    unbounded worst case on unrelated resources motivates spoliation
+    (Section 3 of the paper).  Ties are broken towards CPUs by default
+    (the adversarial choice in the classic two-task example).
+    """
+    schedule = Schedule(platform)
+    loads: dict[Worker, float] = {w: 0.0 for w in platform.workers()}
+
+    def tie_rank(worker: Worker) -> tuple[int, int]:
+        cpu_rank = 0 if worker.kind is ResourceKind.CPU else 1
+        if not cpu_first:
+            cpu_rank = 1 - cpu_rank
+        return (cpu_rank, worker.index)
+
+    for task in instance:
+        worker = min(loads, key=lambda w: (loads[w], tie_rank(w)))
+        schedule.add(task, worker, loads[worker])
+        loads[worker] += task.time_on(worker.kind)
+    return schedule
+
+
+def single_class_schedule(
+    instance: Instance,
+    platform: Platform,
+    kind: ResourceKind,
+    *,
+    lpt: bool = True,
+) -> Schedule:
+    """Run everything on one resource class (LPT list schedule by default).
+
+    Useful as a baseline and to compute per-class optima on subsets (as
+    in Lemma 6, where a task subset must fit on one class).
+    """
+    count = platform.count(kind)
+    if count == 0:
+        raise ValueError(f"platform has no {kind} workers")
+    tasks = list(instance)
+    if lpt:
+        tasks.sort(key=lambda t: -t.time_on(kind))
+    schedule = Schedule(platform)
+    loads = {w: 0.0 for w in platform.workers(kind)}
+    for task in tasks:
+        worker = min(loads, key=lambda w: (loads[w], w.index))
+        schedule.add(task, worker, loads[worker])
+        loads[worker] += task.time_on(kind)
+    return schedule

@@ -1,0 +1,54 @@
+"""HEFT for independent tasks: ranked earliest-finish-time assignment.
+
+For a set of independent tasks the classic HEFT upward rank degenerates
+to the task's own expected execution time; what remains of the algorithm
+is: process tasks by decreasing rank, assigning each to the worker that
+finishes it earliest given the current loads.  The paper's Section 6.1
+uses this as the representative of completion-time-greedy schedulers;
+Bleuse et al. showed its worst case is ``O(m)`` from optimal — it
+ignores acceleration factors entirely.
+"""
+
+from __future__ import annotations
+
+from repro.core.platform import Platform, Worker
+from repro.core.schedule import Schedule
+from repro.core.task import Instance, Task
+from repro.dag.priorities import RankScheme, node_weight
+
+__all__ = ["heft_schedule"]
+
+
+def heft_schedule(
+    instance: Instance,
+    platform: Platform,
+    *,
+    rank: RankScheme = "avg",
+) -> Schedule:
+    """Schedule independent tasks with ranked earliest finish time.
+
+    Parameters
+    ----------
+    rank:
+        ``"avg"`` ranks by the resource-count-weighted average execution
+        time (standard HEFT); ``"min"`` ranks by ``min(p, q)``.  Ties are
+        broken by task priority (highest first), then uid.
+    """
+    schedule = Schedule(platform)
+    loads: dict[Worker, float] = {w: 0.0 for w in platform.workers()}
+
+    def rank_key(task: Task) -> tuple[float, float, int]:
+        return (-node_weight(task, platform, rank), -task.priority, task.uid)
+
+    for task in sorted(instance, key=rank_key):
+        best_worker = None
+        best_finish = float("inf")
+        for worker, available in loads.items():
+            finish = available + task.time_on(worker.kind)
+            if finish < best_finish - 1e-15:
+                best_finish = finish
+                best_worker = worker
+        assert best_worker is not None
+        schedule.add(task, best_worker, loads[best_worker])
+        loads[best_worker] = best_finish
+    return schedule

@@ -1,0 +1,85 @@
+"""Online-policy interface for the runtime simulator.
+
+A policy receives *ready* notifications as dependencies resolve, and is
+polled whenever a worker is idle.  It answers with an :class:`Action`:
+
+* :class:`StartTask` — run a ready task on the polled worker;
+* :class:`Spoliate` — abort the task running on another worker (of the
+  other resource class) and restart it from scratch on the polled
+  worker, the paper's spoliation mechanism;
+* ``None`` — leave the worker idle until the next event.
+
+Policies never see wall-clock state beyond what a real runtime scheduler
+would: the simulated time, the set of running executions, and their own
+bookkeeping.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Mapping, Sequence, Union
+
+from repro.core.platform import Platform, Worker
+from repro.core.task import Task
+
+__all__ = ["RunningView", "StartTask", "Spoliate", "Action", "OnlinePolicy"]
+
+
+@dataclass(frozen=True)
+class RunningView:
+    """Read-only snapshot of one in-flight execution."""
+
+    task: Task
+    worker: Worker
+    start: float
+    end: float
+
+
+@dataclass(frozen=True)
+class StartTask:
+    """Start *task* (previously announced as ready) on the polled worker."""
+
+    task: Task
+
+
+@dataclass(frozen=True)
+class Spoliate:
+    """Abort the execution on *victim* and restart its task on the poller."""
+
+    victim: Worker
+
+
+Action = Union[StartTask, Spoliate]
+
+
+class OnlinePolicy(abc.ABC):
+    """Base class of runtime scheduling policies."""
+
+    #: Human-readable policy name (for reports).
+    name: str = "policy"
+
+    def prepare(self, platform: Platform) -> None:
+        """Reset internal state for a fresh run on *platform*."""
+
+    @abc.abstractmethod
+    def tasks_ready(self, tasks: Sequence[Task], time: float) -> None:
+        """Announce newly ready tasks (sorted by decreasing priority)."""
+
+    @abc.abstractmethod
+    def pick(
+        self,
+        worker: Worker,
+        time: float,
+        running: Mapping[Worker, RunningView],
+    ) -> Action | None:
+        """Choose what the idle *worker* should do now (or ``None``)."""
+
+    def task_started(self, task: Task, worker: Worker, time: float) -> None:
+        """Notification that *task* began executing on *worker*."""
+
+    def task_finished(self, task: Task, worker: Worker, time: float) -> None:
+        """Notification that *task* completed on *worker*."""
+
+    def task_aborted(self, task: Task, worker: Worker, time: float) -> None:
+        """Notification that *task* was spoliated away from *worker*."""

@@ -1,0 +1,174 @@
+"""DualHP as an online DAG policy (Section 6.2).
+
+Every time tasks become ready, the dual-approximation assignment of
+Bleuse et al. is recomputed over the *whole* pool of ready-but-unstarted
+tasks, taking the remaining work of currently executing tasks into
+account as initial class loads.  Workers then consume the pool of their
+own class in priority order (``fifo`` ranking keeps arrival order).
+DualHP never spoliates; its conservatism on nearly-empty ready sets is
+precisely what Figure 9 exposes as CPU idle time.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Mapping, Sequence
+
+from repro.core.platform import Platform, ResourceKind, Worker
+from repro.core.task import Task
+from repro.schedulers.online.base import Action, OnlinePolicy, RunningView, StartTask
+
+__all__ = ["DualHPPolicy"]
+
+#: Relative precision of the online binary search; coarser than the
+#: offline scheduler since the assignment is recomputed continuously.
+ONLINE_RTOL = 1e-3
+
+
+class DualHPPolicy(OnlinePolicy):
+    """Pool-based DualHP with per-ready-event reassignment."""
+
+    name = "dualhp"
+
+    def __init__(self) -> None:
+        self._platform: Platform | None = None
+        self._pool: dict[Task, int] = {}  # task -> arrival index
+        self._arrival = itertools.count()
+        self._dirty = True
+        self._class_queues: dict[ResourceKind, list[Task]] = {
+            ResourceKind.CPU: [],
+            ResourceKind.GPU: [],
+        }
+
+    def prepare(self, platform: Platform) -> None:
+        self._platform = platform
+        self._pool = {}
+        self._arrival = itertools.count()
+        self._dirty = True
+        self._class_queues = {ResourceKind.CPU: [], ResourceKind.GPU: []}
+
+    def tasks_ready(self, tasks: Sequence[Task], time: float) -> None:
+        for task in tasks:
+            self._pool[task] = next(self._arrival)
+        if tasks:
+            self._dirty = True
+
+    def pick(
+        self,
+        worker: Worker,
+        time: float,
+        running: Mapping[Worker, RunningView],
+    ) -> Action | None:
+        if self._dirty:
+            self._reassign(time, running)
+        queue = self._class_queues[worker.kind]
+        if queue:
+            task = queue.pop()
+            del self._pool[task]
+            return StartTask(task)
+        return None
+
+    # -- assignment ------------------------------------------------------------
+
+    def _reassign(self, time: float, running: Mapping[Worker, RunningView]) -> None:
+        """Binary-search the smallest feasible guess and split the pool."""
+        assert self._platform is not None
+        platform = self._platform
+        tasks = sorted(
+            self._pool,
+            key=lambda t: (-t.acceleration, -t.priority, self._pool[t]),
+        )
+        cpu_init = [0.0] * platform.num_cpus
+        gpu_init = [0.0] * platform.num_gpus
+        for view in running.values():
+            remaining = max(view.end - time, 0.0)
+            if view.worker.kind is ResourceKind.CPU:
+                cpu_init[view.worker.index] += remaining
+            else:
+                gpu_init[view.worker.index] += remaining
+        self._dirty = False
+        if not tasks:
+            self._class_queues = {ResourceKind.CPU: [], ResourceKind.GPU: []}
+            return
+
+        base = max(max(cpu_init, default=0.0), max(gpu_init, default=0.0))
+        hi = base + max(
+            sum(t.min_time() for t in tasks),
+            max(t.min_time() for t in tasks),
+        )
+        assignment = self._try(tasks, hi, cpu_init, gpu_init)
+        while assignment is None:  # pragma: no cover - hi is always feasible
+            hi *= 2.0
+            assignment = self._try(tasks, hi, cpu_init, gpu_init)
+        lo = 0.0
+        while hi - lo > ONLINE_RTOL * hi:
+            mid = 0.5 * (lo + hi)
+            trial = self._try(tasks, mid, cpu_init, gpu_init)
+            if trial is None:
+                lo = mid
+            else:
+                hi = mid
+                assignment = trial
+        queues: dict[ResourceKind, list[Task]] = {
+            ResourceKind.CPU: [],
+            ResourceKind.GPU: [],
+        }
+        for task, kind in assignment.items():
+            queues[kind].append(task)
+        # Workers pop from the tail: lowest (priority, arrival) last.
+        for queue in queues.values():
+            queue.sort(key=lambda t: (t.priority, -self._pool[t]))
+        self._class_queues = queues
+
+    def _try(
+        self,
+        tasks_by_rho: list[Task],
+        lam: float,
+        cpu_init: list[float],
+        gpu_init: list[float],
+    ) -> dict[Task, ResourceKind] | None:
+        """One dual round on the pool; ``None`` when *lam* is infeasible.
+
+        Mirrors :func:`repro.schedulers.dualhp.dualhp_try` but only
+        yields the class split (the runtime decides actual workers), and
+        accounts for the initial class loads of running work.
+        """
+        assert self._platform is not None
+        limit = 2.0 * lam
+        cpu_loads = list(cpu_init)
+        gpu_loads = list(gpu_init)
+        has_cpu = bool(cpu_loads)
+        has_gpu = bool(gpu_loads)
+        assignment: dict[Task, ResourceKind] = {}
+        cpu_overflow: list[Task] = []
+
+        def pack(loads: list[float], duration: float) -> bool:
+            slot = min(range(len(loads)), key=loads.__getitem__)
+            if loads[slot] + duration <= limit:
+                loads[slot] += duration
+                return True
+            return False
+
+        for task in tasks_by_rho:
+            forced_gpu = task.cpu_time > lam
+            forced_cpu = task.gpu_time > lam
+            if forced_gpu and forced_cpu:
+                return None
+            if forced_gpu:
+                if not (has_gpu and pack(gpu_loads, task.gpu_time)):
+                    return None
+                assignment[task] = ResourceKind.GPU
+            elif forced_cpu:
+                if not (has_cpu and pack(cpu_loads, task.cpu_time)):
+                    return None
+                assignment[task] = ResourceKind.CPU
+            else:
+                if has_gpu and pack(gpu_loads, task.gpu_time):
+                    assignment[task] = ResourceKind.GPU
+                else:
+                    cpu_overflow.append(task)
+        for task in cpu_overflow:
+            if not (has_cpu and pack(cpu_loads, task.cpu_time)):
+                return None
+            assignment[task] = ResourceKind.CPU
+        return assignment

@@ -1,0 +1,96 @@
+"""HeteroPrio as an online DAG policy (Section 6.2).
+
+The ready tasks live in one queue sorted by acceleration factor exactly
+as in the independent case (:mod:`repro.core.heteroprio`): idle GPUs pop
+the most accelerated end, idle CPUs the least accelerated end, ties
+resolved by priority.  When the queue is empty, an idle worker attempts
+spoliation on the other resource class (victims in decreasing expected
+completion time, ties by priority) — this is the mechanism that lets
+HeteroPrio recover from affinity mistakes near the end of DAG phases.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Mapping, Sequence
+
+from repro.core.heteroprio import _queue_key
+from repro.core.platform import Platform, ResourceKind, Worker
+from repro.core.schedule import TIME_EPS
+from repro.core.task import Task
+from repro.schedulers.online.base import (
+    Action,
+    OnlinePolicy,
+    RunningView,
+    Spoliate,
+    StartTask,
+)
+
+__all__ = ["HeteroPrioPolicy"]
+
+
+class HeteroPrioPolicy(OnlinePolicy):
+    """Affinity queue + spoliation, applied to the current ready set.
+
+    ``victim_rule`` selects how spoliation candidates are ordered:
+    ``"priority"`` (default) is the DAG rule of Section 6.2 — among the
+    improvable candidates, spoliate the highest-priority one;
+    ``"completion"`` is Algorithm 1's rule for independent tasks —
+    consider candidates by decreasing expected completion time.  With
+    ``"completion"`` this policy on an edge-free graph replays
+    :func:`repro.core.heteroprio.heteroprio_schedule` exactly (a
+    differential test in ``tests/test_runtime.py`` holds it to that).
+    """
+
+    name = "heteroprio"
+
+    def __init__(self, *, spoliation: bool = True, victim_rule: str = "priority"):
+        if victim_rule not in ("priority", "completion"):
+            raise ValueError(f"unknown victim_rule {victim_rule!r}")
+        self.spoliation = spoliation
+        self.victim_rule = victim_rule
+        self._keys: list[tuple[float, float, int]] = []
+        self._queue: list[Task] = []
+
+    def prepare(self, platform: Platform) -> None:
+        self._keys = []
+        self._queue = []
+
+    def tasks_ready(self, tasks: Sequence[Task], time: float) -> None:
+        for task in tasks:
+            key = _queue_key(task)
+            pos = bisect.bisect(self._keys, key)
+            self._keys.insert(pos, key)
+            self._queue.insert(pos, task)
+
+    def pick(
+        self,
+        worker: Worker,
+        time: float,
+        running: Mapping[Worker, RunningView],
+    ) -> Action | None:
+        if self._queue:
+            if worker.kind is ResourceKind.GPU:
+                self._keys.pop()
+                return StartTask(self._queue.pop())
+            self._keys.pop(0)
+            return StartTask(self._queue.pop(0))
+        if not self.spoliation:
+            return None
+        candidates = [
+            view
+            for view in running.values()
+            if view.worker.kind is worker.kind.other
+            and time + view.task.time_on(worker.kind) < view.end - TIME_EPS
+        ]
+        if not candidates:
+            return None
+        if self.victim_rule == "priority":
+            # Section 6.2: among the candidates whose completion the idle
+            # worker can improve, spoliate the highest-priority one.
+            key = lambda v: (-v.task.priority, -v.end, v.task.uid)  # noqa: E731
+        else:
+            # Algorithm 1, line 11: decreasing expected completion time.
+            key = lambda v: (-v.end, -v.task.priority, v.task.uid)  # noqa: E731
+        best = min(candidates, key=key)
+        return Spoliate(best.worker)

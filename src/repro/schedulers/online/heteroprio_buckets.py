@@ -1,0 +1,115 @@
+"""Bucketed HeteroPrio: the StarPU-style practical implementation.
+
+The paper's conclusion notes that "a practical implementation of
+HeteroPrio in the StarPU runtime system is currently under way"; that
+implementation (StarPU's ``heteroprio`` scheduler) does not keep one
+sorted queue but one *bucket per kernel type*, each architecture
+visiting the buckets in its own affinity order — O(1) pops instead of
+O(log n) insertions.
+
+This policy reproduces that design: ready tasks go into the bucket of
+their ``kind``; buckets are ordered by the acceleration factor of the
+tasks they currently hold (GPUs visit the most accelerated bucket
+first, CPUs the least accelerated first); within a bucket, tasks pop by
+priority (a heap).  When every kind has a fixed acceleration factor —
+true for the calibrated linear-algebra workloads — the behaviour
+matches the sorted-queue policy up to intra-kind ordering, and the
+per-decision cost no longer grows with the ready-set size.
+
+Tasks with an empty ``kind`` fall into a per-task bucket keyed by their
+acceleration factor, so the policy also works on untyped workloads.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Hashable, Mapping, Sequence
+
+from repro.core.platform import Platform, ResourceKind, Worker
+from repro.core.schedule import TIME_EPS
+from repro.core.task import Task
+from repro.schedulers.online.base import (
+    Action,
+    OnlinePolicy,
+    RunningView,
+    Spoliate,
+    StartTask,
+)
+
+__all__ = ["BucketHeteroPrioPolicy"]
+
+
+class _Bucket:
+    """Priority heap of ready tasks sharing one kernel kind."""
+
+    __slots__ = ("key", "heap", "counter")
+
+    def __init__(self, key: Hashable):
+        self.key = key
+        self.heap: list[tuple[float, int, Task]] = []
+        self.counter = itertools.count()
+
+    def push(self, task: Task) -> None:
+        heapq.heappush(self.heap, (-task.priority, next(self.counter), task))
+
+    def pop(self) -> Task:
+        return heapq.heappop(self.heap)[2]
+
+    def __len__(self) -> int:
+        return len(self.heap)
+
+    def acceleration(self) -> float:
+        """Acceleration factor of the tasks currently in the bucket."""
+        return self.heap[0][2].acceleration
+
+
+class BucketHeteroPrioPolicy(OnlinePolicy):
+    """Per-kind buckets with affinity-ordered visiting (StarPU design)."""
+
+    name = "heteroprio-buckets"
+
+    def __init__(self, *, spoliation: bool = True):
+        self.spoliation = spoliation
+        self._buckets: dict[Hashable, _Bucket] = {}
+
+    def prepare(self, platform: Platform) -> None:
+        self._buckets = {}
+
+    def _bucket_key(self, task: Task) -> Hashable:
+        return task.kind if task.kind else ("rho", task.acceleration)
+
+    def tasks_ready(self, tasks: Sequence[Task], time: float) -> None:
+        for task in tasks:
+            key = self._bucket_key(task)
+            bucket = self._buckets.get(key)
+            if bucket is None:
+                bucket = self._buckets[key] = _Bucket(key)
+            bucket.push(task)
+
+    def pick(
+        self,
+        worker: Worker,
+        time: float,
+        running: Mapping[Worker, RunningView],
+    ) -> Action | None:
+        non_empty = [b for b in self._buckets.values() if len(b)]
+        if non_empty:
+            gpu = worker.kind is ResourceKind.GPU
+            best = max(
+                non_empty,
+                key=lambda b: (b.acceleration() if gpu else -b.acceleration()),
+            )
+            return StartTask(best.pop())
+        if not self.spoliation:
+            return None
+        candidates = [
+            view
+            for view in running.values()
+            if view.worker.kind is worker.kind.other
+            and time + view.task.time_on(worker.kind) < view.end - TIME_EPS
+        ]
+        if not candidates:
+            return None
+        best_victim = min(candidates, key=lambda v: (-v.task.priority, -v.end, v.task.uid))
+        return Spoliate(best_victim.worker)

@@ -1,0 +1,13 @@
+"""Discrete-event runtime simulator for DAG scheduling.
+
+This package plays the role of StarPU in the paper's Section 6.2: it
+executes a :class:`~repro.dag.graph.TaskGraph` on a
+:class:`~repro.core.platform.Platform` under a pluggable online policy
+(:mod:`repro.schedulers.online`), maintaining the ready set as
+dependencies resolve and honouring spoliation requests.
+"""
+
+from repro.simulator.runtime import RuntimeSimulator, simulate
+from repro.simulator.metrics import RunMetrics, compute_metrics
+
+__all__ = ["RuntimeSimulator", "simulate", "RunMetrics", "compute_metrics"]

@@ -1,0 +1,76 @@
+"""Schedule metrics of Section 6.2 (Figures 7, 8 and 9).
+
+Three quantities per run:
+
+* the ratio of the makespan to the dependency-aware lower bound
+  (Figure 7);
+* the *equivalent acceleration factor* of each resource class — the
+  acceleration of the fictitious task aggregating everything the class
+  executed (Figure 8);
+* the *normalized idle time* of each class — idle time (counting work on
+  aborted, spoliated executions as idle, per the paper's footnote 1)
+  divided by the amount of the class used in the lower-bound solution
+  (Figure 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bounds.area import area_bound
+from repro.core.platform import Platform, ResourceKind
+from repro.core.schedule import Schedule
+from repro.core.task import Instance
+
+__all__ = ["RunMetrics", "compute_metrics"]
+
+
+@dataclass(frozen=True)
+class RunMetrics:
+    """Aggregated metrics of one simulated run."""
+
+    makespan: float
+    lower_bound: float
+    cpu_equivalent_acceleration: float
+    gpu_equivalent_acceleration: float
+    cpu_normalized_idle: float
+    gpu_normalized_idle: float
+    aborted_work: float
+    spoliation_count: int
+
+    @property
+    def ratio(self) -> float:
+        """Makespan normalised by the lower bound (the Figure 7 metric)."""
+        return self.makespan / self.lower_bound if self.lower_bound > 0 else float("inf")
+
+
+def compute_metrics(
+    schedule: Schedule,
+    platform: Platform,
+    *,
+    lower_bound: float,
+) -> RunMetrics:
+    """Compute the Section 6.2 metrics for a finished schedule.
+
+    The idle-time normaliser is the per-class work of the *area bound*
+    solution over the executed tasks, i.e. the amount of each resource
+    the relaxed lower bound would consume — the denominator used by the
+    paper's Figure 9.
+    """
+    instance = Instance(schedule.tasks())
+    bound_solution = area_bound(instance, platform)
+    cpu_used = bound_solution.cpu_load
+    gpu_used = bound_solution.gpu_load
+
+    cpu_idle = schedule.idle_time(ResourceKind.CPU)
+    gpu_idle = schedule.idle_time(ResourceKind.GPU)
+    return RunMetrics(
+        makespan=schedule.makespan,
+        lower_bound=lower_bound,
+        cpu_equivalent_acceleration=schedule.equivalent_acceleration(ResourceKind.CPU),
+        gpu_equivalent_acceleration=schedule.equivalent_acceleration(ResourceKind.GPU),
+        cpu_normalized_idle=cpu_idle / cpu_used if cpu_used > 0 else float("inf"),
+        gpu_normalized_idle=gpu_idle / gpu_used if gpu_used > 0 else float("inf"),
+        aborted_work=schedule.aborted_work(),
+        spoliation_count=len(schedule.aborted_placements()),
+    )

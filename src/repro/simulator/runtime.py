@@ -1,0 +1,154 @@
+"""The discrete-event DAG runtime.
+
+The simulator advances time over task-completion events.  At each event
+it (1) retires finished executions, (2) releases successors whose last
+dependency just resolved, announcing them to the policy in priority
+order, and (3) repeatedly polls idle workers (GPUs first, then CPUs, as
+in :mod:`repro.core.heteroprio`) until no policy action is possible.
+Spoliation aborts the victim's in-flight execution — its progress is
+lost and the interval is recorded as an aborted placement.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+
+from repro.core.platform import Platform, ResourceKind, Worker
+from repro.core.schedule import Schedule, TIME_EPS
+from repro.core.task import Task
+from repro.dag.graph import TaskGraph
+from repro.schedulers.online.base import OnlinePolicy, RunningView, Spoliate, StartTask
+
+__all__ = ["RuntimeSimulator", "simulate"]
+
+
+@dataclass
+class _Execution:
+    task: Task
+    worker: Worker
+    start: float
+    end: float
+    generation: int
+
+
+class RuntimeSimulator:
+    """Execute a task graph under an online scheduling policy."""
+
+    def __init__(self, graph: TaskGraph, platform: Platform, policy: OnlinePolicy):
+        self.graph = graph
+        self.platform = platform
+        self.policy = policy
+
+    def run(self) -> Schedule:
+        """Simulate to completion and return the full schedule.
+
+        Raises ``RuntimeError`` if the policy stalls (leaves workers idle
+        forever while tasks remain), which would indicate a policy bug.
+        """
+        graph, platform, policy = self.graph, self.platform, self.policy
+        schedule = Schedule(platform)
+        if len(graph) == 0:
+            return schedule
+
+        policy.prepare(platform)
+        indegree = {task: graph.in_degree(task) for task in graph}
+        remaining = len(graph)
+
+        running: dict[Worker, _Execution] = {}
+        idle: set[Worker] = set(platform.workers())
+        generations: dict[Worker, int] = {w: 0 for w in platform.workers()}
+        events: list[tuple[float, int, Worker, int]] = []
+        seq = itertools.count()
+
+        def service_key(worker: Worker) -> tuple[int, int]:
+            return (0 if worker.kind is ResourceKind.GPU else 1, worker.index)
+
+        def announce(tasks: list[Task], now: float) -> None:
+            tasks.sort(key=lambda t: (-t.priority, t.uid))
+            policy.tasks_ready(tasks, now)
+
+        def running_view() -> dict[Worker, RunningView]:
+            return {
+                w: RunningView(task=e.task, worker=w, start=e.start, end=e.end)
+                for w, e in running.items()
+            }
+
+        def start(task: Task, worker: Worker, now: float) -> None:
+            end = now + task.time_on(worker.kind)
+            generations[worker] += 1
+            running[worker] = _Execution(task, worker, now, end, generations[worker])
+            idle.discard(worker)
+            heapq.heappush(events, (end, next(seq), worker, generations[worker]))
+            policy.task_started(task, worker, now)
+
+        def settle(now: float) -> None:
+            progress = True
+            while progress:
+                progress = False
+                for worker in sorted(idle, key=service_key):
+                    if worker not in idle:
+                        continue
+                    action = policy.pick(worker, now, running_view())
+                    if action is None:
+                        continue
+                    if isinstance(action, StartTask):
+                        start(action.task, worker, now)
+                        progress = True
+                    elif isinstance(action, Spoliate):
+                        victim = running.get(action.victim)
+                        if victim is None or victim.worker.kind is worker.kind:
+                            raise RuntimeError(
+                                f"policy {policy.name} issued an invalid spoliation"
+                            )
+                        schedule.add(
+                            victim.task, victim.worker, victim.start, end=now, aborted=True
+                        )
+                        del running[victim.worker]
+                        generations[victim.worker] += 1
+                        idle.add(victim.worker)
+                        policy.task_aborted(victim.task, victim.worker, now)
+                        start(victim.task, worker, now)
+                        progress = True
+                    else:  # pragma: no cover - exhaustive Action union
+                        raise TypeError(f"unknown action {action!r}")
+
+        announce(graph.sources(), 0.0)
+        settle(0.0)
+        while remaining > 0:
+            if not events:
+                raise RuntimeError(
+                    f"policy {policy.name} stalled with {remaining} tasks unfinished"
+                )
+            time, _, worker, gen = heapq.heappop(events)
+            finished: list[_Execution] = []
+            if generations[worker] == gen:
+                finished.append(running.pop(worker))
+            while events and events[0][0] <= time + TIME_EPS:
+                time2, _, worker2, gen2 = heapq.heappop(events)
+                if generations[worker2] == gen2:
+                    finished.append(running.pop(worker2))
+            if not finished:
+                continue
+            newly_ready: list[Task] = []
+            for execution in finished:
+                schedule.add(execution.task, execution.worker, execution.start,
+                             end=execution.end)
+                remaining -= 1
+                idle.add(execution.worker)
+                policy.task_finished(execution.task, execution.worker, execution.end)
+                for succ in self.graph.successors(execution.task):
+                    indegree[succ] -= 1
+                    if indegree[succ] == 0:
+                        newly_ready.append(succ)
+            if newly_ready:
+                announce(newly_ready, time)
+            if remaining > 0:
+                settle(time)
+        return schedule
+
+
+def simulate(graph: TaskGraph, platform: Platform, policy: OnlinePolicy) -> Schedule:
+    """Convenience wrapper: build a :class:`RuntimeSimulator` and run it."""
+    return RuntimeSimulator(graph, platform, policy).run()

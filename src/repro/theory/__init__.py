@@ -1,0 +1,47 @@
+"""Theory layer: approximation constants, tight instances, bound checking.
+
+* :mod:`repro.theory.constants` — the golden ratio and the approximation
+  ratios of Table 2;
+* :mod:`repro.theory.worst_cases` — generators of the tight worst-case
+  instances of Theorems 8, 11 and 14, and the Figure 4 task set ``T2``;
+* :mod:`repro.theory.verification` — machine-checkable statements of the
+  paper's lemmas and theorems, used by the tests and the Table 2 bench.
+"""
+
+from repro.theory.constants import (
+    PHI,
+    RATIO_1CPU_1GPU,
+    RATIO_GENERAL,
+    RATIO_GENERAL_WORST_EXAMPLE,
+    RATIO_MCPU_1GPU,
+    approximation_ratio,
+)
+from repro.theory.worst_cases import (
+    figure4_t2_tasks,
+    theorem8_instance,
+    theorem11_instance,
+    theorem14_instance,
+)
+from repro.theory.verification import (
+    BoundReport,
+    check_approximation_bound,
+    check_first_idle_bound,
+    check_spoliation_structure,
+)
+
+__all__ = [
+    "PHI",
+    "RATIO_1CPU_1GPU",
+    "RATIO_MCPU_1GPU",
+    "RATIO_GENERAL",
+    "RATIO_GENERAL_WORST_EXAMPLE",
+    "approximation_ratio",
+    "theorem8_instance",
+    "theorem11_instance",
+    "theorem14_instance",
+    "figure4_t2_tasks",
+    "BoundReport",
+    "check_approximation_bound",
+    "check_first_idle_bound",
+    "check_spoliation_structure",
+]

@@ -1,0 +1,63 @@
+"""Approximation constants of the paper (Table 2).
+
++----------------+------------------------+------------------------------+
+| (#CPUs, #GPUs) | approximation ratio    | worst-case example           |
++================+========================+==============================+
+| (1, 1)         | phi = (1+sqrt 5)/2     | phi                          |
+| (m, 1)         | 1 + phi = (3+sqrt 5)/2 | 1 + phi                      |
+| (m, n)         | 2 + sqrt 2 ~ 3.41      | 2 + 2/sqrt 3 ~ 3.15          |
++----------------+------------------------+------------------------------+
+
+The algorithm is symmetric in the two resource classes (swapping the
+classes inverts every acceleration factor), so the ``(m, 1)`` ratio also
+applies to ``(1, n)`` platforms.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.platform import Platform
+
+__all__ = [
+    "PHI",
+    "RATIO_1CPU_1GPU",
+    "RATIO_MCPU_1GPU",
+    "RATIO_GENERAL",
+    "RATIO_GENERAL_WORST_EXAMPLE",
+    "approximation_ratio",
+]
+
+#: The golden ratio ``phi = (1 + sqrt 5) / 2``; satisfies ``phi^2 = phi + 1``.
+PHI = (1.0 + math.sqrt(5.0)) / 2.0
+
+#: Theorem 7 — tight (Theorem 8).
+RATIO_1CPU_1GPU = PHI
+
+#: Theorem 9 — tight asymptotically in ``m`` (Theorem 11).
+RATIO_MCPU_1GPU = 1.0 + PHI
+
+#: Theorem 12 (upper bound; not known to be tight).
+RATIO_GENERAL = 2.0 + math.sqrt(2.0)
+
+#: Theorem 14 — best known lower bound for the general case.
+RATIO_GENERAL_WORST_EXAMPLE = 2.0 + 2.0 / math.sqrt(3.0)
+
+
+def approximation_ratio(platform: Platform) -> float:
+    """The proved HeteroPrio approximation ratio for a platform shape.
+
+    Platforms with a single resource class fall back to Graham's
+    ``2 - 1/k`` list-scheduling bound on ``k`` identical machines (with
+    spoliation never triggering, HeteroPrio is a plain list schedule
+    there).
+    """
+    m, n = platform.num_cpus, platform.num_gpus
+    if m == 0 or n == 0:
+        k = max(m, n)
+        return 2.0 - 1.0 / k
+    if m == 1 and n == 1:
+        return RATIO_1CPU_1GPU
+    if min(m, n) == 1:
+        return RATIO_MCPU_1GPU
+    return RATIO_GENERAL

@@ -1,0 +1,290 @@
+"""Tight worst-case instances of Theorems 8, 11 and 14, and Figure 4.
+
+Each generator returns an instance whose task priorities are set so that
+the deterministic tie-breaking of this implementation (see
+:mod:`repro.core.heteroprio`) realises exactly the adversarial execution
+described in the paper's proof.  The paper's theorems only claim that
+*some* valid HeteroPrio execution reaches the ratio; priorities are the
+knob that selects it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.platform import Platform
+from repro.core.task import Instance, Task
+from repro.theory.constants import PHI
+
+__all__ = [
+    "WorstCaseInstance",
+    "theorem8_instance",
+    "theorem11_instance",
+    "theorem14_instance",
+    "figure4_t2_tasks",
+    "figure4_optimal_assignment",
+    "figure4_worst_order",
+    "theorem14_r",
+    "list_schedule_homogeneous",
+]
+
+
+#: Tiny relative perturbation making the *intended* acceleration-factor
+#: orderings strict.  The paper's constructions rely on exact ties broken
+#: adversarially; in floating point an "equal" ratio computed two ways can
+#: land on either side by one ulp, silently flipping the queue order.  A
+#: deliberate 1e-9 margin (far above ulp noise, far below any duration)
+#: pins the order while moving every certified value by at most ~1e-8.
+RHO_MARGIN = 1e-9
+
+
+@dataclass(frozen=True)
+class WorstCaseInstance:
+    """A worst-case construction with its certified makespan values.
+
+    ``optimal_upper`` is an upper bound on the optimal makespan obtained
+    from the paper's explicit packing (exact for Theorem 8; within a
+    vanishing slack for Theorems 11 and 14).  ``heteroprio_expected`` is
+    the makespan the adversarial HeteroPrio execution reaches.
+    """
+
+    instance: Instance
+    platform: Platform
+    optimal_upper: float
+    heteroprio_expected: float
+
+    @property
+    def ratio(self) -> float:
+        """Certified lower bound on the approximation ratio of HeteroPrio."""
+        return self.heteroprio_expected / self.optimal_upper
+
+
+def theorem8_instance() -> WorstCaseInstance:
+    """Theorem 8: two tasks on (1 CPU, 1 GPU) forcing ratio ``phi``.
+
+    ``X``: ``p = phi, q = 1``; ``Y``: ``p = 1, q = 1/phi`` — both have
+    acceleration factor ``phi``.  The optimum (X on GPU, Y on CPU) is 1;
+    HeteroPrio lets the CPU grab ``X`` and the GPU cannot improve it by
+    spoliation (``1/phi + 1 = phi`` is not strictly better), ending at
+    ``phi``.
+    """
+    x = Task(cpu_time=PHI, gpu_time=1.0, name="X", priority=0.0)
+    # Y's CPU time carries a +RHO_MARGIN nudge so rho_Y > rho_X strictly
+    # (the GPU must pick Y first; an exact tie is float-fragile).
+    y = Task(cpu_time=1.0 + RHO_MARGIN, gpu_time=1.0 / PHI, name="Y", priority=1.0)
+    return WorstCaseInstance(
+        instance=Instance([x, y]),
+        platform=Platform(num_cpus=1, num_gpus=1),
+        optimal_upper=1.0 + RHO_MARGIN,
+        heteroprio_expected=PHI,
+    )
+
+
+def theorem11_instance(m: int, granularity: int = 8) -> WorstCaseInstance:
+    """Theorem 11: (m CPUs, 1 GPU) instance with ratio ``-> 1 + phi``.
+
+    Parameters
+    ----------
+    m:
+        Number of CPUs (``m >= 2``; the ratio ``x + phi`` approaches
+        ``1 + phi`` as ``m`` grows).
+    granularity:
+        Number ``K`` of filler tasks per CPU; the filler size is
+        ``eps = x / K``, so larger values tighten the optimal packing
+        (optimal makespan is at most ``1 + eps * phi``).
+    """
+    if m < 2:
+        raise ValueError("Theorem 11 needs m >= 2 CPUs")
+    if granularity < 1:
+        raise ValueError("granularity must be >= 1")
+    x = (m - 1) / (m + PHI)
+    eps = x / granularity
+
+    tasks: list[Task] = []
+    # Strict acceleration ordering rho_T4 > rho_T1 > rho_T2 (see
+    # RHO_MARGIN): the GPU must drain T4 first, then take T1, leaving T2
+    # to a CPU.
+    tasks.append(
+        Task(cpu_time=1.0 + RHO_MARGIN, gpu_time=1.0 / PHI, name="T1", priority=2.0)
+    )
+    tasks.append(Task(cpu_time=PHI, gpu_time=1.0, name="T2", priority=1.0))
+    for i in range(m * granularity):
+        tasks.append(Task(cpu_time=eps, gpu_time=eps, name=f"T3_{i}", priority=0.0))
+    for i in range(granularity):
+        tasks.append(
+            Task(
+                cpu_time=eps * PHI * (1.0 + 2.0 * RHO_MARGIN),
+                gpu_time=eps,
+                name=f"T4_{i}",
+                priority=3.0,
+            )
+        )
+
+    return WorstCaseInstance(
+        instance=Instance(tasks),
+        platform=Platform(num_cpus=m, num_gpus=1),
+        optimal_upper=1.0 + eps * PHI * (1.0 + 2.0 * RHO_MARGIN) + RHO_MARGIN,
+        heteroprio_expected=x + PHI,
+    )
+
+
+def theorem14_r(n: int) -> float:
+    """The root ``r > 3`` of ``n/r + 2n - 1 = n r / 3`` (Theorem 14).
+
+    Multiplying by ``r`` gives ``(n/3) r^2 - (2n - 1) r - n = 0``; ``r``
+    tends to ``3 + 2 sqrt(3)`` as ``n`` grows.
+    """
+    a = n / 3.0
+    b = -(2.0 * n - 1.0)
+    c = -float(n)
+    return (-b + math.sqrt(b * b - 4.0 * a * c)) / (2.0 * a)
+
+
+def figure4_t2_tasks(k: int) -> list[float]:
+    """GPU durations of the Figure 4 task set ``T2`` for ``n = 6k`` GPUs.
+
+    One task of length ``6k`` plus, for each ``0 <= i <= 2k - 1``, six
+    tasks of length ``2k + i``.  Total work ``(6k)^2``, so the optimal
+    makespan on ``6k`` machines is ``6k`` (a perfect packing exists) while
+    the worst list schedule reaches ``12k - 1 = 2n - 1``.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    durations = [6.0 * k]
+    for i in range(2 * k):
+        durations.extend([2.0 * k + i] * 6)
+    return durations
+
+
+def figure4_optimal_assignment(k: int) -> list[list[float]]:
+    """The paper's perfect packing of ``T2`` on ``n = 6k`` machines.
+
+    Returns one list of durations per machine, each summing to at most
+    ``6k`` (and exactly ``6k`` in total work), proving
+    ``C_opt(T2) = 6k``:
+
+    * for ``1 <= i < k``, six machines pair a ``2k + i`` task with a
+      ``4k - i`` task (sum ``6k``);
+    * three machines pair two ``3k`` tasks;
+    * two machines stack three ``2k`` tasks;
+    * one machine runs the single ``6k`` task.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    machines: list[list[float]] = []
+    for i in range(1, k):
+        for _ in range(6):
+            machines.append([2.0 * k + i, 4.0 * k - i])
+    for _ in range(3):
+        machines.append([3.0 * k, 3.0 * k])
+    for _ in range(2):
+        machines.append([2.0 * k, 2.0 * k, 2.0 * k])
+    machines.append([6.0 * k])
+    assert len(machines) == 6 * k
+    return machines
+
+
+def figure4_worst_order(k: int) -> list[float]:
+    """Durations of ``T2`` in the adversarial list order of Figure 4(b).
+
+    First the six tasks of each length ``2k + i`` for ``i = 0..k-1``
+    (filling all ``6k`` machines), then lengths ``4k - 1`` down to ``3k``
+    (each pairing with the machine that frees up at the right time), then
+    the task of length ``6k`` last.
+    """
+    order: list[float] = []
+    for i in range(k):
+        order.extend([2.0 * k + i] * 6)
+    for i in range(k):
+        order.extend([4.0 * k - i - 1] * 6)
+    order.append(6.0 * k)
+    return order
+
+
+def list_schedule_homogeneous(durations: list[float], n_machines: int) -> float:
+    """Makespan of the greedy list schedule of *durations* (in order)."""
+    import heapq
+
+    if n_machines < 1:
+        raise ValueError("n_machines must be >= 1")
+    loads = [0.0] * n_machines
+    heapq.heapify(loads)
+    makespan = 0.0
+    for duration in durations:
+        start = heapq.heappop(loads)
+        end = start + duration
+        makespan = max(makespan, end)
+        heapq.heappush(loads, end)
+    return makespan
+
+
+def theorem14_instance(k: int) -> WorstCaseInstance:
+    """Theorem 14: (m = n^2 CPUs, n = 6k GPUs) with ratio ``-> 2 + 2/sqrt 3``.
+
+    Priorities select the adversarial execution: fillers first, then
+    ``T1`` on the GPUs, and a spoliation order of the ``T2`` tasks that
+    realises the worst list schedule of Figure 4.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    n = 6 * k
+    m = n * n
+    r = theorem14_r(n)
+    x = (m - n) / (m + n * r) * n
+
+    tasks: list[Task] = []
+    # T1: n tasks, p = n, q = n / r.
+    for i in range(n):
+        tasks.append(Task(cpu_time=float(n), gpu_time=n / r, name=f"T1_{i}", priority=3.0))
+    # T2: CPU time r n / 3 (shrunk by RHO_MARGIN so that the g = 2k tasks
+    # have acceleration strictly below rho_T1 = r — an exact tie is
+    # float-fragile and would let GPUs grab them before T1).  GPU
+    # durations come from Figure 4; the adversarial spoliation order is
+    # encoded by decreasing priorities.
+    t2_cpu = r * n / 3.0 * (1.0 - RHO_MARGIN)
+    grab_order = figure4_worst_order(k)
+    for rank, duration in enumerate(grab_order):
+        tasks.append(
+            Task(
+                cpu_time=t2_cpu,
+                gpu_time=duration,
+                name=f"T2_{rank}(g={duration:g})",
+                priority=2.0 - rank * 1e-9,
+            )
+        )
+    # T3: CPU fillers with acceleration 1 keeping every CPU busy until x.
+    # x is not an integer in general, so instead of the paper's unit tasks
+    # we emit ceil(x) tasks per CPU of size x/ceil(x) (same filling time).
+    per_cpu = max(1, math.ceil(x))
+    t3_size = x / per_cpu
+    for i in range(m * per_cpu):
+        tasks.append(Task(cpu_time=t3_size, gpu_time=t3_size, name=f"T3_{i}", priority=0.0))
+    # T4: n x GPU fillers with acceleration strictly above r (GPU must
+    # drain these before touching T1).
+    t4_size = x / per_cpu
+    for i in range(n * per_cpu):
+        tasks.append(
+            Task(
+                cpu_time=t4_size * r * (1.0 + RHO_MARGIN),
+                gpu_time=t4_size,
+                name=f"T4_{i}",
+                priority=4.0,
+            )
+        )
+
+    # The g = 2k tasks finish the GPU list schedule at relative time
+    # 2n - 1; the 6k task stays on its CPU (spoliation would not strictly
+    # improve it) and finishes at x + t2_cpu = expected - O(RHO_MARGIN).
+    heteroprio_expected = x + n / r + 2.0 * n - 1.0
+    # Optimal: T2 packed on the GPUs in time n; T1 on n CPUs (time n);
+    # fillers spread on the remaining m - n CPUs with load ~n each, with
+    # a packing slack below the largest filler piece (plus the RHO_MARGIN
+    # inflation of the T4 pieces).
+    optimal_upper = float(n) * (1.0 + RHO_MARGIN) + t4_size * r * (1.0 + RHO_MARGIN)
+    return WorstCaseInstance(
+        instance=Instance(tasks),
+        platform=Platform(num_cpus=m, num_gpus=n),
+        optimal_upper=optimal_upper,
+        heteroprio_expected=heteroprio_expected,
+    )

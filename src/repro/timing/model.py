@@ -1,0 +1,86 @@
+"""Timing models: map kernel kinds to per-task durations, with optional noise.
+
+A :class:`TimingModel` is the single source of durations for the DAG
+generators.  The deterministic default reproduces the calibrated tables
+of :mod:`repro.timing.kernels`; multiplicative lognormal noise can be
+enabled to model the run-to-run variability real measurements exhibit
+(shared caches, NUMA effects — Section 1 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.timing.kernels import KernelTiming, kernel_table
+
+__all__ = ["TimingModel"]
+
+
+class TimingModel:
+    """Durations for the kernels of one factorization.
+
+    Parameters
+    ----------
+    kernels:
+        Kernel timing table (kind -> :class:`KernelTiming`).
+    noise:
+        Standard deviation of the lognormal multiplicative noise applied
+        independently to each sampled duration (0 = deterministic).
+        Noise perturbs CPU and GPU durations independently, so it also
+        jitters acceleration factors, as in real measurements.
+    rng:
+        Random generator used when ``noise > 0``.
+    """
+
+    def __init__(
+        self,
+        kernels: Mapping[str, KernelTiming],
+        *,
+        noise: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ):
+        if noise < 0:
+            raise ValueError("noise must be non-negative")
+        if noise > 0 and rng is None:
+            raise ValueError("a random generator is required when noise > 0")
+        self._kernels = dict(kernels)
+        self.noise = noise
+        self._rng = rng
+
+    @classmethod
+    def for_factorization(
+        cls,
+        factorization: str,
+        *,
+        noise: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ) -> "TimingModel":
+        """Model using the calibrated table for ``cholesky``/``qr``/``lu``."""
+        return cls(kernel_table(factorization), noise=noise, rng=rng)
+
+    @property
+    def kinds(self) -> list[str]:
+        """Kernel kinds known to this model."""
+        return sorted(self._kernels)
+
+    def reference(self, kind: str) -> KernelTiming:
+        """The noise-free reference timing of one kernel kind."""
+        try:
+            return self._kernels[kind]
+        except KeyError:
+            raise ValueError(f"unknown kernel kind {kind!r}") from None
+
+    def sample(self, kind: str) -> tuple[float, float]:
+        """Draw ``(cpu_time, gpu_time)`` for one task of the given kind."""
+        ref = self.reference(kind)
+        if self.noise == 0.0:
+            return ref.cpu_time, ref.gpu_time
+        assert self._rng is not None
+        factors = np.exp(self._rng.normal(0.0, self.noise, size=2))
+        return ref.cpu_time * float(factors[0]), ref.gpu_time * float(factors[1])
+
+    def acceleration(self, kind: str) -> float:
+        """Reference acceleration factor of one kernel kind."""
+        return self.reference(kind).acceleration

@@ -1,0 +1,15 @@
+"""Trace export and visualisation.
+
+Task-based runtimes live and die by their traces (StarPU ships Paje/ViTE
+tooling); this package provides the equivalent for the simulator:
+
+* :func:`schedule_to_dict` / :func:`schedule_to_json` — a stable,
+  documented JSON trace format for downstream tooling;
+* :func:`schedule_to_svg` — a dependency-free SVG Gantt chart with one
+  lane per worker, kernel-kind colouring and hatched aborted intervals.
+"""
+
+from repro.viz.trace import schedule_to_dict, schedule_to_json
+from repro.viz.svg import schedule_to_svg
+
+__all__ = ["schedule_to_dict", "schedule_to_json", "schedule_to_svg"]

@@ -1,0 +1,129 @@
+"""Dependency-free SVG Gantt rendering of schedules.
+
+One horizontal lane per worker (CPUs on top, GPUs below), rectangles
+coloured by kernel kind, aborted (spoliated) intervals hatched.  The
+output is a standalone ``.svg`` viewable in any browser.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from xml.sax.saxutils import escape
+
+from repro.core.schedule import Schedule
+
+__all__ = ["schedule_to_svg", "KIND_COLORS"]
+
+#: Colour per kernel kind; unknown kinds hash onto the fallback cycle.
+KIND_COLORS = {
+    "POTRF": "#d62728",
+    "GETRF": "#d62728",
+    "GEQRT": "#d62728",
+    "TRSM": "#ff7f0e",
+    "TSQRT": "#ff7f0e",
+    "SYRK": "#2ca02c",
+    "ORMQR": "#2ca02c",
+    "GEMM": "#1f77b4",
+    "TSMQR": "#1f77b4",
+    "": "#7f7f7f",
+}
+
+_FALLBACK = ("#9467bd", "#8c564b", "#e377c2", "#17becf", "#bcbd22")
+
+LANE_HEIGHT = 18
+LANE_GAP = 4
+MARGIN_LEFT = 64
+MARGIN_TOP = 28
+MARGIN_BOTTOM = 20
+
+
+def _color(kind: str) -> str:
+    if kind in KIND_COLORS:
+        return KIND_COLORS[kind]
+    return _FALLBACK[hash(kind) % len(_FALLBACK)]
+
+
+def schedule_to_svg(
+    schedule: Schedule,
+    path: str | Path | None = None,
+    *,
+    width: int = 1000,
+) -> str:
+    """Render the schedule as an SVG string (and write it to *path*).
+
+    Parameters
+    ----------
+    schedule:
+        Any schedule, including ones with aborted placements.
+    path:
+        When given, the SVG is also written to this file.
+    width:
+        Total image width in pixels; time is scaled to fit.
+    """
+    workers = list(schedule.platform.workers())
+    horizon = max((p.end for p in schedule.placements), default=0.0)
+    scale = (width - MARGIN_LEFT - 10) / horizon if horizon > 0 else 1.0
+    height = MARGIN_TOP + len(workers) * (LANE_HEIGHT + LANE_GAP) + MARGIN_BOTTOM
+
+    parts: list[str] = []
+    parts.append(
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="monospace" font-size="11">'
+    )
+    parts.append(
+        '<defs><pattern id="hatch" width="6" height="6" '
+        'patternTransform="rotate(45)" patternUnits="userSpaceOnUse">'
+        '<rect width="6" height="6" fill="#cccccc"/>'
+        '<line x1="0" y1="0" x2="0" y2="6" stroke="#666666" stroke-width="2"/>'
+        "</pattern></defs>"
+    )
+    parts.append(
+        f'<text x="{MARGIN_LEFT}" y="16">makespan = {schedule.makespan:.6g}'
+        f" ({len(schedule.aborted_placements())} spoliation(s))</text>"
+    )
+
+    lane_of = {worker: i for i, worker in enumerate(workers)}
+    for worker, lane in lane_of.items():
+        y = MARGIN_TOP + lane * (LANE_HEIGHT + LANE_GAP)
+        parts.append(
+            f'<text x="4" y="{y + LANE_HEIGHT - 5}">{escape(str(worker))}</text>'
+        )
+        parts.append(
+            f'<rect x="{MARGIN_LEFT}" y="{y}" '
+            f'width="{width - MARGIN_LEFT - 10}" height="{LANE_HEIGHT}" '
+            'fill="#f5f5f5"/>'
+        )
+
+    for p in sorted(schedule.placements, key=lambda p: p.start):
+        lane = lane_of[p.worker]
+        y = MARGIN_TOP + lane * (LANE_HEIGHT + LANE_GAP)
+        x = MARGIN_LEFT + p.start * scale
+        w = max(p.duration * scale, 0.5)
+        fill = "url(#hatch)" if p.aborted else _color(p.task.kind)
+        title = (
+            f"{p.task.name} [{p.start:.6g}, {p.end:.6g}]"
+            + (" ABORTED" if p.aborted else "")
+        )
+        parts.append(
+            f'<rect x="{x:.2f}" y="{y}" width="{w:.2f}" height="{LANE_HEIGHT}" '
+            f'fill="{fill}" stroke="#333333" stroke-width="0.4">'
+            f"<title>{escape(title)}</title></rect>"
+        )
+
+    # Time axis.
+    axis_y = MARGIN_TOP + len(workers) * (LANE_HEIGHT + LANE_GAP) + 4
+    parts.append(
+        f'<line x1="{MARGIN_LEFT}" y1="{axis_y}" '
+        f'x2="{width - 10}" y2="{axis_y}" stroke="#333333"/>'
+    )
+    for frac in (0.0, 0.25, 0.5, 0.75, 1.0):
+        x = MARGIN_LEFT + frac * (width - MARGIN_LEFT - 10)
+        parts.append(
+            f'<text x="{x:.0f}" y="{axis_y + 12}" text-anchor="middle">'
+            f"{horizon * frac:.4g}</text>"
+        )
+    parts.append("</svg>")
+    svg = "\n".join(parts)
+    if path is not None:
+        Path(path).write_text(svg)
+    return svg

@@ -1,0 +1,64 @@
+"""JSON trace export.
+
+Format (version 1)::
+
+    {
+      "version": 1,
+      "platform": {"cpus": 20, "gpus": 4},
+      "makespan": 0.372,
+      "placements": [
+        {"task": "GEMM(3,2,1)", "kind": "GEMM", "uid": 1234,
+         "worker": "GPU0", "start": 0.1, "end": 0.102,
+         "cpu_time": 0.0576, "gpu_time": 0.002, "aborted": false},
+        ...
+      ]
+    }
+
+Placements are sorted by (worker, start) so diffs between runs are
+stable.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.core.schedule import Schedule
+
+__all__ = ["schedule_to_dict", "schedule_to_json"]
+
+TRACE_VERSION = 1
+
+
+def schedule_to_dict(schedule: Schedule) -> dict[str, Any]:
+    """The schedule as a plain JSON-serialisable dictionary."""
+    placements = sorted(
+        schedule.placements, key=lambda p: (str(p.worker), p.start, p.end)
+    )
+    return {
+        "version": TRACE_VERSION,
+        "platform": {
+            "cpus": schedule.platform.num_cpus,
+            "gpus": schedule.platform.num_gpus,
+        },
+        "makespan": schedule.makespan,
+        "placements": [
+            {
+                "task": p.task.name,
+                "kind": p.task.kind,
+                "uid": p.task.uid,
+                "worker": str(p.worker),
+                "start": p.start,
+                "end": p.end,
+                "cpu_time": p.task.cpu_time,
+                "gpu_time": p.task.gpu_time,
+                "aborted": p.aborted,
+            }
+            for p in placements
+        ],
+    }
+
+
+def schedule_to_json(schedule: Schedule, *, indent: int | None = 2) -> str:
+    """The schedule as a JSON string (see :data:`TRACE_VERSION` format)."""
+    return json.dumps(schedule_to_dict(schedule), indent=indent)

@@ -1,0 +1,134 @@
+"""Tests for the area bound (Section 4.2) and its structural lemmas."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.bounds.area import area_bound, area_bound_lp
+from repro.core.platform import Platform, ResourceKind
+from repro.core.task import Instance, Task
+
+from conftest import instances, platforms
+
+
+class TestClosedFormBasics:
+    def test_empty_instance(self):
+        res = area_bound(Instance([]), Platform(1, 1))
+        assert res.value == 0.0
+
+    def test_single_task_split_across_classes(self):
+        # One divisible task on (1 CPU, 1 GPU): balance x p = (1-x) q.
+        inst = Instance.from_times([2.0], [2.0])
+        res = area_bound(inst, Platform(1, 1))
+        assert res.value == pytest.approx(1.0)
+        assert res.cpu_fractions[0] == pytest.approx(0.5)
+
+    def test_two_tasks_perfect_split(self):
+        # rho = 4 task to GPU, rho = 0.25 task to CPU, loads 1 and 1.
+        inst = Instance.from_times([4.0, 1.0], [1.0, 4.0])
+        res = area_bound(inst, Platform(1, 1))
+        assert res.value == pytest.approx(1.0)
+        assert res.cpu_fractions[0] == pytest.approx(0.0)  # rho=4 on GPU
+        assert res.cpu_fractions[1] == pytest.approx(1.0)  # rho=0.25 on CPU
+
+    def test_cpu_only_platform(self):
+        inst = Instance.from_times([2.0, 4.0], [1.0, 1.0])
+        res = area_bound(inst, Platform(num_cpus=3, num_gpus=0))
+        assert res.value == pytest.approx(2.0)
+        assert np.all(res.cpu_fractions == 1.0)
+
+    def test_gpu_only_platform(self):
+        inst = Instance.from_times([2.0, 4.0], [1.0, 3.0])
+        res = area_bound(inst, Platform(num_cpus=0, num_gpus=2))
+        assert res.value == pytest.approx(2.0)
+        assert np.all(res.cpu_fractions == 0.0)
+
+    def test_scales_with_machine_counts(self):
+        inst = Instance.from_times([1.0] * 8, [1.0] * 8)
+        small = area_bound(inst, Platform(1, 1)).value
+        big = area_bound(inst, Platform(2, 2)).value
+        assert big == pytest.approx(small / 2.0)
+
+    def test_value_scales_with_durations(self, rng):
+        inst = Instance.uniform_random(10, rng)
+        scaled = Instance.from_times(inst.cpu_times() * 3.0, inst.gpu_times() * 3.0)
+        platform = Platform(2, 1)
+        assert area_bound(scaled, platform).value == pytest.approx(
+            3.0 * area_bound(inst, platform).value
+        )
+
+
+class TestLemma1:
+    """Both area constraints are tight at the optimum."""
+
+    @given(inst=instances(max_tasks=15), platform=platforms())
+    @settings(max_examples=80, deadline=None)
+    def test_loads_balanced(self, inst, platform):
+        res = area_bound(inst, platform)
+        assert res.cpu_load / platform.num_cpus == pytest.approx(
+            res.value, rel=1e-9, abs=1e-12
+        )
+        assert res.gpu_load / platform.num_gpus == pytest.approx(
+            res.value, rel=1e-9, abs=1e-12
+        )
+
+
+class TestLemma2:
+    """The optimal fractional assignment is a threshold on rho."""
+
+    @given(inst=instances(max_tasks=15), platform=platforms())
+    @settings(max_examples=80, deadline=None)
+    def test_threshold_structure(self, inst, platform):
+        res = area_bound(inst, platform)
+        k = res.threshold
+        for task, x in zip(inst, res.cpu_fractions):
+            if x < 1.0:  # partially on GPU
+                assert task.acceleration >= k - 1e-9
+            if x > 0.0:  # partially on CPU
+                assert task.acceleration <= k + 1e-9
+
+    @given(inst=instances(max_tasks=15), platform=platforms())
+    @settings(max_examples=50, deadline=None)
+    def test_at_most_one_fractional_task(self, inst, platform):
+        res = area_bound(inst, platform)
+        fractional = [x for x in res.cpu_fractions if 1e-9 < x < 1 - 1e-9]
+        assert len(fractional) <= 1
+
+
+class TestAgainstLP:
+    @given(inst=instances(max_tasks=12), platform=platforms())
+    @settings(max_examples=50, deadline=None)
+    def test_closed_form_matches_linprog(self, inst, platform):
+        closed = area_bound(inst, platform).value
+        lp = area_bound_lp(inst, platform)
+        assert closed == pytest.approx(lp, rel=1e-6, abs=1e-9)
+
+    def test_lp_single_class(self):
+        inst = Instance.from_times([2.0, 4.0], [1.0, 1.0])
+        assert area_bound_lp(inst, Platform(3, 0)) == pytest.approx(2.0)
+        assert area_bound_lp(inst, Platform(0, 2)) == pytest.approx(1.0)
+
+    def test_lp_empty(self):
+        assert area_bound_lp(Instance([]), Platform(1, 1)) == 0.0
+
+
+class TestLowerBoundProperty:
+    @given(inst=instances(max_tasks=8), platform=platforms(max_cpus=2, max_gpus=2))
+    @settings(max_examples=30, deadline=None)
+    def test_area_bound_below_optimal(self, inst, platform):
+        from repro.schedulers.exact import optimal_makespan
+
+        bound = area_bound(inst, platform).value
+        assert bound <= optimal_makespan(inst, platform) + 1e-9
+
+    def test_fractions_within_unit_interval(self, rng):
+        inst = Instance.uniform_random(30, rng)
+        res = area_bound(inst, Platform(3, 2))
+        assert np.all(res.cpu_fractions >= -1e-12)
+        assert np.all(res.cpu_fractions <= 1.0 + 1e-12)
+
+    def test_class_load_accessor(self):
+        inst = Instance.from_times([4.0, 1.0], [1.0, 4.0])
+        res = area_bound(inst, Platform(1, 1))
+        assert res.class_load(ResourceKind.CPU) == res.cpu_load
+        assert res.class_load(ResourceKind.GPU) == res.gpu_load

@@ -1,0 +1,140 @@
+"""Tests for the simple bounds and the DAG LP lower bound."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.bounds.area import area_bound
+from repro.bounds.dag_lp import dag_lower_bound, dag_lp_bound
+from repro.bounds.simple import makespan_lower_bound, min_time_bound
+from repro.core.platform import Platform
+from repro.core.task import Instance, Task
+from repro.dag.graph import TaskGraph
+from repro.dag.priorities import assign_priorities, critical_path_length
+
+from conftest import instances, platforms
+
+
+class TestMinTimeBound:
+    def test_uses_fastest_resource(self):
+        inst = Instance.from_times([10.0, 1.0], [2.0, 5.0])
+        assert min_time_bound(inst, Platform(1, 1)) == 2.0
+
+    def test_cpu_only_forces_cpu_times(self):
+        inst = Instance.from_times([10.0, 1.0], [2.0, 5.0])
+        assert min_time_bound(inst, Platform(2, 0)) == 10.0
+
+    def test_gpu_only_forces_gpu_times(self):
+        inst = Instance.from_times([10.0, 1.0], [2.0, 5.0])
+        assert min_time_bound(inst, Platform(0, 2)) == 5.0
+
+    def test_empty(self):
+        assert min_time_bound(Instance([]), Platform(1, 1)) == 0.0
+
+    @given(inst=instances(), platform=platforms())
+    @settings(max_examples=40, deadline=None)
+    def test_combined_bound_dominates_parts(self, inst, platform):
+        combined = makespan_lower_bound(inst, platform)
+        assert combined >= min_time_bound(inst, platform) - 1e-12
+        assert combined >= area_bound(inst, platform).value - 1e-12
+
+
+def _chain_graph(times: list[tuple[float, float]]) -> TaskGraph:
+    graph = TaskGraph("chain")
+    prev = None
+    for i, (p, q) in enumerate(times):
+        task = Task(cpu_time=p, gpu_time=q, name=f"c{i}")
+        graph.add_task(task)
+        if prev is not None:
+            graph.add_edge(prev, task)
+        prev = task
+    return graph
+
+
+def _diamond_graph() -> TaskGraph:
+    graph = TaskGraph("diamond")
+    a = Task(1.0, 1.0, name="a")
+    b = Task(2.0, 1.0, name="b")
+    c = Task(2.0, 4.0, name="c")
+    d = Task(1.0, 1.0, name="d")
+    graph.add_edge(a, b)
+    graph.add_edge(a, c)
+    graph.add_edge(b, d)
+    graph.add_edge(c, d)
+    return graph
+
+
+class TestDagLpBound:
+    def test_empty_graph(self):
+        assert dag_lp_bound(TaskGraph("empty"), Platform(1, 1)) == 0.0
+
+    def test_chain_equals_sum_of_min_times(self):
+        graph = _chain_graph([(2.0, 5.0), (5.0, 1.0), (3.0, 3.0)])
+        bound = dag_lp_bound(graph, Platform(2, 2))
+        assert bound == pytest.approx(2.0 + 1.0 + 3.0)
+
+    def test_single_task(self):
+        graph = _chain_graph([(4.0, 9.0)])
+        assert dag_lp_bound(graph, Platform(1, 1)) == pytest.approx(4.0)
+
+    def test_dominates_area_bound(self):
+        graph = _diamond_graph()
+        platform = Platform(1, 1)
+        lp = dag_lp_bound(graph, platform)
+        area = area_bound(graph.to_instance(), platform).value
+        assert lp >= area - 1e-9
+
+    def test_dominates_critical_path(self):
+        graph = _diamond_graph()
+        platform = Platform(2, 2)
+        lp = dag_lp_bound(graph, platform)
+        assert lp >= critical_path_length(graph, weight="min") - 1e-9
+
+    def test_cpu_only_platform(self):
+        graph = _chain_graph([(2.0, 1.0), (3.0, 1.0)])
+        assert dag_lp_bound(graph, Platform(2, 0)) == pytest.approx(5.0)
+
+    def test_gpu_only_platform(self):
+        graph = _chain_graph([(2.0, 1.0), (3.0, 1.0)])
+        assert dag_lp_bound(graph, Platform(0, 2)) == pytest.approx(2.0)
+
+    def test_below_any_simulated_schedule(self):
+        from repro.schedulers.online import HeteroPrioPolicy
+        from repro.simulator import simulate
+
+        graph = _diamond_graph()
+        platform = Platform(1, 1)
+        assign_priorities(graph, platform, "min")
+        schedule = simulate(graph, platform, HeteroPrioPolicy())
+        assert dag_lp_bound(graph, platform) <= schedule.makespan + 1e-9
+
+
+class TestDagLowerBoundDispatch:
+    def test_method_lp(self):
+        graph = _diamond_graph()
+        assert dag_lower_bound(graph, Platform(1, 1), method="lp") == pytest.approx(
+            dag_lp_bound(graph, Platform(1, 1))
+        )
+
+    def test_method_mixed_is_max_of_parts(self):
+        graph = _diamond_graph()
+        platform = Platform(1, 1)
+        mixed = dag_lower_bound(graph, platform, method="mixed")
+        area = area_bound(graph.to_instance(), platform).value
+        cp = critical_path_length(graph, weight="min")
+        assert mixed == pytest.approx(max(area, cp))
+
+    def test_mixed_below_lp(self):
+        graph = _diamond_graph()
+        platform = Platform(2, 1)
+        assert dag_lower_bound(graph, platform, method="mixed") <= dag_lower_bound(
+            graph, platform, method="lp"
+        ) + 1e-9
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError, match="unknown method"):
+            dag_lower_bound(_diamond_graph(), Platform(1, 1), method="bogus")
+
+    def test_mixed_single_class_platforms(self):
+        graph = _chain_graph([(2.0, 1.0), (3.0, 1.0)])
+        assert dag_lower_bound(graph, Platform(2, 0), method="mixed") == pytest.approx(5.0)
+        assert dag_lower_bound(graph, Platform(0, 2), method="mixed") == pytest.approx(2.0)

@@ -1,0 +1,40 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table2" in out and "fig7" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "28.800" in out
+
+    def test_fig4(self, capsys):
+        assert main(["fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "worst list makespan" in out
+
+    def test_fig23_checks_ok(self, capsys):
+        assert main(["fig23"]) == 0
+        out = capsys.readouterr().out
+        assert "FAILED" not in out
+
+    def test_fig6_fast_single_kernel(self, capsys):
+        assert main(["fig6", "--kernel", "qr", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "qr" in out and "heteroprio" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure42"])
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig6", "--kernel", "svd"])

@@ -1,0 +1,56 @@
+"""Additional CLI coverage: kernels, output files, fast variants."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCliKernels:
+    @pytest.mark.parametrize("experiment", ["fig8", "fig9"])
+    def test_single_kernel_fast(self, experiment, capsys):
+        assert main([experiment, "--kernel", "lu", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "lu" in out
+        assert "[CPU]" in out and "[GPU]" in out
+
+    def test_fig1_ignores_kernel_flag(self, capsys):
+        assert main(["fig1", "--kernel", "qr"]) == 0
+        assert "HeteroPrio schedule" in capsys.readouterr().out
+
+
+class TestCliOutput:
+    def test_out_writes_files(self, tmp_path, capsys):
+        assert main(["table1", "--out", str(tmp_path)]) == 0
+        content = (tmp_path / "table1.txt").read_text()
+        assert "28.800" in content
+
+    def test_out_multi_kernel_concatenates(self, tmp_path, capsys):
+        assert main(["fig6", "--fast", "--out", str(tmp_path)]) == 0
+        content = (tmp_path / "fig6.txt").read_text()
+        assert content.count("== fig6:") == 3  # cholesky + qr + lu
+
+    def test_out_creates_directory(self, tmp_path, capsys):
+        target = tmp_path / "nested" / "dir"
+        assert main(["fig4", "--out", str(target)]) == 0
+        assert (target / "fig4.txt").exists()
+
+
+class TestCliFastVariants:
+    def test_table2_fast(self, capsys):
+        assert main(["table2", "--fast"]) == 0
+        assert "measured on tight instance" in capsys.readouterr().out
+
+    def test_fig5_fast(self, capsys):
+        assert main(["fig5", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "ratio (-> 3.155)" in out
+
+    def test_comm_fast(self, capsys):
+        assert main(["comm", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "transfer scale" in out
+
+    def test_robustness_fast(self, capsys):
+        assert main(["robustness", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "best mean ratio" in out

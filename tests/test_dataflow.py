@@ -1,0 +1,104 @@
+"""Tests for the superscalar dependency-inference engine."""
+
+import pytest
+
+from repro.core.task import Task
+from repro.dag.dataflow import Access, AccessMode, DataflowTracker
+
+
+def _t(name: str) -> Task:
+    return Task(cpu_time=1.0, gpu_time=1.0, name=name)
+
+
+def edges_of(tracker: DataflowTracker) -> set[tuple[str, str]]:
+    return {(p.name, s.name) for p, s in tracker.graph.edges()}
+
+
+class TestAccessMode:
+    def test_read_flags(self):
+        assert AccessMode.READ.reads and not AccessMode.READ.writes
+
+    def test_write_flags(self):
+        assert AccessMode.WRITE.writes and not AccessMode.WRITE.reads
+
+    def test_read_write_flags(self):
+        assert AccessMode.READ_WRITE.reads and AccessMode.READ_WRITE.writes
+
+
+class TestHazards:
+    def test_raw_dependency(self):
+        tr = DataflowTracker()
+        tr.submit(_t("w"), [("A", AccessMode.WRITE)])
+        tr.submit(_t("r"), [("A", AccessMode.READ)])
+        assert edges_of(tr) == {("w", "r")}
+
+    def test_war_dependency(self):
+        tr = DataflowTracker()
+        tr.submit(_t("r"), [("A", AccessMode.READ)])
+        tr.submit(_t("w"), [("A", AccessMode.WRITE)])
+        assert edges_of(tr) == {("r", "w")}
+
+    def test_waw_dependency(self):
+        tr = DataflowTracker()
+        tr.submit(_t("w1"), [("A", AccessMode.WRITE)])
+        tr.submit(_t("w2"), [("A", AccessMode.WRITE)])
+        assert edges_of(tr) == {("w1", "w2")}
+
+    def test_independent_reads_share_no_edge(self):
+        tr = DataflowTracker()
+        tr.submit(_t("w"), [("A", AccessMode.WRITE)])
+        tr.submit(_t("r1"), [("A", AccessMode.READ)])
+        tr.submit(_t("r2"), [("A", AccessMode.READ)])
+        assert ("r1", "r2") not in edges_of(tr)
+        assert ("r2", "r1") not in edges_of(tr)
+
+    def test_writer_waits_for_all_readers(self):
+        tr = DataflowTracker()
+        tr.submit(_t("w"), [("A", AccessMode.WRITE)])
+        tr.submit(_t("r1"), [("A", AccessMode.READ)])
+        tr.submit(_t("r2"), [("A", AccessMode.READ)])
+        tr.submit(_t("w2"), [("A", AccessMode.READ_WRITE)])
+        assert {("r1", "w2"), ("r2", "w2")} <= edges_of(tr)
+
+    def test_rw_chains_serialise(self):
+        tr = DataflowTracker()
+        tr.submit(_t("a"), [("A", AccessMode.READ_WRITE)])
+        tr.submit(_t("b"), [("A", AccessMode.READ_WRITE)])
+        tr.submit(_t("c"), [("A", AccessMode.READ_WRITE)])
+        assert {("a", "b"), ("b", "c")} <= edges_of(tr)
+
+    def test_distinct_handles_are_independent(self):
+        tr = DataflowTracker()
+        tr.submit(_t("a"), [("A", AccessMode.WRITE)])
+        tr.submit(_t("b"), [("B", AccessMode.WRITE)])
+        assert edges_of(tr) == set()
+
+    def test_access_dataclass_accepted(self):
+        tr = DataflowTracker()
+        tr.submit(_t("a"), [Access("A", AccessMode.WRITE)])
+        tr.submit(_t("b"), [Access("A", AccessMode.READ)])
+        assert edges_of(tr) == {("a", "b")}
+
+    def test_multi_handle_kernel(self):
+        tr = DataflowTracker()
+        tr.submit(_t("panel"), [("Akk", AccessMode.READ_WRITE)])
+        tr.submit(
+            _t("update"),
+            [("Akk", AccessMode.READ), ("Aik", AccessMode.READ_WRITE)],
+        )
+        tr.submit(
+            _t("gemm"),
+            [("Aik", AccessMode.READ), ("Aij", AccessMode.READ_WRITE)],
+        )
+        assert edges_of(tr) == {("panel", "update"), ("update", "gemm")}
+
+    def test_self_read_write_no_self_edge(self):
+        tr = DataflowTracker()
+        tr.submit(_t("a"), [("A", AccessMode.READ), ("A", AccessMode.WRITE)])
+        assert edges_of(tr) == set()
+
+    def test_graph_is_acyclic_by_construction(self):
+        tr = DataflowTracker()
+        for i in range(20):
+            tr.submit(_t(f"k{i}"), [(f"h{i % 3}", AccessMode.READ_WRITE)])
+        tr.graph.validate()  # raises on cycles

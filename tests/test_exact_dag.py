@@ -1,0 +1,127 @@
+"""Tests for the exact DAG makespan oracle."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.platform import Platform
+from repro.core.task import Instance, Task
+from repro.dag.graph import TaskGraph
+from repro.dag.priorities import assign_priorities
+from repro.dag.random_graphs import layered_random_graph
+from repro.schedulers.exact import optimal_makespan
+from repro.schedulers.exact_dag import MAX_EXACT_DAG_TASKS, optimal_dag_makespan
+from repro.schedulers.online import DualHPPolicy, HeftPolicy, HeteroPrioPolicy
+from repro.simulator import simulate
+from repro.bounds.dag_lp import dag_lp_bound
+
+
+def _t(name: str, p: float, q: float) -> Task:
+    return Task(cpu_time=p, gpu_time=q, name=name)
+
+
+def _chain(times):
+    g = TaskGraph("chain")
+    prev = None
+    for i, (p, q) in enumerate(times):
+        t = _t(f"c{i}", p, q)
+        g.add_task(t)
+        if prev is not None:
+            g.add_edge(prev, t)
+        prev = t
+    return g
+
+
+class TestBasics:
+    def test_empty_graph(self):
+        assert optimal_dag_makespan(TaskGraph("e"), Platform(1, 1)) == 0.0
+
+    def test_single_task(self):
+        g = TaskGraph("one")
+        g.add_task(_t("a", 5.0, 2.0))
+        assert optimal_dag_makespan(g, Platform(1, 1)) == pytest.approx(2.0)
+
+    def test_chain_sums_best_times(self):
+        g = _chain([(2.0, 5.0), (5.0, 1.0), (3.0, 3.0)])
+        assert optimal_dag_makespan(g, Platform(1, 1)) == pytest.approx(6.0)
+
+    def test_independent_tasks_match_exact_solver(self):
+        g = TaskGraph("free")
+        tasks = [_t("a", 3.0, 1.0), _t("b", 1.0, 4.0), _t("c", 2.0, 2.0)]
+        for t in tasks:
+            g.add_task(t)
+        platform = Platform(1, 1)
+        assert optimal_dag_makespan(g, platform) == pytest.approx(
+            optimal_makespan(Instance(tasks), platform)
+        )
+
+    def test_deliberate_idling_found(self):
+        # Two GPU-friendly tasks in sequence behind a fork: the optimum
+        # leaves the CPU idle rather than marooning a task there.
+        g = TaskGraph("idle")
+        a, b = _t("a", 100.0, 1.0), _t("b", 100.0, 1.0)
+        g.add_task(a)
+        g.add_task(b)
+        assert optimal_dag_makespan(g, Platform(1, 1)) == pytest.approx(2.0)
+
+    def test_task_limit_guard(self):
+        g = TaskGraph("big")
+        for i in range(MAX_EXACT_DAG_TASKS + 1):
+            g.add_task(_t(f"x{i}", 1.0, 1.0))
+        with pytest.raises(ValueError, match="limited"):
+            optimal_dag_makespan(g, Platform(1, 1))
+
+    def test_fork_join(self):
+        g = TaskGraph("fj")
+        src = _t("src", 1.0, 1.0)
+        sink = _t("sink", 1.0, 1.0)
+        for i in range(3):
+            mid = _t(f"m{i}", 2.0, 1.0)
+            g.add_edge(src, mid)
+            g.add_edge(mid, sink)
+        # 1 CPU + 2 GPUs: src (1) + middles: two on GPUs (1), one on CPU (2)
+        # -> join at 3, sink 1 => 5? or all middles on GPUs serialised:
+        # 1 + 2 + 1 = 4.
+        assert optimal_dag_makespan(g, Platform(1, 2)) == pytest.approx(4.0)
+
+
+class TestAgainstPolicies:
+    @given(
+        seed=st.integers(min_value=0, max_value=2000),
+        layers=st.integers(min_value=1, max_value=3),
+        width=st.integers(min_value=1, max_value=3),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_online_policies_never_beat_optimum(self, seed, layers, width):
+        rng = np.random.default_rng(seed)
+        g = layered_random_graph(layers, width, rng)
+        platform = Platform(2, 1)
+        assign_priorities(g, platform, "min")
+        opt = optimal_dag_makespan(g, platform)
+        for policy_cls in (HeteroPrioPolicy, HeftPolicy, DualHPPolicy):
+            makespan = simulate(g, platform, policy_cls()).makespan
+            assert makespan >= opt - 1e-9
+
+    @given(seed=st.integers(min_value=0, max_value=2000))
+    @settings(max_examples=20, deadline=None)
+    def test_optimum_at_least_lp_bound(self, seed):
+        rng = np.random.default_rng(seed)
+        g = layered_random_graph(2, 3, rng)
+        platform = Platform(2, 2)
+        opt = optimal_dag_makespan(g, platform)
+        assert opt >= dag_lp_bound(g, platform) - 1e-6
+
+    def test_heteroprio_dag_reasonable_on_tiny_graphs(self):
+        # No proved bound exists for the DAG variant; sanity-check the
+        # empirical ratio stays modest on random tiny graphs.
+        worst = 0.0
+        for seed in range(30):
+            rng = np.random.default_rng(seed)
+            g = layered_random_graph(2, 3, rng)
+            platform = Platform(2, 1)
+            assign_priorities(g, platform, "min")
+            hp = simulate(g, platform, HeteroPrioPolicy()).makespan
+            opt = optimal_dag_makespan(g, platform)
+            worst = max(worst, hp / opt)
+        assert worst < 3.0

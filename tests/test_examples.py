@@ -1,0 +1,35 @@
+"""Smoke tests: every example script runs to completion."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+#: Arguments keeping the slower examples quick (and filesystem-clean)
+#: under test.
+ARGS = {
+    "cholesky_pipeline.py": ["8"],
+    "custom_application.py": ["6"],
+    "export_traces.py": ["6", "/tmp/repro-example-traces"],
+}
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script), *ARGS.get(script.name, [])],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip(), "example produced no output"
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(names) >= 3

@@ -1,0 +1,201 @@
+"""Tests for the experiment harness (tables and figures)."""
+
+import pytest
+
+from repro.experiments import ALL_EXPERIMENTS, fig1, fig23, fig4, fig5, fig6, fig7, fig8, fig9, table1, table2
+from repro.experiments.dags import clear_cache, dag_sweep
+from repro.experiments.report import ExperimentResult, Series, format_table
+from repro.experiments.workloads import build_graph
+from repro.theory.constants import PHI
+
+TINY_N = (4, 8)
+TINY_ALGOS = ("heteroprio-min", "heft-avg", "dualhp-fifo")
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [["1", "2"], ["33", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_result_render_contains_series(self):
+        r = ExperimentResult(
+            experiment="x",
+            title="t",
+            x_label="N",
+            x_values=[1, 2],
+            series=[Series("s", [0.5, float("nan")])],
+        )
+        text = r.render()
+        assert "== x: t ==" in text
+        assert "0.500" in text
+        assert "-" in text  # NaN rendering
+
+    def test_series_lookup(self):
+        r = ExperimentResult("x", "t", series=[Series("a", [1.0])])
+        assert r.series_by_label("a").values == [1.0]
+        with pytest.raises(KeyError):
+            r.series_by_label("b")
+
+
+class TestTable1:
+    def test_matches_paper_exactly(self):
+        result = table1.run()
+        paper = result.series_by_label("paper (GPU / 1 core)").values
+        model = result.series_by_label("model (GPU / 1 core)").values
+        assert model == pytest.approx(paper)
+
+
+class TestTable2:
+    def test_structure_and_bounds(self):
+        result = table2.run(m_cpus=8, granularity=8, k=1)
+        proved = result.series_by_label("proved ratio").values
+        worst = result.series_by_label("worst-case example").values
+        measured = result.series_by_label("measured on tight instance").values
+        assert proved == pytest.approx([PHI, 1 + PHI, 2 + 2 ** 0.5])
+        # Measured never exceeds the proved bound, and the (1,1) case is
+        # exactly tight.
+        for m, p in zip(measured, proved):
+            assert m <= p + 1e-9
+        assert measured[0] == pytest.approx(PHI)
+        assert all(w <= p + 1e-9 for w, p in zip(worst, proved))
+
+
+class TestFig1:
+    def test_spoliation_improves_makespan(self):
+        result = fig1.run()
+        ns, hp = result.series_by_label("makespan").values
+        assert hp < ns
+        assert result.data["spoliations"]
+
+
+class TestFig23:
+    def test_all_checks_pass(self):
+        result = fig23.run()
+        assert all("OK" in note for note in result.notes if note.startswith("check"))
+
+
+class TestFig4:
+    def test_gap_tends_to_two(self):
+        result = fig4.run(k_values=(1, 4, 16))
+        ratios = result.series_by_label("ratio (-> 2)").values
+        assert ratios == sorted(ratios)
+        assert ratios[-1] > 1.98
+
+
+class TestFig5:
+    def test_predicted_equals_measured(self):
+        result = fig5.run(k_values=(1, 2))
+        hp = result.series_by_label("HeteroPrio makespan").values
+        predicted = result.series_by_label("predicted x + n/r + 2n - 1").values
+        assert hp == pytest.approx(predicted)
+
+    def test_ratio_grows(self):
+        result = fig5.run(k_values=(1, 2))
+        ratios = result.series_by_label("ratio (-> 3.155)").values
+        assert ratios[1] > ratios[0]
+
+
+class TestFig6:
+    @pytest.mark.parametrize("kernel", ["cholesky", "qr", "lu"])
+    def test_all_ratios_at_least_one(self, kernel):
+        result = fig6.run(kernel, n_values=TINY_N)
+        for series in result.series:
+            assert all(v >= 1.0 - 1e-9 for v in series.values)
+
+    def test_heteroprio_beats_dualhp_at_small_n(self):
+        result = fig6.run("cholesky", n_values=(4,))
+        hp = result.series_by_label("heteroprio").values[0]
+        dual = result.series_by_label("dualhp").values[0]
+        assert hp <= dual + 1e-9
+
+    def test_convergence_to_area_bound(self):
+        result = fig6.run("cholesky", n_values=(32,))
+        hp = result.series_by_label("heteroprio").values[0]
+        assert hp < 1.05
+
+
+class TestDagSweepAndFigs789:
+    @pytest.fixture(autouse=True)
+    def _fresh_cache(self):
+        clear_cache()
+        yield
+        clear_cache()
+
+    def test_sweep_is_cached(self):
+        first = dag_sweep("cholesky", n_values=TINY_N, algorithms=TINY_ALGOS)
+        second = dag_sweep("cholesky", n_values=TINY_N, algorithms=TINY_ALGOS)
+        assert first is second
+
+    def test_fig7_ratios_at_least_one(self):
+        result = fig7.run("cholesky", n_values=TINY_N, algorithms=TINY_ALGOS)
+        for series in result.series:
+            assert all(v >= 1.0 - 1e-9 for v in series.values)
+
+    def test_fig7_heteroprio_within_30_percent(self):
+        result = fig7.run("cholesky", n_values=TINY_N, algorithms=TINY_ALGOS)
+        hp = result.series_by_label("heteroprio-min").values
+        assert max(hp) < 1.3
+
+    def test_fig8_gpu_accel_above_cpu_accel(self):
+        # With enough work (N=16) every scheduler should aggregate a more
+        # accelerated mix on the GPUs than on the CPUs.
+        result = fig8.run("cholesky", n_values=(16,), algorithms=TINY_ALGOS)
+        for name in TINY_ALGOS:
+            cpu = result.series_by_label(f"{name} [CPU]").values[0]
+            gpu = result.series_by_label(f"{name} [GPU]").values[0]
+            assert gpu > cpu or cpu != cpu  # NaN-safe
+
+    def test_fig9_idle_nonnegative(self):
+        result = fig9.run("cholesky", n_values=TINY_N, algorithms=TINY_ALGOS)
+        for series in result.series:
+            assert all(v >= -1e-9 for v in series.values)
+
+    def test_fig9_dualhp_cpu_idle_exceeds_heteroprio_at_mid_n(self):
+        result = fig9.run("cholesky", n_values=(16,), algorithms=("heteroprio-min", "dualhp-avg"))
+        hp = result.series_by_label("heteroprio-min [CPU]").values[0]
+        dual = result.series_by_label("dualhp-avg [CPU]").values[0]
+        assert dual > hp
+
+
+class TestRobustnessExperiment:
+    def test_heteroprio_wins_under_noise(self):
+        from repro.experiments.robustness import run
+
+        result = run("cholesky", n_tiles=12, seeds=(1, 2))
+        means = result.data["means"]
+        assert min(means, key=means.get).startswith("heteroprio")
+
+    def test_unknown_kernel(self):
+        from repro.experiments.robustness import run
+
+        with pytest.raises(ValueError):
+            run("svd")
+
+    def test_per_seed_series_lengths(self):
+        from repro.experiments.robustness import run
+
+        result = run("lu", n_tiles=8, seeds=(3, 4, 5))
+        for series in result.series:
+            assert len(series.values) == 3
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        assert set(ALL_EXPERIMENTS) == {
+            "table1", "table2", "fig1", "fig23", "fig4", "fig5", "fig6",
+            "fig7", "fig8", "fig9", "comm", "robustness", "scorecard",
+        }
+
+    def test_scorecard_all_pass(self):
+        from repro.experiments.scorecard import run
+
+        result = run()
+        assert result.data["failed"] == []
+        assert result.data["passed"] == result.data["total"] >= 14
+
+    def test_build_graph_dispatch(self):
+        assert len(build_graph("cholesky", 3)) == 10
+        with pytest.raises(ValueError):
+            build_graph("svd", 3)

@@ -1,0 +1,194 @@
+"""Tests for the linear-algebra DAG generators and random graphs."""
+
+import numpy as np
+import pytest
+
+from repro.core.platform import Platform
+from repro.dag.cholesky import cholesky_graph, cholesky_task_count
+from repro.dag.lu import lu_graph, lu_task_count
+from repro.dag.qr import qr_graph, qr_task_count
+from repro.dag.random_graphs import layered_random_graph, random_chain_graph
+from repro.timing.model import TimingModel
+
+
+class TestCholesky:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 8])
+    def test_task_count_formula(self, n):
+        g = cholesky_graph(n)
+        assert len(g) == cholesky_task_count(n)
+
+    def test_kernel_mix(self):
+        g = cholesky_graph(4)
+        hist = g.kind_histogram()
+        assert hist["POTRF"] == 4
+        assert hist["TRSM"] == 6
+        assert hist["SYRK"] == 6
+        assert hist["GEMM"] == 4
+
+    def test_acyclic_and_consistent(self):
+        cholesky_graph(6).validate()
+
+    def test_single_source_is_first_potrf(self):
+        g = cholesky_graph(5)
+        sources = g.sources()
+        assert len(sources) == 1
+        assert sources[0].name == "POTRF(0)"
+
+    def test_final_potrf_is_a_sink(self):
+        g = cholesky_graph(5)
+        assert any(t.name == "POTRF(4)" for t in g.sinks())
+
+    def test_trsm_depends_on_potrf(self):
+        g = cholesky_graph(3)
+        potrf0 = next(t for t in g if t.name == "POTRF(0)")
+        trsm = next(t for t in g if t.name == "TRSM(1,0)")
+        assert potrf0 in g.predecessors(trsm)
+
+    def test_potrf_depends_on_syrk_chain(self):
+        g = cholesky_graph(3)
+        potrf1 = next(t for t in g if t.name == "POTRF(1)")
+        preds = {t.name for t in g.predecessors(potrf1)}
+        assert "SYRK(1,0)" in preds
+
+    def test_gemm_depends_on_both_trsms(self):
+        g = cholesky_graph(3)
+        gemm = next(t for t in g if t.name == "GEMM(2,1,0)")
+        preds = {t.name for t in g.predecessors(gemm)}
+        assert {"TRSM(2,0)", "TRSM(1,0)"} <= preds
+
+    def test_rejects_zero_tiles(self):
+        with pytest.raises(ValueError):
+            cholesky_graph(0)
+
+    def test_durations_match_timing_model(self):
+        timing = TimingModel.for_factorization("cholesky")
+        g = cholesky_graph(4, timing)
+        for task in g:
+            ref = timing.reference(task.kind)
+            assert task.cpu_time == ref.cpu_time
+            assert task.gpu_time == ref.gpu_time
+
+
+class TestQR:
+    @pytest.mark.parametrize("n", [1, 2, 4, 6])
+    def test_task_count_formula(self, n):
+        assert len(qr_graph(n)) == qr_task_count(n)
+
+    def test_kernel_mix(self):
+        hist = qr_graph(3).kind_histogram()
+        assert hist["GEQRT"] == 3
+        assert hist["ORMQR"] == 3
+        assert hist["TSQRT"] == 3
+        assert hist["TSMQR"] == 5
+
+    def test_acyclic(self):
+        qr_graph(5).validate()
+
+    def test_single_source(self):
+        g = qr_graph(4)
+        assert [t.name for t in g.sources()] == ["GEQRT(0)"]
+
+    def test_tsqrt_chain_on_panel(self):
+        g = qr_graph(3)
+        tsqrt1 = next(t for t in g if t.name == "TSQRT(1,0)")
+        tsqrt2 = next(t for t in g if t.name == "TSQRT(2,0)")
+        assert tsqrt1 in g.predecessors(tsqrt2)  # both RW A[0][0]
+
+    def test_rejects_zero_tiles(self):
+        with pytest.raises(ValueError):
+            qr_graph(0)
+
+
+class TestLU:
+    @pytest.mark.parametrize("n", [1, 2, 4, 6])
+    def test_task_count_formula(self, n):
+        assert len(lu_graph(n)) == lu_task_count(n)
+
+    def test_kernel_mix(self):
+        hist = lu_graph(3).kind_histogram()
+        assert hist["GETRF"] == 3
+        assert hist["TRSM"] == 6
+        assert hist["GEMM"] == 5
+
+    def test_acyclic(self):
+        lu_graph(5).validate()
+
+    def test_gemm_depends_on_row_and_col_panels(self):
+        g = lu_graph(3)
+        gemm = next(t for t in g if t.name == "GEMM(1,2,0)")
+        preds = {t.name for t in g.predecessors(gemm)}
+        assert {"TRSM_col(1,0)", "TRSM_row(0,2)"} <= preds
+
+    def test_rejects_zero_tiles(self):
+        with pytest.raises(ValueError):
+            lu_graph(0)
+
+
+class TestNoiseInjection:
+    def test_noisy_graph_has_jittered_durations(self):
+        rng = np.random.default_rng(5)
+        timing = TimingModel.for_factorization("cholesky", noise=0.2, rng=rng)
+        g = cholesky_graph(4, timing)
+        gemms = [t for t in g if t.kind == "GEMM"]
+        durations = {t.cpu_time for t in gemms}
+        assert len(durations) > 1  # no longer all identical
+
+    def test_noise_is_reproducible_with_seed(self):
+        g1 = cholesky_graph(
+            3, TimingModel.for_factorization("cholesky", noise=0.1,
+                                              rng=np.random.default_rng(9))
+        )
+        g2 = cholesky_graph(
+            3, TimingModel.for_factorization("cholesky", noise=0.1,
+                                              rng=np.random.default_rng(9))
+        )
+        assert [t.cpu_time for t in g1] == [t.cpu_time for t in g2]
+
+
+class TestRandomGraphs:
+    def test_layered_shape(self, rng):
+        g = layered_random_graph(4, 5, rng)
+        assert len(g) == 20
+        g.validate()
+
+    def test_layered_every_non_first_layer_task_has_predecessor(self, rng):
+        g = layered_random_graph(3, 4, rng, edge_probability=0.0)
+        # Even with p=0, at least one forced predecessor per task.
+        no_preds = [t for t in g if g.in_degree(t) == 0]
+        assert len(no_preds) == 4  # only the first layer
+
+    def test_layered_rejects_bad_probability(self, rng):
+        with pytest.raises(ValueError):
+            layered_random_graph(2, 2, rng, edge_probability=1.5)
+
+    def test_layered_rejects_empty(self, rng):
+        with pytest.raises(ValueError):
+            layered_random_graph(0, 3, rng)
+
+    def test_layered_acceleration_range(self, rng):
+        g = layered_random_graph(3, 10, rng, accel_range=(0.5, 4.0))
+        for t in g:
+            assert 0.5 - 1e-9 <= t.acceleration <= 4.0 + 1e-9
+
+    def test_chains_shape(self, rng):
+        g = random_chain_graph(3, 7, rng)
+        assert len(g) == 21
+        g.validate()
+
+    def test_chains_are_chains_without_cross_links(self, rng):
+        g = random_chain_graph(4, 5, rng, cross_probability=0.0)
+        assert g.num_edges == 4 * 4
+        assert len(g.sources()) == 4
+        assert len(g.sinks()) == 4
+
+    def test_chains_rejects_empty(self, rng):
+        with pytest.raises(ValueError):
+            random_chain_graph(1, 0, rng)
+
+    def test_reproducible_with_seed(self):
+        a = layered_random_graph(3, 3, np.random.default_rng(1))
+        b = layered_random_graph(3, 3, np.random.default_rng(1))
+        assert [t.cpu_time for t in a] == [t.cpu_time for t in b]
+        assert [(p.name, s.name) for p, s in a.edges()] == [
+            (p.name, s.name) for p, s in b.edges()
+        ]

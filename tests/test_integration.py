@@ -1,0 +1,136 @@
+"""Cross-module integration tests: the full pipeline end to end."""
+
+import numpy as np
+import pytest
+
+from repro.bounds.area import area_bound
+from repro.bounds.dag_lp import dag_lower_bound, dag_lp_bound
+from repro.core.heteroprio import heteroprio_schedule
+from repro.core.platform import Platform, ResourceKind
+from repro.core.task import Instance
+from repro.dag import assign_priorities, cholesky_graph, lu_graph, qr_graph
+from repro.dag.random_graphs import layered_random_graph
+from repro.schedulers.dualhp import dualhp_schedule
+from repro.schedulers.heft import heft_schedule
+from repro.schedulers.online import PAPER_ALGORITHMS, make_policy
+from repro.simulator import compute_metrics, simulate
+
+from conftest import assert_precedence_respected, assert_schedule_consistent
+
+PLATFORM = Platform(num_cpus=20, num_gpus=4)
+
+
+class TestFullPipelinePerKernel:
+    @pytest.mark.parametrize("generator", [cholesky_graph, qr_graph, lu_graph])
+    def test_simulate_all_policies_and_validate(self, generator):
+        graph = generator(8)
+        lower = dag_lower_bound(graph, PLATFORM)
+        for name in PAPER_ALGORITHMS:
+            assign_priorities(graph, PLATFORM, name.split("-", 1)[1])
+            schedule = simulate(graph, PLATFORM, make_policy(name))
+            assert_schedule_consistent(schedule)
+            assert_precedence_respected(schedule, graph)
+            metrics = compute_metrics(schedule, PLATFORM, lower_bound=lower)
+            assert metrics.ratio >= 1.0 - 1e-9
+            assert metrics.makespan >= lower - 1e-9
+
+    @pytest.mark.parametrize("generator", [cholesky_graph, qr_graph, lu_graph])
+    def test_independent_relaxation_is_faster(self, generator):
+        """Dropping edges can only reduce the HeteroPrio makespan bound."""
+        graph = generator(8)
+        assign_priorities(graph, PLATFORM, "min")
+        dag_makespan = simulate(
+            graph, PLATFORM, make_policy("heteroprio-min")
+        ).makespan
+        independent = heteroprio_schedule(
+            graph.to_instance(), PLATFORM, compute_ns=False
+        ).makespan
+        # Not a theorem for list schedulers in general, but holds by a
+        # wide margin on these workloads; guards against gross regressions
+        # in the ready-set handling.
+        assert independent <= dag_makespan * 1.1
+
+
+class TestBoundsChain:
+    @pytest.mark.parametrize("n_tiles", [4, 8, 12])
+    def test_bound_hierarchy_on_cholesky(self, n_tiles):
+        """area <= dag LP <= simulated makespan, as a chain."""
+        graph = cholesky_graph(n_tiles)
+        area = area_bound(graph.to_instance(), PLATFORM).value
+        lp = dag_lp_bound(graph, PLATFORM)
+        assign_priorities(graph, PLATFORM, "min")
+        makespan = simulate(graph, PLATFORM, make_policy("heteroprio-min")).makespan
+        assert area <= lp + 1e-9
+        assert lp <= makespan + 1e-9
+
+    def test_bound_hierarchy_on_random_graphs(self, rng):
+        for _ in range(5):
+            graph = layered_random_graph(4, 5, rng)
+            platform = Platform(2, 2)
+            area = area_bound(graph.to_instance(), platform).value
+            lp = dag_lp_bound(graph, platform)
+            assign_priorities(graph, platform, "avg")
+            makespan = simulate(graph, platform, make_policy("heteroprio-avg")).makespan
+            assert area - 1e-9 <= lp <= makespan + 1e-9
+
+
+class TestIndependentAlgorithmsAgree:
+    def test_all_algorithms_beat_twice_area_plus_max(self, rng):
+        """Sanity envelope: every implemented scheduler is 'reasonable'."""
+        inst = Instance.uniform_random(60, rng)
+        platform = Platform(4, 2)
+        envelope = 2 * area_bound(inst, platform).value + max(
+            t.min_time() for t in inst
+        )
+        for makespan in (
+            heteroprio_schedule(inst, platform, compute_ns=False).makespan,
+            dualhp_schedule(inst, platform).makespan,
+            heft_schedule(inst, platform).makespan,
+        ):
+            assert makespan <= envelope * 2
+
+    def test_schedules_execute_identical_task_sets(self, rng):
+        inst = Instance.uniform_random(30, rng)
+        platform = Platform(3, 1)
+        for schedule in (
+            heteroprio_schedule(inst, platform, compute_ns=False).schedule,
+            dualhp_schedule(inst, platform).schedule,
+            heft_schedule(inst, platform),
+        ):
+            assert sorted(t.uid for t in schedule.tasks()) == sorted(
+                t.uid for t in inst
+            )
+
+
+class TestMetricsConsistency:
+    def test_work_conservation(self, rng):
+        """Completed class work + idle = capacity, per class."""
+        graph = cholesky_graph(8)
+        assign_priorities(graph, PLATFORM, "min")
+        schedule = simulate(graph, PLATFORM, make_policy("heteroprio-min"))
+        horizon = schedule.makespan
+        for kind in ResourceKind:
+            useful = schedule.class_work(kind)
+            idle = schedule.idle_time(kind)
+            capacity = PLATFORM.count(kind) * horizon
+            assert useful + idle == pytest.approx(capacity, rel=1e-9)
+
+    def test_equivalent_accelerations_bracket_kernel_range(self):
+        graph = cholesky_graph(12)
+        assign_priorities(graph, PLATFORM, "min")
+        schedule = simulate(graph, PLATFORM, make_policy("heteroprio-min"))
+        for kind in ResourceKind:
+            value = schedule.equivalent_acceleration(kind)
+            assert 1.72 - 1e-9 <= value <= 28.80 + 1e-9
+
+
+class TestDeterminismEndToEnd:
+    def test_repeat_full_pipeline(self):
+        graph = qr_graph(8)
+        assign_priorities(graph, PLATFORM, "avg")
+        a = simulate(graph, PLATFORM, make_policy("dualhp-avg"))
+        b = simulate(graph, PLATFORM, make_policy("dualhp-avg"))
+        assert a.makespan == b.makespan
+        assert [
+            (p.task.uid, str(p.worker), p.start) for p in a.placements
+        ] == [(p.task.uid, str(p.worker), p.start) for p in b.placements]

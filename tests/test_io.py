@@ -1,0 +1,122 @@
+"""Tests for workload serialization (repro.io)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro import io
+from repro.core.platform import Platform
+from repro.core.task import Instance, Task
+from repro.dag.cholesky import cholesky_graph
+from repro.dag.graph import TaskGraph
+
+from conftest import instances
+
+
+class TestInstanceRoundtrip:
+    @given(inst=instances())
+    @settings(max_examples=30, deadline=None)
+    def test_attributes_preserved(self, inst):
+        restored = io.instance_from_json(io.instance_to_json(inst))
+        assert len(restored) == len(inst)
+        for a, b in zip(inst, restored):
+            assert a.cpu_time == b.cpu_time
+            assert a.gpu_time == b.gpu_time
+            assert a.name == b.name
+            assert a.priority == b.priority
+
+    def test_schedulers_agree_after_roundtrip(self, rng):
+        inst = Instance.uniform_random(20, rng)
+        restored = io.instance_from_json(io.instance_to_json(inst))
+        from repro.core.heteroprio import heteroprio_schedule
+
+        platform = Platform(2, 1)
+        a = heteroprio_schedule(inst, platform, compute_ns=False).makespan
+        b = heteroprio_schedule(restored, platform, compute_ns=False).makespan
+        assert a == pytest.approx(b, rel=1e-15)
+
+    def test_rejects_wrong_kind(self):
+        g = TaskGraph("g")
+        g.add_task(Task(1.0, 1.0))
+        with pytest.raises(ValueError, match="expected"):
+            io.instance_from_json(io.graph_to_json(g))
+
+    def test_rejects_wrong_version(self):
+        with pytest.raises(ValueError, match="version"):
+            io.instance_from_json('{"version": 99, "kind": "instance", "tasks": []}')
+
+
+class TestGraphRoundtrip:
+    def test_structure_preserved(self):
+        g = cholesky_graph(5)
+        restored = io.graph_from_json(io.graph_to_json(g))
+        assert len(restored) == len(g)
+        assert restored.num_edges == g.num_edges
+        assert restored.kind_histogram() == g.kind_histogram()
+        restored.validate()
+
+    def test_edges_map_same_names(self):
+        g = cholesky_graph(3)
+        restored = io.graph_from_json(io.graph_to_json(g))
+        original = {(p.name, s.name) for p, s in g.edges()}
+        assert {(p.name, s.name) for p, s in restored.edges()} == original
+
+    def test_accesses_and_sizes_preserved(self):
+        g = cholesky_graph(3)
+        restored = io.graph_from_json(io.graph_to_json(g))
+        assert len(restored.accesses) == len(g.accesses)
+        assert set(restored.handle_bytes.values()) == set(g.handle_bytes.values())
+
+    def test_simulations_agree_after_roundtrip(self):
+        from repro.dag.priorities import assign_priorities
+        from repro.schedulers.online import make_policy
+        from repro.simulator import simulate
+
+        platform = Platform(4, 2)
+        g = cholesky_graph(6)
+        assign_priorities(g, platform, "min")
+        restored = io.graph_from_json(io.graph_to_json(g))
+        a = simulate(g, platform, make_policy("heteroprio-min")).makespan
+        b = simulate(restored, platform, make_policy("heteroprio-min")).makespan
+        assert a == pytest.approx(b, rel=1e-15)
+
+    def test_comm_simulation_agrees_after_roundtrip(self):
+        from repro.comm import simulate_with_comm
+        from repro.dag.priorities import assign_priorities
+        from repro.schedulers.online import make_policy
+
+        platform = Platform(2, 2)
+        g = cholesky_graph(5)
+        assign_priorities(g, platform, "min")
+        restored = io.graph_from_json(io.graph_to_json(g))
+        a = simulate_with_comm(g, platform, make_policy("heteroprio-min"))
+        b = simulate_with_comm(restored, platform, make_policy("heteroprio-min"))
+        assert a.makespan == pytest.approx(b.makespan, rel=1e-15)
+        assert a.transfer_volume() == b.transfer_volume()
+
+
+class TestFileHelpers:
+    def test_save_load_instance(self, tmp_path, rng):
+        inst = Instance.uniform_random(5, rng)
+        path = tmp_path / "inst.json"
+        io.save(inst, path)
+        restored = io.load(path)
+        assert isinstance(restored, Instance)
+        assert len(restored) == 5
+
+    def test_save_load_graph(self, tmp_path):
+        g = cholesky_graph(3)
+        path = tmp_path / "graph.json"
+        io.save(g, path)
+        restored = io.load(path)
+        assert isinstance(restored, TaskGraph)
+        assert len(restored) == len(g)
+
+    def test_save_rejects_unknown_type(self, tmp_path):
+        with pytest.raises(TypeError):
+            io.save({"not": "serialisable"}, tmp_path / "x.json")
+
+    def test_load_rejects_unknown_kind(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"version": 1, "kind": "mystery"}')
+        with pytest.raises(ValueError, match="unknown payload kind"):
+            io.load(path)

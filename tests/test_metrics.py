@@ -1,0 +1,66 @@
+"""Tests for :mod:`repro.simulator.metrics`."""
+
+import pytest
+
+from repro.core.platform import Platform, ResourceKind, Worker
+from repro.core.schedule import Schedule
+from repro.core.task import Task
+from repro.simulator.metrics import compute_metrics
+
+CPU0 = Worker(ResourceKind.CPU, 0)
+GPU0 = Worker(ResourceKind.GPU, 0)
+
+
+@pytest.fixture
+def platform():
+    return Platform(num_cpus=1, num_gpus=1)
+
+
+def _balanced_schedule(platform) -> Schedule:
+    s = Schedule(platform)
+    s.add(Task(cpu_time=2.0, gpu_time=8.0, name="c"), CPU0, 0.0)  # rho 0.25
+    s.add(Task(cpu_time=8.0, gpu_time=2.0, name="g"), GPU0, 0.0)  # rho 4
+    return s
+
+
+class TestComputeMetrics:
+    def test_ratio(self, platform):
+        s = _balanced_schedule(platform)
+        m = compute_metrics(s, platform, lower_bound=1.0)
+        assert m.makespan == 2.0
+        assert m.ratio == pytest.approx(2.0)
+
+    def test_ratio_with_zero_bound_is_inf(self, platform):
+        s = _balanced_schedule(platform)
+        m = compute_metrics(s, platform, lower_bound=0.0)
+        assert m.ratio == float("inf")
+
+    def test_equivalent_accelerations(self, platform):
+        s = _balanced_schedule(platform)
+        m = compute_metrics(s, platform, lower_bound=1.0)
+        assert m.cpu_equivalent_acceleration == pytest.approx(0.25)
+        assert m.gpu_equivalent_acceleration == pytest.approx(4.0)
+
+    def test_no_idle_in_balanced_schedule(self, platform):
+        s = _balanced_schedule(platform)
+        m = compute_metrics(s, platform, lower_bound=2.0)
+        # Both workers busy exactly until the makespan; the area-bound
+        # solution would also use 2.0 of each class.
+        assert m.cpu_normalized_idle == pytest.approx(0.0)
+        assert m.gpu_normalized_idle == pytest.approx(0.0)
+
+    def test_idle_counts_aborted_work(self, platform):
+        s = Schedule(platform)
+        t = Task(cpu_time=6.0, gpu_time=1.0, name="x")
+        s.add(t, CPU0, 0.0, end=2.0, aborted=True)
+        s.add(t, GPU0, 2.0)
+        m = compute_metrics(s, platform, lower_bound=1.0)
+        assert m.aborted_work == pytest.approx(2.0)
+        assert m.spoliation_count == 1
+        # The aborted CPU interval is idle time.
+        assert m.cpu_normalized_idle > 0.0
+
+    def test_spoliation_count_zero_without_aborts(self, platform):
+        m = compute_metrics(_balanced_schedule(platform), platform, lower_bound=1.0)
+        assert m.spoliation_count == 0
+        assert m.aborted_work == 0.0

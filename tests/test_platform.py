@@ -1,0 +1,72 @@
+"""Unit tests for :mod:`repro.core.platform`."""
+
+import pytest
+
+from repro.core.platform import PAPER_PLATFORM, Platform, ResourceKind, Worker
+
+
+class TestResourceKind:
+    def test_other_is_involutive(self):
+        assert ResourceKind.CPU.other is ResourceKind.GPU
+        assert ResourceKind.GPU.other is ResourceKind.CPU
+        for kind in ResourceKind:
+            assert kind.other.other is kind
+
+    def test_str(self):
+        assert str(ResourceKind.CPU) == "CPU"
+        assert str(ResourceKind.GPU) == "GPU"
+
+
+class TestWorker:
+    def test_str(self):
+        assert str(Worker(ResourceKind.GPU, 3)) == "GPU3"
+
+    def test_rejects_negative_index(self):
+        with pytest.raises(ValueError):
+            Worker(ResourceKind.CPU, -1)
+
+    def test_equality_and_hash(self):
+        assert Worker(ResourceKind.CPU, 0) == Worker(ResourceKind.CPU, 0)
+        assert Worker(ResourceKind.CPU, 0) != Worker(ResourceKind.GPU, 0)
+        assert len({Worker(ResourceKind.CPU, 0), Worker(ResourceKind.CPU, 0)}) == 1
+
+
+class TestPlatform:
+    def test_counts(self):
+        p = Platform(num_cpus=3, num_gpus=2)
+        assert p.m == 3 and p.n == 2
+        assert p.count(ResourceKind.CPU) == 3
+        assert p.count(ResourceKind.GPU) == 2
+        assert p.total_workers == 5
+
+    def test_workers_enumeration(self):
+        p = Platform(num_cpus=2, num_gpus=1)
+        workers = list(p.workers())
+        assert len(workers) == 3
+        assert workers[0] == Worker(ResourceKind.CPU, 0)
+        assert workers[-1] == Worker(ResourceKind.GPU, 0)
+
+    def test_workers_one_kind(self):
+        p = Platform(num_cpus=2, num_gpus=3)
+        gpus = list(p.workers(ResourceKind.GPU))
+        assert len(gpus) == 3
+        assert all(w.kind is ResourceKind.GPU for w in gpus)
+
+    def test_single_class_platforms_allowed(self):
+        assert Platform(num_cpus=0, num_gpus=2).total_workers == 2
+        assert Platform(num_cpus=2, num_gpus=0).total_workers == 2
+
+    def test_rejects_empty_platform(self):
+        with pytest.raises(ValueError):
+            Platform(num_cpus=0, num_gpus=0)
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ValueError):
+            Platform(num_cpus=-1, num_gpus=2)
+
+    def test_paper_platform(self):
+        assert PAPER_PLATFORM.num_cpus == 20
+        assert PAPER_PLATFORM.num_gpus == 4
+
+    def test_str(self):
+        assert "2 CPUs" in str(Platform(2, 1))

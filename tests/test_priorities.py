@@ -1,0 +1,104 @@
+"""Tests for bottom-level priorities and ranking schemes."""
+
+import pytest
+
+from repro.core.platform import Platform
+from repro.core.task import Task
+from repro.dag.graph import TaskGraph
+from repro.dag.priorities import (
+    assign_priorities,
+    bottom_levels,
+    critical_path_length,
+    node_weight,
+)
+
+
+def _chain():
+    g = TaskGraph("chain")
+    a = Task(cpu_time=2.0, gpu_time=4.0, name="a")
+    b = Task(cpu_time=6.0, gpu_time=2.0, name="b")
+    c = Task(cpu_time=1.0, gpu_time=1.0, name="c")
+    g.add_edge(a, b)
+    g.add_edge(b, c)
+    return g, (a, b, c)
+
+
+class TestNodeWeight:
+    def test_avg_weight_is_resource_weighted(self):
+        platform = Platform(num_cpus=3, num_gpus=1)
+        t = Task(cpu_time=4.0, gpu_time=8.0)
+        assert node_weight(t, platform, "avg") == pytest.approx((3 * 4 + 1 * 8) / 4)
+
+    def test_min_weight(self):
+        platform = Platform(1, 1)
+        t = Task(cpu_time=4.0, gpu_time=8.0)
+        assert node_weight(t, platform, "min") == 4.0
+
+    def test_fifo_has_no_weight(self):
+        with pytest.raises(ValueError):
+            node_weight(Task(1.0, 1.0), Platform(1, 1), "fifo")
+
+
+class TestBottomLevels:
+    def test_chain_accumulates(self):
+        g, (a, b, c) = _chain()
+        levels = bottom_levels(g, lambda t: t.min_time())
+        assert levels[c] == pytest.approx(1.0)
+        assert levels[b] == pytest.approx(3.0)
+        assert levels[a] == pytest.approx(5.0)
+
+    def test_fork_takes_max_branch(self):
+        g = TaskGraph()
+        a = Task(1.0, 1.0, name="a")
+        long = Task(10.0, 10.0, name="long")
+        short = Task(2.0, 2.0, name="short")
+        g.add_edge(a, long)
+        g.add_edge(a, short)
+        levels = bottom_levels(g, lambda t: t.cpu_time)
+        assert levels[a] == pytest.approx(11.0)
+
+    def test_levels_decrease_along_edges(self):
+        g, _ = _chain()
+        levels = bottom_levels(g, lambda t: t.min_time())
+        for pred, succ in g.edges():
+            assert levels[pred] > levels[succ]
+
+
+class TestAssignPriorities:
+    def test_min_scheme_writes_priorities(self):
+        g, (a, b, c) = _chain()
+        levels = assign_priorities(g, Platform(1, 1), "min")
+        assert a.priority == levels[a] == pytest.approx(5.0)
+        assert c.priority == pytest.approx(1.0)
+
+    def test_fifo_scheme_zeroes_priorities(self):
+        g, (a, b, c) = _chain()
+        a.priority = 99.0
+        assign_priorities(g, Platform(1, 1), "fifo")
+        assert a.priority == b.priority == c.priority == 0.0
+
+    def test_avg_scheme_uses_platform_mix(self):
+        g, (a, b, c) = _chain()
+        platform = Platform(num_cpus=3, num_gpus=1)
+        assign_priorities(g, platform, "avg")
+        expected_c = (3 * 1.0 + 1 * 1.0) / 4
+        assert c.priority == pytest.approx(expected_c)
+
+
+class TestCriticalPath:
+    def test_min_weighting(self):
+        g, _ = _chain()
+        assert critical_path_length(g, weight="min") == pytest.approx(5.0)
+
+    def test_cpu_weighting(self):
+        g, _ = _chain()
+        assert critical_path_length(g, weight="cpu") == pytest.approx(9.0)
+
+    def test_gpu_weighting(self):
+        g, _ = _chain()
+        assert critical_path_length(g, weight="gpu") == pytest.approx(7.0)
+
+    def test_unknown_weighting(self):
+        g, _ = _chain()
+        with pytest.raises(ValueError):
+            critical_path_length(g, weight="median")

@@ -1,0 +1,114 @@
+"""Cross-cutting property tests that don't belong to one module.
+
+These pin down the classical results the paper's proofs lean on (the
+Graham bound behind Lemma 6) and a few global invariants of the data
+model that individual module tests take for granted.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.heteroprio import heteroprio_schedule, sorted_queue
+from repro.core.platform import Platform, ResourceKind
+from repro.core.task import Instance, Task
+from repro.schedulers.exact import optimal_makespan
+from repro.theory.worst_cases import list_schedule_homogeneous
+
+from conftest import durations, instances, platforms
+
+
+class TestGrahamBound:
+    """The list-scheduling bound Lemma 6 builds on: any list schedule on
+    k identical machines is within (2 - 1/k) of optimal."""
+
+    @given(
+        durs=st.lists(durations, min_size=1, max_size=9),
+        k=st.integers(min_value=1, max_value=3),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_any_order_within_graham_factor(self, durs, k, seed):
+        rng = np.random.default_rng(seed)
+        order = list(durs)
+        rng.shuffle(order)
+        # Optimal partition on k identical machines via the exact solver
+        # (tasks forced onto one class).
+        inst = Instance.from_times(durs, durs)
+        opt = optimal_makespan(inst, Platform(num_cpus=k, num_gpus=0))
+        listed = list_schedule_homogeneous(order, k)
+        assert listed <= (2.0 - 1.0 / k) * opt + 1e-9
+
+    @given(durs=st.lists(durations, min_size=1, max_size=12))
+    @settings(max_examples=40, deadline=None)
+    def test_list_schedule_at_least_average_and_max(self, durs):
+        k = 3
+        makespan = list_schedule_homogeneous(durs, k)
+        assert makespan >= sum(durs) / k - 1e-9
+        assert makespan >= max(durs) - 1e-9
+
+
+class TestQueueEndsProperty:
+    @given(inst=instances(min_tasks=2))
+    @settings(max_examples=60, deadline=None)
+    def test_queue_ends_are_extremes(self, inst):
+        queue = sorted_queue(inst)
+        rhos = [t.acceleration for t in inst]
+        assert queue[0].acceleration == pytest.approx(min(rhos))
+        assert queue[-1].acceleration == pytest.approx(max(rhos))
+
+    @given(inst=instances(min_tasks=2))
+    @settings(max_examples=40, deadline=None)
+    def test_queue_is_monotone(self, inst):
+        queue = sorted_queue(inst)
+        for a, b in zip(queue, queue[1:]):
+            assert a.acceleration <= b.acceleration + 1e-12
+
+
+class TestWorkConservation:
+    @given(inst=instances(max_tasks=12), platform=platforms())
+    @settings(max_examples=50, deadline=None)
+    def test_completed_work_partition(self, inst, platform):
+        """Per-class useful work + idle time = capacity, for HeteroPrio."""
+        result = heteroprio_schedule(inst, platform, compute_ns=False)
+        schedule = result.schedule
+        horizon = schedule.makespan
+        for kind in ResourceKind:
+            capacity = platform.count(kind) * horizon
+            used = schedule.class_work(kind)
+            idle = schedule.idle_time(kind)
+            assert used + idle == pytest.approx(capacity, rel=1e-9, abs=1e-9)
+
+    @given(inst=instances(max_tasks=12), platform=platforms())
+    @settings(max_examples=50, deadline=None)
+    def test_total_useful_work_is_instance_work(self, inst, platform):
+        """Every task contributes exactly its duration on the class that
+        completed it — aborted work comes on top, never instead."""
+        result = heteroprio_schedule(inst, platform, compute_ns=False)
+        schedule = result.schedule
+        expected = sum(
+            schedule.placement_of(t).full_duration for t in inst
+        )
+        total = schedule.class_work(ResourceKind.CPU) + schedule.class_work(
+            ResourceKind.GPU
+        )
+        assert total == pytest.approx(expected, rel=1e-9)
+
+
+class TestScaleInvariance:
+    @given(
+        inst=instances(max_tasks=10),
+        platform=platforms(),
+        factor=st.floats(min_value=0.1, max_value=50.0, allow_nan=False),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_heteroprio_scales_linearly(self, inst, platform, factor):
+        """Scaling every duration scales the whole schedule: the
+        algorithm's decisions depend only on duration ratios."""
+        scaled = Instance.from_times(
+            inst.cpu_times() * factor, inst.gpu_times() * factor
+        )
+        base = heteroprio_schedule(inst, platform, compute_ns=False).makespan
+        big = heteroprio_schedule(scaled, platform, compute_ns=False).makespan
+        assert big == pytest.approx(base * factor, rel=1e-6)

@@ -1,0 +1,225 @@
+"""Unit tests for :mod:`repro.core.schedule`."""
+
+import pytest
+
+from repro.core.platform import Platform, ResourceKind, Worker
+from repro.core.schedule import Placement, Schedule, ScheduleError
+from repro.core.task import Instance, Task
+
+
+@pytest.fixture
+def platform():
+    return Platform(num_cpus=1, num_gpus=1)
+
+
+CPU0 = Worker(ResourceKind.CPU, 0)
+GPU0 = Worker(ResourceKind.GPU, 0)
+
+
+class TestPlacement:
+    def test_duration_and_full_duration(self):
+        t = Task(cpu_time=3.0, gpu_time=1.0)
+        p = Placement(task=t, worker=CPU0, start=1.0, end=4.0)
+        assert p.duration == 3.0
+        assert p.full_duration == 3.0
+
+    def test_aborted_placement_shorter(self):
+        t = Task(cpu_time=3.0, gpu_time=1.0)
+        p = Placement(task=t, worker=CPU0, start=0.0, end=1.5, aborted=True)
+        assert p.duration == 1.5
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ScheduleError):
+            Placement(task=Task(1.0, 1.0), worker=CPU0, start=-1.0, end=0.0)
+
+    def test_rejects_end_before_start(self):
+        with pytest.raises(ScheduleError):
+            Placement(task=Task(1.0, 1.0), worker=CPU0, start=2.0, end=1.0)
+
+
+class TestScheduleBasics:
+    def test_add_defaults_to_full_duration(self, platform):
+        s = Schedule(platform)
+        t = Task(cpu_time=2.0, gpu_time=1.0)
+        p = s.add(t, CPU0, 1.0)
+        assert p.end == 3.0
+        assert s.makespan == 3.0
+
+    def test_empty_makespan_zero(self, platform):
+        assert Schedule(platform).makespan == 0.0
+
+    def test_completion_time(self, platform):
+        s = Schedule(platform)
+        t = Task(cpu_time=2.0, gpu_time=1.0)
+        s.add(t, GPU0, 0.5)
+        assert s.completion_time(t) == 1.5
+
+    def test_placement_of_missing_task(self, platform):
+        s = Schedule(platform)
+        with pytest.raises(KeyError):
+            s.placement_of(Task(1.0, 1.0))
+
+    def test_worker_timeline_sorted(self, platform):
+        s = Schedule(platform)
+        t1, t2 = Task(1.0, 1.0, name="a"), Task(1.0, 1.0, name="b")
+        s.add(t2, CPU0, 5.0)
+        s.add(t1, CPU0, 0.0)
+        timeline = s.worker_timeline(CPU0)
+        assert [p.task.name for p in timeline] == ["a", "b"]
+
+    def test_aborted_vs_completed_partition(self, platform):
+        s = Schedule(platform)
+        t = Task(cpu_time=4.0, gpu_time=1.0)
+        s.add(t, CPU0, 0.0, end=1.0, aborted=True)
+        s.add(t, GPU0, 1.0)
+        assert len(s.aborted_placements()) == 1
+        assert len(s.completed_placements()) == 1
+        assert s.tasks() == [t]
+
+
+class TestScheduleMetrics:
+    def test_class_work(self, platform):
+        s = Schedule(platform)
+        s.add(Task(cpu_time=2.0, gpu_time=9.0), CPU0, 0.0)
+        s.add(Task(cpu_time=9.0, gpu_time=3.0), GPU0, 0.0)
+        assert s.class_work(ResourceKind.CPU) == 2.0
+        assert s.class_work(ResourceKind.GPU) == 3.0
+
+    def test_aborted_work(self, platform):
+        s = Schedule(platform)
+        t = Task(cpu_time=4.0, gpu_time=1.0)
+        s.add(t, CPU0, 0.0, end=1.5, aborted=True)
+        s.add(t, GPU0, 1.5)
+        assert s.aborted_work() == 1.5
+        assert s.aborted_work(ResourceKind.CPU) == 1.5
+        assert s.aborted_work(ResourceKind.GPU) == 0.0
+
+    def test_idle_time_counts_aborted_as_idle(self, platform):
+        s = Schedule(platform)
+        t = Task(cpu_time=4.0, gpu_time=1.0)
+        s.add(t, CPU0, 0.0, end=1.5, aborted=True)  # wasted CPU work
+        s.add(t, GPU0, 1.5)  # completes at 2.5 = makespan
+        # CPU capacity 2.5, useful CPU work 0 (only aborted).
+        assert s.idle_time(ResourceKind.CPU) == pytest.approx(2.5)
+        # GPU capacity 2.5, useful 1.0.
+        assert s.idle_time(ResourceKind.GPU) == pytest.approx(1.5)
+
+    def test_idle_time_with_horizon(self, platform):
+        s = Schedule(platform)
+        s.add(Task(cpu_time=2.0, gpu_time=9.0), CPU0, 0.0)
+        assert s.idle_time(ResourceKind.CPU, horizon=4.0) == pytest.approx(2.0)
+
+    def test_equivalent_acceleration(self, platform):
+        s = Schedule(platform)
+        s.add(Task(cpu_time=4.0, gpu_time=1.0), GPU0, 0.0)
+        s.add(Task(cpu_time=8.0, gpu_time=1.0), GPU0, 1.0)
+        assert s.equivalent_acceleration(ResourceKind.GPU) == pytest.approx(6.0)
+
+    def test_equivalent_acceleration_empty_is_nan(self, platform):
+        s = Schedule(platform)
+        assert s.equivalent_acceleration(ResourceKind.CPU) != \
+            s.equivalent_acceleration(ResourceKind.CPU)  # NaN
+
+
+class TestScheduleValidation:
+    def test_valid_schedule_passes(self, platform):
+        s = Schedule(platform)
+        t1 = Task(cpu_time=2.0, gpu_time=1.0)
+        t2 = Task(cpu_time=1.0, gpu_time=3.0)
+        s.add(t1, CPU0, 0.0)
+        s.add(t2, GPU0, 0.0)
+        s.validate(Instance([t1, t2]))
+
+    def test_detects_unknown_worker(self, platform):
+        s = Schedule(platform)
+        s.add(Task(1.0, 1.0), Worker(ResourceKind.CPU, 7), 0.0)
+        with pytest.raises(ScheduleError, match="unknown worker"):
+            s.validate()
+
+    def test_detects_wrong_duration(self, platform):
+        s = Schedule(platform)
+        s.add(Task(cpu_time=2.0, gpu_time=1.0), CPU0, 0.0, end=1.0)
+        with pytest.raises(ScheduleError, match="duration"):
+            s.validate()
+
+    def test_detects_overlap(self, platform):
+        s = Schedule(platform)
+        s.add(Task(cpu_time=2.0, gpu_time=1.0), CPU0, 0.0)
+        s.add(Task(cpu_time=2.0, gpu_time=1.0), CPU0, 1.0)
+        with pytest.raises(ScheduleError, match="overlap"):
+            s.validate()
+
+    def test_detects_duplicate_completion(self, platform):
+        s = Schedule(platform)
+        t = Task(cpu_time=1.0, gpu_time=1.0)
+        s.add(t, CPU0, 0.0)
+        s.add(t, CPU0, 5.0)
+        with pytest.raises(ScheduleError, match="twice"):
+            s.validate()
+
+    def test_detects_missing_task(self, platform):
+        t1, t2 = Task(1.0, 1.0), Task(1.0, 1.0)
+        s = Schedule(platform)
+        s.add(t1, CPU0, 0.0)
+        with pytest.raises(ScheduleError, match="never completed"):
+            s.validate(Instance([t1, t2]))
+
+    def test_detects_foreign_task(self, platform):
+        t1, t2 = Task(1.0, 1.0), Task(1.0, 1.0)
+        s = Schedule(platform)
+        s.add(t1, CPU0, 0.0)
+        s.add(t2, GPU0, 0.0)
+        with pytest.raises(ScheduleError, match="outside the instance"):
+            s.validate(Instance([t1]))
+
+    def test_detects_aborted_without_completion(self, platform):
+        s = Schedule(platform)
+        s.add(Task(cpu_time=2.0, gpu_time=1.0), CPU0, 0.0, end=1.0, aborted=True)
+        with pytest.raises(ScheduleError, match="no completed counterpart"):
+            s.validate()
+
+    def test_detects_same_class_spoliation(self):
+        platform = Platform(num_cpus=2, num_gpus=0)
+        s = Schedule(platform)
+        t = Task(cpu_time=2.0, gpu_time=1.0)
+        s.add(t, Worker(ResourceKind.CPU, 0), 0.0, end=1.0, aborted=True)
+        s.add(t, Worker(ResourceKind.CPU, 1), 1.0)
+        with pytest.raises(ScheduleError, match="stayed on class"):
+            s.validate()
+
+    def test_detects_useless_spoliation(self, platform):
+        s = Schedule(platform)
+        t = Task(cpu_time=2.0, gpu_time=5.0)
+        # Abort on CPU at t=1 (would have finished at 2), restart on GPU
+        # finishing at 6 — spoliation must improve completion.
+        s.add(t, CPU0, 0.0, end=1.0, aborted=True)
+        s.add(t, GPU0, 1.0)
+        with pytest.raises(ScheduleError, match="did not improve"):
+            s.validate()
+
+    def test_detects_overlong_aborted_placement(self, platform):
+        s = Schedule(platform)
+        t = Task(cpu_time=1.0, gpu_time=0.5)
+        s.add(t, CPU0, 0.0, end=2.0, aborted=True)
+        s.add(t, GPU0, 2.0)
+        with pytest.raises(ScheduleError, match="longer than its full duration"):
+            s.validate()
+
+
+class TestGantt:
+    def test_empty(self, platform):
+        assert "(empty schedule)" in Schedule(platform).gantt()
+
+    def test_contains_worker_rows_and_makespan(self, platform):
+        s = Schedule(platform)
+        s.add(Task(cpu_time=2.0, gpu_time=1.0, name="A"), CPU0, 0.0)
+        text = s.gantt()
+        assert "CPU0" in text and "GPU0" in text
+        assert "makespan = 2" in text
+
+    def test_marks_aborted(self, platform):
+        s = Schedule(platform)
+        t = Task(cpu_time=4.0, gpu_time=1.0, name="B")
+        s.add(t, CPU0, 0.0, end=2.0, aborted=True)
+        s.add(t, GPU0, 2.0)
+        assert "aborted" in s.gantt()

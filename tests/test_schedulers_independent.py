@@ -1,0 +1,206 @@
+"""Tests for the independent-task baselines: HEFT, DualHP, greedy, exact."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.bounds.simple import makespan_lower_bound
+from repro.core.platform import Platform, ResourceKind
+from repro.core.task import Instance, Task
+from repro.schedulers.dualhp import dualhp_schedule, dualhp_try
+from repro.schedulers.exact import optimal_makespan, optimal_schedule
+from repro.schedulers.greedy import (
+    earliest_start_schedule,
+    eft_list_schedule,
+    single_class_schedule,
+)
+from repro.schedulers.heft import heft_schedule
+
+from conftest import assert_schedule_consistent, instances, platforms
+
+
+class TestHeft:
+    def test_single_task_best_resource(self):
+        inst = Instance.from_times([10.0], [1.0])
+        s = heft_schedule(inst, Platform(1, 1))
+        assert s.placements[0].worker.kind is ResourceKind.GPU
+
+    def test_balances_load_across_identical_workers(self):
+        inst = Instance.from_times([1.0] * 4, [100.0] * 4)
+        s = heft_schedule(inst, Platform(num_cpus=4, num_gpus=1))
+        assert s.makespan == pytest.approx(1.0)
+
+    def test_ignores_affinity_when_gpu_loaded(self):
+        # HEFT's known flaw: it will put a highly-accelerated task on CPU
+        # whenever the GPU queue makes the CPU finish first.
+        fast_on_gpu = [Task(cpu_time=10.0, gpu_time=6.0) for _ in range(2)]
+        s = heft_schedule(Instance(fast_on_gpu), Platform(1, 1))
+        kinds = {p.worker.kind for p in s.placements}
+        assert kinds == {ResourceKind.CPU, ResourceKind.GPU}
+
+    def test_rank_min_changes_order(self):
+        # Same assignment machinery; just check both ranks are accepted.
+        inst = Instance.from_times([3.0, 1.0], [1.0, 3.0])
+        for rank in ("avg", "min"):
+            s = heft_schedule(inst, Platform(1, 1), rank=rank)
+            assert_schedule_consistent(s, inst)
+
+    @given(inst=instances(max_tasks=12), platform=platforms())
+    @settings(max_examples=50, deadline=None)
+    def test_valid_schedules(self, inst, platform):
+        assert_schedule_consistent(heft_schedule(inst, platform), inst)
+
+
+class TestDualHP:
+    def test_try_infeasible_when_task_exceeds_lambda_on_both(self):
+        inst = Instance.from_times([5.0], [5.0])
+        assert dualhp_try(inst, Platform(1, 1), lam=1.0) is None
+
+    def test_try_forces_long_cpu_task_to_gpu(self):
+        inst = Instance.from_times([5.0], [1.0])
+        s = dualhp_try(inst, Platform(1, 1), lam=2.0)
+        assert s is not None
+        assert s.placements[0].worker.kind is ResourceKind.GPU
+
+    def test_try_forces_long_gpu_task_to_cpu(self):
+        inst = Instance.from_times([1.0], [5.0])
+        s = dualhp_try(inst, Platform(1, 1), lam=2.0)
+        assert s is not None
+        assert s.placements[0].worker.kind is ResourceKind.CPU
+
+    def test_try_respects_two_lambda_limit(self):
+        inst = Instance.from_times([1.0] * 6, [10.0] * 6)
+        s = dualhp_try(inst, Platform(2, 1), lam=2.0)
+        assert s is not None
+        assert s.makespan <= 4.0 + 1e-9
+
+    def test_try_infeasible_when_forced_class_overflows(self):
+        # All six tasks are forced on the single CPU (q > lambda) but
+        # their total work exceeds 2*lambda.
+        inst = Instance.from_times([1.0] * 6, [10.0] * 6)
+        assert dualhp_try(inst, Platform(1, 1), lam=2.0) is None
+
+    def test_schedule_empty_instance(self):
+        result = dualhp_schedule(Instance([]), Platform(1, 1))
+        assert result.makespan == 0.0
+
+    @given(inst=instances(max_tasks=12), platform=platforms())
+    @settings(max_examples=50, deadline=None)
+    def test_valid_schedules(self, inst, platform):
+        result = dualhp_schedule(inst, platform)
+        assert_schedule_consistent(result.schedule, inst)
+
+    @given(inst=instances(max_tasks=8), platform=platforms(max_cpus=2, max_gpus=2))
+    @settings(max_examples=30, deadline=None)
+    def test_two_approximation(self, inst, platform):
+        """The dual-approximation guarantee: makespan <= 2 * optimal."""
+        result = dualhp_schedule(inst, platform)
+        opt = optimal_makespan(inst, platform)
+        assert result.makespan <= 2.0 * opt + 1e-6
+
+    @given(inst=instances(max_tasks=10), platform=platforms())
+    @settings(max_examples=40, deadline=None)
+    def test_accepted_lambda_is_a_lower_bound_witness(self, inst, platform):
+        result = dualhp_schedule(inst, platform)
+        assert result.makespan <= 2.0 * result.lam + 1e-6
+
+
+class TestGreedy:
+    def test_eft_prefers_fast_worker(self):
+        inst = Instance.from_times([10.0], [1.0])
+        s = eft_list_schedule(inst, Platform(1, 1))
+        assert s.placements[0].worker.kind is ResourceKind.GPU
+
+    def test_eft_with_key_order(self):
+        inst = Instance.from_times([1.0, 2.0], [1.0, 2.0])
+        s = eft_list_schedule(inst, Platform(1, 0), key=lambda t: -t.cpu_time)
+        first = s.worker_timeline(next(iter(s.platform.workers())))[0]
+        assert first.task.cpu_time == 2.0
+
+    def test_earliest_start_is_unboundedly_bad(self):
+        # The Section 3 pathology: naive list scheduling degrades with
+        # the slow resource's slowdown while the optimum stays at 2.
+        platform = Platform(1, 1)
+        inst = Instance.from_times([500.0, 500.0], [1.0, 1.0])
+        naive = earliest_start_schedule(inst, platform).makespan
+        assert naive == pytest.approx(500.0)
+        assert optimal_makespan(inst, platform) == pytest.approx(2.0)
+
+    def test_single_class_lpt(self):
+        # LPT on [3,3,2,2,2] with 2 machines: 3|3, 3+2|3+2, last 2 -> 7
+        # (the classic case where LPT is within 4/3 of the optimal 6).
+        inst = Instance.from_times([3.0, 3.0, 2.0, 2.0, 2.0], [1.0] * 5)
+        s = single_class_schedule(inst, Platform(2, 0), ResourceKind.CPU)
+        assert s.makespan == pytest.approx(7.0)
+        assert s.makespan <= (4 / 3) * 6.0 + 1e-9
+
+    def test_single_class_requires_workers(self):
+        inst = Instance.from_times([1.0], [1.0])
+        with pytest.raises(ValueError):
+            single_class_schedule(inst, Platform(2, 0), ResourceKind.GPU)
+
+    @given(inst=instances(max_tasks=12), platform=platforms())
+    @settings(max_examples=40, deadline=None)
+    def test_valid_schedules(self, inst, platform):
+        assert_schedule_consistent(eft_list_schedule(inst, platform), inst)
+        assert_schedule_consistent(earliest_start_schedule(inst, platform), inst)
+
+
+class TestExact:
+    def test_single_task(self):
+        inst = Instance.from_times([5.0], [2.0])
+        assert optimal_makespan(inst, Platform(1, 1)) == pytest.approx(2.0)
+
+    def test_two_tasks_cross_assignment(self):
+        # Optimal splits the tasks across classes even though both prefer
+        # the GPU.
+        inst = Instance.from_times([3.0, 3.0], [2.0, 2.0])
+        assert optimal_makespan(inst, Platform(1, 1)) == pytest.approx(3.0)
+
+    def test_theorem8_instance_optimum_is_one(self):
+        from repro.theory.worst_cases import theorem8_instance
+
+        wc = theorem8_instance()
+        assert optimal_makespan(wc.instance, wc.platform) == pytest.approx(1.0)
+
+    def test_identical_machines_partition(self):
+        inst = Instance.from_times([2.0, 2.0, 2.0, 3.0], [99.0] * 4)
+        assert optimal_makespan(inst, Platform(3, 1)) == pytest.approx(4.0)
+
+    def test_optimal_schedule_matches_value(self):
+        inst = Instance.from_times([3.0, 1.0, 2.0], [1.0, 2.0, 2.0])
+        platform = Platform(1, 1)
+        schedule = optimal_schedule(inst, platform)
+        schedule.validate(inst)
+        assert schedule.makespan == pytest.approx(optimal_makespan(inst, platform))
+
+    def test_task_limit_guard(self):
+        inst = Instance.from_times([1.0] * 30, [1.0] * 30)
+        with pytest.raises(ValueError, match="exact solver limited"):
+            optimal_makespan(inst, Platform(1, 1))
+
+    def test_incumbent_only_case(self):
+        # HeteroPrio already optimal: B&B must return the incumbent value
+        # instead of failing (regression test).
+        inst = Instance.from_times([2.0], [4.0])
+        assert optimal_makespan(inst, Platform(1, 1)) == pytest.approx(2.0)
+
+    @given(inst=instances(max_tasks=6), platform=platforms(max_cpus=2, max_gpus=2))
+    @settings(max_examples=25, deadline=None)
+    def test_against_brute_force(self, inst, platform):
+        """Cross-check branch and bound against exhaustive enumeration."""
+        import itertools
+
+        workers = list(platform.workers())
+        best = float("inf")
+        for assignment in itertools.product(range(len(workers)), repeat=len(inst)):
+            loads = [0.0] * len(workers)
+            for task, slot in zip(inst, assignment):
+                loads[slot] += task.time_on(workers[slot].kind)
+            best = min(best, max(loads))
+        assert optimal_makespan(inst, platform) == pytest.approx(best, rel=1e-9)
+
+    @given(inst=instances(max_tasks=8), platform=platforms(max_cpus=2, max_gpus=2))
+    @settings(max_examples=30, deadline=None)
+    def test_at_least_lower_bound(self, inst, platform):
+        opt = optimal_makespan(inst, platform)
+        assert opt >= makespan_lower_bound(inst, platform) - 1e-9

@@ -1,0 +1,188 @@
+"""Unit tests for :mod:`repro.core.task`."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.platform import ResourceKind
+from repro.core.task import Instance, Task
+
+from conftest import durations, instances
+
+
+class TestTaskConstruction:
+    def test_basic_attributes(self):
+        t = Task(cpu_time=4.0, gpu_time=2.0, name="a", kind="GEMM", priority=3.0)
+        assert t.cpu_time == 4.0
+        assert t.gpu_time == 2.0
+        assert t.name == "a"
+        assert t.kind == "GEMM"
+        assert t.priority == 3.0
+
+    def test_auto_name_is_unique(self):
+        a, b = Task(1.0, 1.0), Task(1.0, 1.0)
+        assert a.name != b.name
+        assert a.uid != b.uid
+
+    def test_rejects_zero_cpu_time(self):
+        with pytest.raises(ValueError, match="cpu_time"):
+            Task(cpu_time=0.0, gpu_time=1.0)
+
+    def test_rejects_negative_gpu_time(self):
+        with pytest.raises(ValueError, match="gpu_time"):
+            Task(cpu_time=1.0, gpu_time=-2.0)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            Task(cpu_time=float("nan"), gpu_time=1.0)
+
+    def test_rejects_infinite(self):
+        with pytest.raises(ValueError):
+            Task(cpu_time=1.0, gpu_time=float("inf"))
+
+    def test_identity_equality(self):
+        a = Task(1.0, 1.0)
+        b = Task(1.0, 1.0)
+        assert a == a
+        assert a != b
+        assert len({a, b}) == 2
+
+    def test_priority_is_mutable(self):
+        t = Task(1.0, 1.0)
+        t.priority = 7.5
+        assert t.priority == 7.5
+
+
+class TestTaskProperties:
+    def test_acceleration(self):
+        assert Task(cpu_time=6.0, gpu_time=2.0).acceleration == 3.0
+
+    def test_acceleration_below_one(self):
+        assert Task(cpu_time=1.0, gpu_time=4.0).acceleration == 0.25
+
+    def test_time_on(self):
+        t = Task(cpu_time=5.0, gpu_time=2.0)
+        assert t.time_on(ResourceKind.CPU) == 5.0
+        assert t.time_on(ResourceKind.GPU) == 2.0
+
+    def test_min_max_time(self):
+        t = Task(cpu_time=5.0, gpu_time=2.0)
+        assert t.min_time() == 2.0
+        assert t.max_time() == 5.0
+
+    @given(p=durations, q=durations)
+    def test_acceleration_consistency(self, p, q):
+        t = Task(cpu_time=p, gpu_time=q)
+        assert t.acceleration == pytest.approx(p / q)
+        assert t.min_time() <= t.max_time()
+
+
+class TestInstanceConstruction:
+    def test_from_times(self):
+        inst = Instance.from_times([1.0, 2.0], [3.0, 4.0])
+        assert len(inst) == 2
+        assert inst[0].cpu_time == 1.0
+        assert inst[1].gpu_time == 4.0
+
+    def test_from_times_with_priorities(self):
+        inst = Instance.from_times([1.0, 2.0], [1.0, 1.0], priorities=[5.0, 6.0])
+        assert [t.priority for t in inst] == [5.0, 6.0]
+
+    def test_from_times_length_mismatch(self):
+        with pytest.raises(ValueError, match="equal length"):
+            Instance.from_times([1.0], [1.0, 2.0])
+
+    def test_from_times_priorities_mismatch(self):
+        with pytest.raises(ValueError, match="priorities"):
+            Instance.from_times([1.0], [1.0], priorities=[1.0, 2.0])
+
+    def test_rejects_non_tasks(self):
+        with pytest.raises(TypeError):
+            Instance([Task(1.0, 1.0), "not a task"])
+
+    def test_uniform_random_respects_ranges(self):
+        rng = np.random.default_rng(0)
+        inst = Instance.uniform_random(
+            30, rng, cpu_range=(2.0, 3.0), gpu_range=(0.5, 1.0)
+        )
+        assert len(inst) == 30
+        assert all(2.0 <= t.cpu_time <= 3.0 for t in inst)
+        assert all(0.5 <= t.gpu_time <= 1.0 for t in inst)
+
+    def test_uniform_random_is_seeded(self):
+        a = Instance.uniform_random(5, np.random.default_rng(7))
+        b = Instance.uniform_random(5, np.random.default_rng(7))
+        assert np.allclose(a.cpu_times(), b.cpu_times())
+        assert np.allclose(a.gpu_times(), b.gpu_times())
+
+
+class TestInstanceContainer:
+    def test_iteration_and_indexing(self):
+        tasks = [Task(1.0, 1.0), Task(2.0, 2.0)]
+        inst = Instance(tasks)
+        assert list(inst) == tasks
+        assert inst[1] is tasks[1]
+        assert tasks[0] in inst
+
+    def test_equality_and_hash(self):
+        tasks = (Task(1.0, 1.0),)
+        assert Instance(tasks) == Instance(tasks)
+        assert hash(Instance(tasks)) == hash(Instance(tasks))
+
+    def test_restrict(self):
+        tasks = [Task(1.0, 1.0), Task(2.0, 2.0), Task(3.0, 3.0)]
+        inst = Instance(tasks)
+        sub = inst.restrict(tasks[1:])
+        assert list(sub) == tasks[1:]
+
+
+class TestInstanceAggregates:
+    def test_vectors(self):
+        inst = Instance.from_times([1.0, 2.0], [4.0, 8.0])
+        assert np.allclose(inst.cpu_times(), [1.0, 2.0])
+        assert np.allclose(inst.gpu_times(), [4.0, 8.0])
+        assert np.allclose(inst.accelerations(), [0.25, 0.25])
+
+    def test_total_work(self):
+        inst = Instance.from_times([1.0, 2.0], [4.0, 8.0])
+        assert inst.total_cpu_work() == 3.0
+        assert inst.total_gpu_work() == 12.0
+
+    def test_min_time_lower_bound(self):
+        inst = Instance.from_times([10.0, 1.0], [2.0, 5.0])
+        assert inst.min_time_lower_bound() == 2.0
+
+    def test_min_time_lower_bound_empty(self):
+        assert Instance([]).min_time_lower_bound() == 0.0
+
+    @given(inst=instances())
+    def test_total_work_matches_sum(self, inst):
+        assert inst.total_cpu_work() == pytest.approx(float(inst.cpu_times().sum()))
+        assert inst.total_gpu_work() == pytest.approx(float(inst.gpu_times().sum()))
+
+
+class TestSortedByAcceleration:
+    def test_descending_order(self):
+        inst = Instance.from_times([1.0, 9.0, 4.0], [1.0, 1.0, 1.0])
+        rhos = [t.acceleration for t in inst.sorted_by_acceleration()]
+        assert rhos == sorted(rhos, reverse=True)
+
+    def test_tie_break_high_rho_by_priority(self):
+        # Equal acceleration >= 1: highest priority first (GPU end first).
+        a = Task(2.0, 1.0, name="lo", priority=0.0)
+        b = Task(2.0, 1.0, name="hi", priority=5.0)
+        ordered = Instance([a, b]).sorted_by_acceleration()
+        assert [t.name for t in ordered] == ["hi", "lo"]
+
+    def test_tie_break_low_rho_by_priority(self):
+        # Equal acceleration < 1: lowest priority first (CPU end last).
+        a = Task(1.0, 2.0, name="lo", priority=0.0)
+        b = Task(1.0, 2.0, name="hi", priority=5.0)
+        ordered = Instance([a, b]).sorted_by_acceleration()
+        assert [t.name for t in ordered] == ["lo", "hi"]
+
+    @given(inst=instances(min_tasks=2))
+    def test_sorted_is_permutation(self, inst):
+        ordered = inst.sorted_by_acceleration()
+        assert sorted(t.uid for t in ordered) == sorted(t.uid for t in inst)

@@ -1,0 +1,97 @@
+"""Tests for the calibrated timing model (Table 1)."""
+
+import numpy as np
+import pytest
+
+from repro.timing.kernels import (
+    CHOLESKY_KERNELS,
+    LU_KERNELS,
+    QR_KERNELS,
+    kernel_table,
+)
+from repro.timing.model import TimingModel
+
+#: Paper Table 1 — acceleration factors for tile size 960.
+TABLE1 = {"POTRF": 1.72, "TRSM": 8.72, "SYRK": 26.96, "GEMM": 28.80}
+
+
+class TestKernelTables:
+    @pytest.mark.parametrize("kind,accel", sorted(TABLE1.items()))
+    def test_cholesky_matches_table1(self, kind, accel):
+        assert CHOLESKY_KERNELS[kind].acceleration == pytest.approx(accel)
+
+    def test_all_durations_positive(self):
+        for table in (CHOLESKY_KERNELS, QR_KERNELS, LU_KERNELS):
+            for timing in table.values():
+                assert timing.cpu_time > 0
+                assert timing.gpu_time > 0
+
+    def test_panel_kernels_poorly_accelerated(self):
+        # The qualitative property Figures 6-9 rely on: panel kernels are
+        # the CPU-friendly ones, update kernels the GPU-friendly ones.
+        assert CHOLESKY_KERNELS["POTRF"].acceleration < 3
+        assert QR_KERNELS["GEQRT"].acceleration < 3
+        assert LU_KERNELS["GETRF"].acceleration < 3
+        assert CHOLESKY_KERNELS["GEMM"].acceleration > 20
+        assert QR_KERNELS["TSMQR"].acceleration > 10
+        assert LU_KERNELS["GEMM"].acceleration > 20
+
+    def test_kernel_table_lookup(self):
+        assert kernel_table("cholesky") is CHOLESKY_KERNELS
+        assert kernel_table("QR") is QR_KERNELS
+        assert kernel_table("Lu") is LU_KERNELS
+
+    def test_kernel_table_unknown(self):
+        with pytest.raises(ValueError, match="unknown factorization"):
+            kernel_table("svd")
+
+    def test_tables_are_read_only(self):
+        with pytest.raises(TypeError):
+            CHOLESKY_KERNELS["GEMM"] = None  # type: ignore[index]
+
+
+class TestTimingModel:
+    def test_deterministic_sampling(self):
+        model = TimingModel.for_factorization("cholesky")
+        p, q = model.sample("GEMM")
+        assert (p, q) == (CHOLESKY_KERNELS["GEMM"].cpu_time,
+                          CHOLESKY_KERNELS["GEMM"].gpu_time)
+
+    def test_acceleration_accessor(self):
+        model = TimingModel.for_factorization("cholesky")
+        assert model.acceleration("SYRK") == pytest.approx(26.96)
+
+    def test_kinds_listing(self):
+        model = TimingModel.for_factorization("lu")
+        assert model.kinds == ["GEMM", "GETRF", "TRSM"]
+
+    def test_unknown_kind(self):
+        model = TimingModel.for_factorization("qr")
+        with pytest.raises(ValueError, match="unknown kernel kind"):
+            model.sample("POTRF")
+
+    def test_noise_requires_rng(self):
+        with pytest.raises(ValueError, match="random generator"):
+            TimingModel(CHOLESKY_KERNELS, noise=0.1)
+
+    def test_negative_noise_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            TimingModel(CHOLESKY_KERNELS, noise=-0.1, rng=np.random.default_rng(0))
+
+    def test_noise_perturbs_both_axes_independently(self):
+        model = TimingModel.for_factorization(
+            "cholesky", noise=0.3, rng=np.random.default_rng(3)
+        )
+        samples = [model.sample("GEMM") for _ in range(50)]
+        ps = {p for p, _ in samples}
+        accels = {p / q for p, q in samples}
+        assert len(ps) == 50
+        assert len(accels) == 50  # acceleration jitters too
+
+    def test_noise_centred_on_reference(self):
+        model = TimingModel.for_factorization(
+            "cholesky", noise=0.05, rng=np.random.default_rng(11)
+        )
+        ps = np.array([model.sample("GEMM")[0] for _ in range(400)])
+        ref = CHOLESKY_KERNELS["GEMM"].cpu_time
+        assert np.median(ps) == pytest.approx(ref, rel=0.05)

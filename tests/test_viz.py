@@ -1,0 +1,97 @@
+"""Tests for trace export and SVG rendering."""
+
+import json
+
+import pytest
+
+from repro.core.platform import Platform, ResourceKind, Worker
+from repro.core.schedule import Schedule
+from repro.core.task import Task
+from repro.viz import schedule_to_dict, schedule_to_json, schedule_to_svg
+
+CPU0 = Worker(ResourceKind.CPU, 0)
+GPU0 = Worker(ResourceKind.GPU, 0)
+
+
+@pytest.fixture
+def schedule():
+    platform = Platform(1, 1)
+    s = Schedule(platform)
+    t1 = Task(cpu_time=2.0, gpu_time=1.0, name="alpha", kind="GEMM")
+    t2 = Task(cpu_time=4.0, gpu_time=1.0, name="beta", kind="POTRF")
+    s.add(t1, CPU0, 0.0)
+    s.add(t2, CPU0, 2.0, end=3.0, aborted=True)
+    s.add(t2, GPU0, 3.0)
+    return s
+
+
+class TestJsonTrace:
+    def test_roundtrips_through_json(self, schedule):
+        data = json.loads(schedule_to_json(schedule))
+        assert data["version"] == 1
+        assert data["platform"] == {"cpus": 1, "gpus": 1}
+        assert data["makespan"] == pytest.approx(4.0)
+        assert len(data["placements"]) == 3
+
+    def test_placement_fields(self, schedule):
+        data = schedule_to_dict(schedule)
+        aborted = [p for p in data["placements"] if p["aborted"]]
+        assert len(aborted) == 1
+        assert aborted[0]["task"] == "beta"
+        assert aborted[0]["worker"] == "CPU0"
+
+    def test_sorted_by_worker_then_start(self, schedule):
+        data = schedule_to_dict(schedule)
+        keys = [(p["worker"], p["start"]) for p in data["placements"]]
+        assert keys == sorted(keys)
+
+    def test_empty_schedule(self):
+        data = schedule_to_dict(Schedule(Platform(1, 1)))
+        assert data["placements"] == []
+        assert data["makespan"] == 0.0
+
+    def test_compact_json(self, schedule):
+        text = schedule_to_json(schedule, indent=None)
+        assert "\n" not in text
+
+
+class TestSvg:
+    def test_valid_xml(self, schedule):
+        import xml.etree.ElementTree as ET
+
+        svg = schedule_to_svg(schedule)
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+
+    def test_contains_worker_labels_and_tasks(self, schedule):
+        svg = schedule_to_svg(schedule)
+        assert "CPU0" in svg and "GPU0" in svg
+        assert "alpha" in svg and "beta" in svg
+
+    def test_aborted_uses_hatch(self, schedule):
+        svg = schedule_to_svg(schedule)
+        assert 'fill="url(#hatch)"' in svg
+        assert "ABORTED" in svg
+
+    def test_writes_file(self, schedule, tmp_path):
+        out = tmp_path / "gantt.svg"
+        schedule_to_svg(schedule, out)
+        assert out.read_text().startswith("<svg")
+
+    def test_empty_schedule_renders(self):
+        svg = schedule_to_svg(Schedule(Platform(2, 1)))
+        assert "<svg" in svg
+
+    def test_kind_colors_distinct(self, schedule):
+        svg = schedule_to_svg(schedule)
+        assert "#1f77b4" in svg  # GEMM colour present
+
+    def test_real_run_renders(self):
+        from repro.core.heteroprio import heteroprio_schedule
+        from repro.core.task import Instance
+        import numpy as np
+
+        inst = Instance.uniform_random(20, np.random.default_rng(3))
+        result = heteroprio_schedule(inst, Platform(3, 2))
+        svg = schedule_to_svg(result.schedule)
+        assert svg.count("<rect") >= 20

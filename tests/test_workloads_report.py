@@ -1,0 +1,74 @@
+"""Coverage for the experiment plumbing: workloads and report modules."""
+
+import pytest
+
+from repro.experiments.report import ExperimentResult, Series, format_table
+from repro.experiments.workloads import (
+    DEFAULT_N_VALUES,
+    FULL_N_VALUES,
+    PAPER_PLATFORM,
+    build_graph,
+)
+
+
+class TestWorkloads:
+    def test_paper_platform_matches_paper(self):
+        assert (PAPER_PLATFORM.num_cpus, PAPER_PLATFORM.num_gpus) == (20, 4)
+
+    def test_default_subset_of_full(self):
+        assert set(DEFAULT_N_VALUES) <= set(FULL_N_VALUES)
+        assert max(FULL_N_VALUES) == 64  # the paper's upper end
+
+    @pytest.mark.parametrize("kernel", ["cholesky", "qr", "lu"])
+    def test_build_graph_sizes_grow(self, kernel):
+        small = len(build_graph(kernel, 4))
+        large = len(build_graph(kernel, 8))
+        assert large > small
+
+    def test_build_graph_case_insensitive(self):
+        assert len(build_graph("CHOLESKY", 4)) == len(build_graph("cholesky", 4))
+
+    def test_build_graph_unknown(self):
+        with pytest.raises(ValueError, match="unknown kernel"):
+            build_graph("eigen", 4)
+
+
+class TestFormatTable:
+    def test_single_column(self):
+        text = format_table(["h"], [["a"], ["bb"]])
+        assert text.splitlines()[0].strip() == "h"
+
+    def test_wide_cells_set_width(self):
+        text = format_table(["x", "y"], [["looooong", "1"]])
+        header = text.splitlines()[0]
+        assert "looooong" not in header  # header row shows headers only
+        assert len(header) == len(text.splitlines()[2])
+
+    def test_separator_line(self):
+        text = format_table(["a"], [["1"]])
+        assert set(text.splitlines()[1]) <= {"-", "+"}
+
+
+class TestExperimentResult:
+    def test_render_without_series(self):
+        r = ExperimentResult("x", "title", notes=["hello"])
+        text = r.render()
+        assert "== x: title ==" in text
+        assert "hello" in text
+
+    def test_float_formatting(self):
+        r = ExperimentResult(
+            "x", "t", x_label="k", x_values=[1, 2, 3],
+            series=[Series("s", [0.123456, 12345.6, 1e-7])],
+        )
+        text = r.render()
+        assert "0.123" in text
+        assert "1.23e+04" in text or "12345" in text or "1.23e4" in text
+        assert "1e-07" in text
+
+    def test_x_values_can_be_strings(self):
+        r = ExperimentResult(
+            "x", "t", x_label="shape", x_values=["(1,1)", "(m,n)"],
+            series=[Series("ratio", [1.0, 2.0])],
+        )
+        assert "(m,n)" in r.render()
