@@ -11,10 +11,12 @@ FAST_N = (4, 8, 12, 16, 24, 32)
 
 
 @pytest.mark.parametrize("kernel", ["cholesky", "qr", "lu"])
-def test_fig6_independent(benchmark, kernel, paper_scale):
+def test_fig6_independent(benchmark, kernel, paper_scale, campaign_opts):
     n_values = FULL_N_VALUES if paper_scale else FAST_N
     result = benchmark.pedantic(
-        lambda: fig6.run(kernel, n_values=n_values), rounds=1, iterations=1
+        lambda: fig6.run(kernel, n_values=n_values, **campaign_opts),
+        rounds=1,
+        iterations=1,
     )
     attach_result(benchmark, result)
     hp = result.series_by_label("heteroprio").values

@@ -17,10 +17,12 @@ SCALE_N = (4, 8, 12, 16, 24, 32)
 
 
 @pytest.mark.parametrize("kernel", ["cholesky", "qr", "lu"])
-def test_fig7_dags(benchmark, kernel, paper_scale):
+def test_fig7_dags(benchmark, kernel, paper_scale, campaign_opts):
     n_values = SCALE_N if paper_scale else FAST_N
     result = benchmark.pedantic(
-        lambda: fig7.run(kernel, n_values=n_values), rounds=1, iterations=1
+        lambda: fig7.run(kernel, n_values=n_values, **campaign_opts),
+        rounds=1,
+        iterations=1,
     )
     attach_result(benchmark, result)
     # Paper shape: the best HeteroPrio ranking stays within ~40% of the

@@ -6,9 +6,19 @@ attached to each benchmark's ``extra_info`` so they appear in the
 ``pytest-benchmark`` JSON output, and are printed to stdout (visible
 with ``pytest -s`` or in the captured output summary).
 
+The figure sweeps route through the campaign engine
+(:mod:`repro.campaign`); two extra options control it:
+
+* ``--jobs N`` — fan instances out over N worker processes (results
+  are identical at any job count, only wall clock changes);
+* ``--campaign-cache DIR`` — persist per-instance results in a
+  content-addressed cache, so re-running the suite serves finished
+  instances from disk instead of re-simulating them.
+
 Run with::
 
     pytest benchmarks/ --benchmark-only
+    pytest benchmarks/ --benchmark-only --jobs 8 --campaign-cache .repro-cache
 """
 
 from __future__ import annotations
@@ -23,11 +33,35 @@ def pytest_addoption(parser):
         default=False,
         help="run the figure sweeps at the paper's full N range (slow)",
     )
+    parser.addoption(
+        "--jobs",
+        type=int,
+        default=1,
+        help="campaign worker processes for the figure sweeps (default: 1)",
+    )
+    parser.addoption(
+        "--campaign-cache",
+        metavar="DIR",
+        default=None,
+        help="directory for the campaign result cache (default: no cache)",
+    )
 
 
 @pytest.fixture(scope="session")
 def paper_scale(request) -> bool:
     return request.config.getoption("--paper-scale")
+
+
+@pytest.fixture(scope="session")
+def campaign_opts(request) -> dict:
+    """``jobs``/``cache`` keyword arguments for campaign-backed sweeps."""
+    cache_dir = request.config.getoption("--campaign-cache")
+    cache = None
+    if cache_dir is not None:
+        from repro.campaign import ResultCache
+
+        cache = ResultCache(cache_dir)
+    return {"jobs": request.config.getoption("--jobs"), "cache": cache}
 
 
 def attach_result(benchmark, result) -> None:
@@ -36,5 +70,10 @@ def attach_result(benchmark, result) -> None:
     benchmark.extra_info["x_values"] = list(result.x_values)
     for series in result.series:
         benchmark.extra_info[series.label] = [round(v, 6) for v in series.values]
+    stats = result.data.get("campaign_stats") if isinstance(result.data, dict) else None
+    if stats is not None:
+        benchmark.extra_info["campaign"] = stats.to_dict()
     print()
     print(result.render())
+    if stats is not None:
+        print(f"[campaign] {stats.summary()}")

@@ -1,0 +1,158 @@
+"""Content-addressed on-disk result cache for campaign runs.
+
+Each cached entry is one JSON file at ``<root>/<hh>/<hash>.json`` where
+``hash`` is :meth:`InstanceSpec.spec_hash` under the cache's
+code-version salt and ``hh`` its first two hex digits (a fan-out shard
+so directories stay small at production scale).  Entries are written
+atomically (temp file + rename), so concurrent campaigns sharing a
+cache directory can only ever observe complete entries.
+
+The payload stores the spec verbatim alongside the metrics, and a read
+verifies both the salt and the spec against the requester — a hash
+collision or a stale salt can therefore never leak a wrong result.
+Non-finite metric values (e.g. an infinite normalised idle time when a
+class is unused by the bound) are tunnelled through JSON as tagged
+strings, keeping the files themselves canonical.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.campaign.spec import CODE_VERSION, InstanceSpec
+from repro.io import canonical_dumps
+
+__all__ = ["ResultCache", "CACHE_FORMAT_VERSION"]
+
+CACHE_FORMAT_VERSION = 1
+
+_NONFINITE = {"inf": math.inf, "-inf": -math.inf, "nan": math.nan}
+
+
+def _encode_value(value: Any) -> Any:
+    """Replace non-finite floats with a tagged marker (JSON-canonical)."""
+    if isinstance(value, float) and not math.isfinite(value):
+        if math.isnan(value):
+            return {"$float": "nan"}
+        return {"$float": "inf" if value > 0 else "-inf"}
+    if isinstance(value, dict):
+        return {key: _encode_value(v) for key, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_encode_value(v) for v in value]
+    return value
+
+
+def _decode_value(value: Any) -> Any:
+    if isinstance(value, dict):
+        if set(value) == {"$float"}:
+            return _NONFINITE[value["$float"]]
+        return {key: _decode_value(v) for key, v in value.items()}
+    if isinstance(value, list):
+        return [_decode_value(v) for v in value]
+    return value
+
+
+class ResultCache:
+    """Sharded, content-addressed store of per-instance metrics."""
+
+    def __init__(self, root: str | Path, *, salt: str = CODE_VERSION):
+        self.root = Path(root)
+        self.salt = salt
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # -- addressing ----------------------------------------------------------
+
+    def key(self, spec: InstanceSpec) -> str:
+        """The content address of *spec* under this cache's salt."""
+        return spec.spec_hash(salt=self.salt)
+
+    def path_for(self, spec: InstanceSpec) -> Path:
+        """Where *spec*'s entry lives (whether or not it exists yet)."""
+        key = self.key(spec)
+        return self.root / key[:2] / f"{key}.json"
+
+    # -- read/write ----------------------------------------------------------
+
+    def get(self, spec: InstanceSpec) -> dict[str, Any] | None:
+        """The stored entry for *spec*, or ``None`` on a miss.
+
+        Corrupt or mismatched entries (wrong salt, wrong spec — e.g.
+        after a hash-scheme change) count as misses rather than errors;
+        the executor will simply recompute and overwrite them.
+        """
+        path = self.path_for(spec)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if (
+            payload.get("version") != CACHE_FORMAT_VERSION
+            or payload.get("salt") != self.salt
+            or payload.get("spec") != spec.to_dict()
+        ):
+            return None
+        entry = _decode_value(payload)
+        entry["metrics"] = dict(entry.get("metrics", {}))
+        return entry
+
+    def put(
+        self,
+        spec: InstanceSpec,
+        metrics: dict[str, Any],
+        *,
+        elapsed_s: float = 0.0,
+    ) -> Path:
+        """Store *metrics* for *spec* atomically; returns the entry path."""
+        path = self.path_for(spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "version": CACHE_FORMAT_VERSION,
+            "salt": self.salt,
+            "spec": spec.to_dict(),
+            "metrics": _encode_value(dict(metrics)),
+            "elapsed_s": float(elapsed_s),
+        }
+        text = canonical_dumps(payload, indent=1)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(text + "\n")
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    # -- maintenance ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.iter_paths())
+
+    def iter_paths(self) -> Iterator[Path]:
+        """All entry files currently stored (any salt)."""
+        if not self.root.exists():
+            return
+        for shard in sorted(self.root.iterdir()):
+            if shard.is_dir() and len(shard.name) == 2:
+                yield from sorted(shard.glob("*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry (any salt); returns the number removed."""
+        removed = 0
+        for path in list(self.iter_paths()):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

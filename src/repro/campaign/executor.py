@@ -1,0 +1,361 @@
+"""Parallel, cache-backed execution of campaign spec sets.
+
+:func:`run_campaign` is the engine's entry point: given a sequence of
+:class:`~repro.campaign.spec.InstanceSpec` it
+
+1. serves every spec already present in the (optional) result cache;
+2. fans the misses out over a ``multiprocessing`` pool (``jobs > 1``)
+   or runs them inline (``jobs = 1`` — the bit-for-bit serial
+   reference path, also the automatic fallback when there is at most
+   one miss);
+3. stores fresh results back into the cache and emits per-instance
+   progress events plus aggregate :class:`CampaignStats`.
+
+Every spec is executed by the pure function :func:`execute_spec`, in
+the parent or in a worker alike, so parallelism can never change a
+metric: simulators are deterministic given the spec, and the per-spec
+seeds of random workloads are derived up front
+(:func:`derive_seeds`, ``numpy.random.SeedSequence.spawn`` semantics)
+rather than drawn from shared state.
+
+Within one process, workload graphs and dependency-aware lower bounds
+are memoised: consecutive specs that share a (workload, size, seed)
+reuse the graph and its bound exactly like the legacy hand-rolled
+sweeps did, so routing an experiment through the engine costs no extra
+simulator work.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.bounds.area import area_bound
+from repro.bounds.dag_lp import dag_lower_bound
+from repro.campaign.cache import ResultCache
+from repro.campaign.spec import InstanceSpec
+from repro.campaign.telemetry import CampaignEvent, CampaignStats, write_manifest
+from repro.core.heteroprio import heteroprio_schedule
+from repro.core.platform import Platform
+from repro.dag.graph import TaskGraph
+from repro.dag.cholesky import cholesky_graph
+from repro.dag.lu import lu_graph
+from repro.dag.priorities import assign_priorities
+from repro.dag.qr import qr_graph
+from repro.dag.random_graphs import layered_random_graph, random_chain_graph
+from repro.schedulers.dualhp import dualhp_schedule
+from repro.schedulers.heft import heft_schedule
+from repro.schedulers.online import make_policy
+from repro.simulator import compute_metrics, simulate
+from repro.simulator.metrics import RunMetrics
+
+__all__ = [
+    "CampaignRecord",
+    "CampaignOutcome",
+    "run_campaign",
+    "execute_spec",
+    "derive_seeds",
+    "metrics_to_run_metrics",
+]
+
+#: The RunMetrics field names, in declaration order — the schema of the
+#: per-instance metrics payload in ``dag`` mode.
+RUN_METRIC_FIELDS = tuple(f.name for f in dataclasses.fields(RunMetrics))
+
+ProgressCallback = Callable[[CampaignEvent], None]
+
+#: Deterministic workload generators by family name.  Mirrors
+#: :data:`repro.experiments.workloads.FACTORIZATIONS` — duplicated here
+#: (rather than imported) so the engine does not depend on the
+#: experiment package that consumes it.
+FACTORIZATIONS = {
+    "cholesky": cholesky_graph,
+    "qr": qr_graph,
+    "lu": lu_graph,
+}
+
+
+@dataclass(frozen=True)
+class CampaignRecord:
+    """One executed (or cache-served) instance of a campaign."""
+
+    spec: InstanceSpec
+    metrics: dict
+    cached: bool
+    elapsed_s: float
+
+
+@dataclass
+class CampaignOutcome:
+    """Everything :func:`run_campaign` produces."""
+
+    records: list[CampaignRecord]
+    stats: CampaignStats
+
+    def metrics_for(self, spec: InstanceSpec) -> dict:
+        for record in self.records:
+            if record.spec == spec:
+                return record.metrics
+        raise KeyError(f"spec not part of this campaign: {spec.label()}")
+
+
+# -- deterministic seeding ----------------------------------------------------
+
+
+def derive_seeds(root_seed: int, count: int) -> tuple[int, ...]:
+    """Derive *count* independent per-instance seeds from one root seed.
+
+    Uses ``numpy.random.SeedSequence.spawn`` so the streams are
+    statistically independent and the derivation is stable across
+    processes and platforms — a sweep seeded this way is reproducible
+    regardless of how its specs are later chunked over workers.
+    """
+    children = np.random.SeedSequence(root_seed).spawn(count)
+    return tuple(int(c.generate_state(1, dtype=np.uint64)[0]) for c in children)
+
+
+# -- single-spec execution ----------------------------------------------------
+
+
+@lru_cache(maxsize=8)
+def _workload_graph(
+    workload: str,
+    size: int,
+    seed: int | None,
+    params: tuple[tuple[str, float], ...],
+) -> TaskGraph:
+    """Build (and memoise per process) one workload's task graph."""
+    options = dict(params)
+    if workload in FACTORIZATIONS:
+        return FACTORIZATIONS[workload](size)
+    rng = np.random.default_rng(seed)
+    if workload == "layered":
+        return layered_random_graph(
+            n_layers=size,
+            layer_width=int(options.pop("width", size)),
+            rng=rng,
+            **options,
+        )
+    if workload == "chains":
+        return random_chain_graph(
+            n_chains=size,
+            chain_length=int(options.pop("length", size)),
+            rng=rng,
+            **options,
+        )
+    raise ValueError(
+        f"unknown workload {workload!r}; expected one of "
+        f"{sorted(FACTORIZATIONS)} or ['layered', 'chains']"
+    )
+
+
+@lru_cache(maxsize=64)
+def _dag_bound(
+    workload: str,
+    size: int,
+    seed: int | None,
+    params: tuple[tuple[str, float], ...],
+    num_cpus: int,
+    num_gpus: int,
+    method: str,
+) -> float:
+    """Memoised dependency-aware lower bound (priority-independent)."""
+    graph = _workload_graph(workload, size, seed, params)
+    platform = Platform(num_cpus=num_cpus, num_gpus=num_gpus)
+    return dag_lower_bound(graph, platform, method=method)
+
+
+_INDEPENDENT_SCHEDULERS = {
+    "heteroprio": lambda inst, platform: heteroprio_schedule(
+        inst, platform, compute_ns=False
+    ),
+    "dualhp": dualhp_schedule,
+    "heft": heft_schedule,
+}
+
+
+def execute_spec(spec: InstanceSpec) -> dict:
+    """Run one spec to completion and return its metrics payload.
+
+    Pure in the campaign sense: equal specs yield equal payloads, in
+    any process, in any order.  ``independent`` mode reproduces the
+    Figure 6 pipeline (tasks as an independent set, area-bound
+    normalisation); ``dag`` mode the Figure 7-9 pipeline (priority
+    assignment, runtime simulation, Section 6.2 metrics).
+    """
+    graph = _workload_graph(spec.workload, spec.size, spec.seed, spec.params)
+    platform = spec.platform
+    if spec.mode == "independent":
+        if spec.bound not in ("area", "auto"):
+            raise ValueError(
+                f"independent mode uses the area bound, not {spec.bound!r}"
+            )
+        try:
+            scheduler = _INDEPENDENT_SCHEDULERS[spec.algorithm]
+        except KeyError:
+            raise ValueError(
+                f"unknown independent algorithm {spec.algorithm!r}; expected "
+                f"one of {sorted(_INDEPENDENT_SCHEDULERS)}"
+            ) from None
+        instance = graph.to_instance()
+        # The memoised graph shares Task objects across specs; a dag-mode
+        # spec may have left bottom-level priorities behind, and priority
+        # breaks acceleration-factor ties.  Reset to the generator state
+        # so the payload is a pure function of the spec.
+        for task in instance:
+            task.priority = 0.0
+        bound = area_bound(instance, platform).value
+        makespan = scheduler(instance, platform).makespan
+        return {
+            "makespan": makespan,
+            "lower_bound": bound,
+            "ratio": makespan / bound if bound > 0 else float("inf"),
+        }
+
+    scheme = spec.algorithm.split("-", 1)[1] if "-" in spec.algorithm else "avg"
+    assign_priorities(graph, platform, scheme)
+    lower = _dag_bound(
+        spec.workload,
+        spec.size,
+        spec.seed,
+        spec.params,
+        spec.num_cpus,
+        spec.num_gpus,
+        spec.bound,
+    )
+    schedule = simulate(graph, platform, make_policy(spec.algorithm))
+    run = compute_metrics(schedule, platform, lower_bound=lower)
+    metrics = dataclasses.asdict(run)
+    metrics["ratio"] = run.ratio
+    return metrics
+
+
+def metrics_to_run_metrics(metrics: dict) -> RunMetrics:
+    """Rebuild a :class:`RunMetrics` from a ``dag``-mode payload."""
+    return RunMetrics(**{name: metrics[name] for name in RUN_METRIC_FIELDS})
+
+
+def _timed_execute(spec: InstanceSpec) -> tuple[dict, float]:
+    started = time.perf_counter()
+    metrics = execute_spec(spec)
+    return metrics, time.perf_counter() - started
+
+
+# -- the campaign loop --------------------------------------------------------
+
+
+def run_campaign(
+    specs: Iterable[InstanceSpec],
+    *,
+    jobs: int | None = 1,
+    cache: ResultCache | None = None,
+    progress: ProgressCallback | None = None,
+    chunksize: int | None = None,
+    manifest: bool = True,
+) -> CampaignOutcome:
+    """Execute a spec set, reading and feeding the result cache.
+
+    Parameters
+    ----------
+    jobs:
+        Worker process count; ``1`` runs inline (the serial reference
+        path) and ``None`` means ``os.cpu_count()``.  Results are
+        independent of ``jobs`` — parallelism only changes wall clock.
+    cache:
+        Optional :class:`ResultCache`; hits skip execution entirely,
+        misses are stored back after execution.
+    progress:
+        Callback invoked once per finished instance with a
+        :class:`CampaignEvent` (cache hits first, then executions in
+        completion order).
+    chunksize:
+        Dispatch granularity for the worker pool; defaults to a value
+        that gives each worker a few chunks for load balance while
+        amortising per-task IPC.
+    manifest:
+        When a cache is attached, also write a run manifest under
+        ``<cache root>/manifests/``.
+    """
+    spec_list = list(specs)
+    started_wall = time.perf_counter()
+    started_at = time.time()
+    requested_jobs = os.cpu_count() or 1 if jobs is None else max(1, int(jobs))
+    stats = CampaignStats(total=len(spec_list), jobs=requested_jobs)
+    records: list[CampaignRecord | None] = [None] * len(spec_list)
+
+    def emit(index: int, record: CampaignRecord, done: int) -> None:
+        if progress is not None:
+            progress(
+                CampaignEvent(
+                    index=index,
+                    spec=record.spec,
+                    cached=record.cached,
+                    elapsed_s=record.elapsed_s,
+                    done=done,
+                    total=len(spec_list),
+                )
+            )
+
+    # Phase 1: serve cache hits.
+    done = 0
+    miss_indices: list[int] = []
+    for i, spec in enumerate(spec_list):
+        entry = cache.get(spec) if cache is not None else None
+        if entry is None:
+            miss_indices.append(i)
+            continue
+        stats.hits += 1
+        stats.cached_s += float(entry.get("elapsed_s", 0.0))
+        records[i] = CampaignRecord(
+            spec=spec,
+            metrics=entry["metrics"],
+            cached=True,
+            elapsed_s=float(entry.get("elapsed_s", 0.0)),
+        )
+        done += 1
+        emit(i, records[i], done)
+
+    # Phase 2: execute the misses, serially or over a worker pool.
+    stats.misses = len(miss_indices)
+    effective_jobs = max(1, min(requested_jobs, len(miss_indices)))
+
+    def consume(timed: Iterable[tuple[dict, float]]) -> None:
+        nonlocal done
+        for i, (metrics, elapsed) in zip(miss_indices, timed):
+            stats.executed += 1
+            stats.exec_s += elapsed
+            if cache is not None:
+                cache.put(spec_list[i], metrics, elapsed_s=elapsed)
+            records[i] = CampaignRecord(
+                spec=spec_list[i],
+                metrics=metrics,
+                cached=False,
+                elapsed_s=elapsed,
+            )
+            done += 1
+            emit(i, records[i], done)
+
+    if miss_indices:
+        miss_specs = [spec_list[i] for i in miss_indices]
+        if effective_jobs == 1:
+            consume(map(_timed_execute, miss_specs))
+        else:
+            methods = multiprocessing.get_all_start_methods()
+            ctx = multiprocessing.get_context(
+                "fork" if "fork" in methods else None
+            )
+            chunk = chunksize or max(1, len(miss_specs) // (4 * effective_jobs))
+            with ctx.Pool(processes=effective_jobs) as pool:
+                consume(pool.imap(_timed_execute, miss_specs, chunksize=chunk))
+
+    stats.wall_s = time.perf_counter() - started_wall
+    if cache is not None and manifest:
+        write_manifest(cache, spec_list, stats, started_at=started_at)
+    return CampaignOutcome(records=[r for r in records if r is not None], stats=stats)

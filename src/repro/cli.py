@@ -5,11 +5,21 @@ Usage::
     python -m repro list                 # available experiments
     python -m repro table2               # one experiment
     python -m repro fig7 --kernel lu     # one kernel family panel
+    python -m repro fig7 --jobs 8        # same sweep over 8 workers
     python -m repro all --fast           # everything, reduced sweeps
+    python -m repro campaign             # fig6+fig7 sweeps, cached on disk
 
 Figures 6-9 accept ``--kernel {cholesky,qr,lu,all}`` and ``--full`` for
 the paper's complete N = 4..64 sweep (slow: the online DualHP
-reassignment is expensive at large N).
+reassignment is expensive at large N).  The campaign-backed sweeps
+(figures 6-9) also honour ``--jobs N`` (default: all CPU cores;
+``--jobs 1`` is the bit-for-bit serial reference path).
+
+``campaign`` drives the sweeps through the cache-backed engine
+(:mod:`repro.campaign`): results are stored content-addressed under
+``--cache-dir`` (default ``.repro-cache``), so a warm re-run completes
+without executing a single simulation.  ``--refresh`` clears the cache
+first; ``--no-cache`` disables it for the run.
 """
 
 from __future__ import annotations
@@ -25,6 +35,8 @@ from repro.experiments.workloads import DEFAULT_N_VALUES, FULL_N_VALUES
 __all__ = ["main"]
 
 _KERNEL_EXPERIMENTS = {"fig6", "fig7", "fig8", "fig9"}
+_CAMPAIGN_EXPERIMENTS = _KERNEL_EXPERIMENTS  # sweeps routed through repro.campaign
+_CAMPAIGN_DEFAULT_TARGETS = ("fig6", "fig7")
 _FAST_N_VALUES: tuple[int, ...] = (4, 8, 12, 16)
 
 
@@ -35,8 +47,8 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(ALL_EXPERIMENTS) + ["all", "list"],
-        help="experiment id (paper table/figure), 'all', or 'list'",
+        choices=sorted(ALL_EXPERIMENTS) + ["all", "list", "campaign"],
+        help="experiment id (paper table/figure), 'all', 'list', or 'campaign'",
     )
     parser.add_argument(
         "--kernel",
@@ -55,10 +67,42 @@ def _build_parser() -> argparse.ArgumentParser:
         help="the paper's full N = 4..64 sweep (slow)",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for campaign-backed sweeps "
+        "(default: all CPU cores; 1 = serial)",
+    )
+    parser.add_argument(
         "--out",
         metavar="DIR",
         default=None,
         help="also write each experiment's output to DIR/<name>.txt",
+    )
+    campaign = parser.add_argument_group("campaign options")
+    campaign.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=".repro-cache",
+        help="campaign result cache directory (default: .repro-cache)",
+    )
+    campaign.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="run the campaign without the on-disk result cache",
+    )
+    campaign.add_argument(
+        "--refresh",
+        action="store_true",
+        help="clear the result cache before running",
+    )
+    campaign.add_argument(
+        "--targets",
+        metavar="IDS",
+        default=",".join(_CAMPAIGN_DEFAULT_TARGETS),
+        help="comma-separated campaign experiments "
+        f"(subset of {sorted(_CAMPAIGN_EXPERIMENTS)}; default: fig6,fig7)",
     )
     return parser
 
@@ -71,10 +115,10 @@ def _n_values(args: argparse.Namespace) -> tuple[int, ...]:
     return DEFAULT_N_VALUES
 
 
-def _run_one(name: str, args: argparse.Namespace) -> list:
+def _run_one(name: str, args: argparse.Namespace, *, cache=None) -> list:
     module = ALL_EXPERIMENTS[name]
     if name in _KERNEL_EXPERIMENTS:
-        kwargs = {"n_values": _n_values(args)}
+        kwargs = {"n_values": _n_values(args), "jobs": args.jobs, "cache": cache}
         if args.kernel == "all":
             return module.run_all(**kwargs)
         return [module.run(args.kernel, **kwargs)]
@@ -89,6 +133,55 @@ def _run_one(name: str, args: argparse.Namespace) -> list:
     return [module.run()]
 
 
+def _run_campaign(args: argparse.Namespace) -> int:
+    """The ``repro campaign`` subcommand: cached, parallel figure sweeps."""
+    from repro.campaign import ResultCache
+    from repro.experiments.dags import clear_cache
+
+    targets = [t for t in args.targets.split(",") if t]
+    unknown = sorted(set(targets) - _CAMPAIGN_EXPERIMENTS)
+    if unknown:
+        print(
+            f"unknown campaign targets {unknown}; "
+            f"expected a subset of {sorted(_CAMPAIGN_EXPERIMENTS)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir)
+        if args.refresh:
+            removed = cache.clear()
+            print(f"[campaign] cleared {removed} cached entries", file=sys.stderr)
+    # The in-process sweep memo would mask the cache for repeated panels;
+    # campaign runs report true hit/miss counts instead.
+    clear_cache()
+
+    started = time.perf_counter()
+    totals = {"total": 0, "hits": 0, "executed": 0, "exec_s": 0.0}
+    for name in targets:
+        for result in _run_one(name, args, cache=cache):
+            print(result.render())
+            stats = result.data.get("campaign_stats")
+            if stats is not None:
+                print(f"[campaign] {name}: {stats.summary()}", file=sys.stderr)
+                totals["total"] += stats.total
+                totals["hits"] += stats.hits
+                totals["executed"] += stats.executed
+                totals["exec_s"] += stats.exec_s
+            print()
+    wall = time.perf_counter() - started
+    print(
+        f"[campaign] totals: {totals['total']} instances, "
+        f"{totals['hits']} cache hits, {totals['executed']} executed, "
+        f"sim {totals['exec_s']:.2f}s, wall {wall:.2f}s"
+        + (f"; cache at {cache.root}" if cache is not None else ""),
+        file=sys.stderr,
+    )
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -97,6 +190,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             doc = (module.__doc__ or "").strip().splitlines()[0]
             print(f"{name:8s} {doc}")
         return 0
+    if args.experiment == "campaign":
+        return _run_campaign(args)
     names = sorted(ALL_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     out_dir = None
     if args.out is not None:

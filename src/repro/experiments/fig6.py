@@ -8,21 +8,48 @@ Expected shape (paper Section 6.1): HeteroPrio and DualHP converge to 1
 for large N; HeteroPrio beats DualHP for small N (below ~20) because
 DualHP balances class *loads* while individual CPUs stay unbalanced;
 HEFT stays visibly above both because it ignores acceleration factors.
+
+The sweep routes through the campaign engine (:mod:`repro.campaign`):
+``jobs`` fans the (N, algorithm) instances out over worker processes
+and ``cache`` reuses previously computed instances across invocations.
+Both leave every reported number bit-identical to the serial,
+cache-less path.
 """
 
 from __future__ import annotations
 
-from repro.bounds.area import area_bound
-from repro.core.heteroprio import heteroprio_schedule
+from repro.campaign.cache import ResultCache
+from repro.campaign.executor import run_campaign
+from repro.campaign.spec import InstanceSpec
 from repro.core.platform import Platform
 from repro.experiments.report import ExperimentResult, Series
-from repro.experiments.workloads import DEFAULT_N_VALUES, PAPER_PLATFORM, build_graph
-from repro.schedulers.dualhp import dualhp_schedule
-from repro.schedulers.heft import heft_schedule
+from repro.experiments.workloads import DEFAULT_N_VALUES, PAPER_PLATFORM
 
-__all__ = ["run", "ALGORITHMS"]
+__all__ = ["run", "run_all", "ALGORITHMS", "sweep_specs"]
 
 ALGORITHMS = ("heteroprio", "dualhp", "heft")
+
+
+def sweep_specs(
+    kernel: str,
+    *,
+    n_values: tuple[int, ...] = DEFAULT_N_VALUES,
+    platform: Platform = PAPER_PLATFORM,
+) -> list[InstanceSpec]:
+    """The campaign spec set behind one Figure 6 panel."""
+    return [
+        InstanceSpec(
+            workload=kernel,
+            size=n_tiles,
+            algorithm=algorithm,
+            mode="independent",
+            num_cpus=platform.num_cpus,
+            num_gpus=platform.num_gpus,
+            bound="area",
+        )
+        for n_tiles in n_values
+        for algorithm in ALGORITHMS
+    ]
 
 
 def run(
@@ -30,17 +57,15 @@ def run(
     *,
     n_values: tuple[int, ...] = DEFAULT_N_VALUES,
     platform: Platform = PAPER_PLATFORM,
+    jobs: int | None = 1,
+    cache: ResultCache | None = None,
 ) -> ExperimentResult:
     """Reproduce one panel of Figure 6 (one kernel family)."""
+    specs = sweep_specs(kernel, n_values=n_values, platform=platform)
+    outcome = run_campaign(specs, jobs=jobs, cache=cache)
     ratios: dict[str, list[float]] = {name: [] for name in ALGORITHMS}
-    for n_tiles in n_values:
-        instance = build_graph(kernel, n_tiles).to_instance()
-        bound = area_bound(instance, platform).value
-        ratios["heteroprio"].append(
-            heteroprio_schedule(instance, platform, compute_ns=False).makespan / bound
-        )
-        ratios["dualhp"].append(dualhp_schedule(instance, platform).makespan / bound)
-        ratios["heft"].append(heft_schedule(instance, platform).makespan / bound)
+    for spec, record in zip(specs, outcome.records):
+        ratios[spec.algorithm].append(record.metrics["ratio"])
 
     result = ExperimentResult(
         experiment="fig6",
@@ -48,7 +73,11 @@ def run(
         x_label="N (tiles)",
         x_values=list(n_values),
         series=[Series(name, ratios[name]) for name in ALGORITHMS],
-        data={"kernel": kernel, "ratios": ratios},
+        data={
+            "kernel": kernel,
+            "ratios": ratios,
+            "campaign_stats": outcome.stats,
+        },
     )
     return result
 
@@ -57,9 +86,11 @@ def run_all(
     *,
     n_values: tuple[int, ...] = DEFAULT_N_VALUES,
     platform: Platform = PAPER_PLATFORM,
+    jobs: int | None = 1,
+    cache: ResultCache | None = None,
 ) -> list[ExperimentResult]:
     """All three panels (Cholesky, QR, LU) of Figure 6."""
     return [
-        run(kernel, n_values=n_values, platform=platform)
+        run(kernel, n_values=n_values, platform=platform, jobs=jobs, cache=cache)
         for kernel in ("cholesky", "qr", "lu")
     ]

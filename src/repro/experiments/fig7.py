@@ -13,6 +13,8 @@ algorithm degrades visibly on at least one kernel family.
 
 from __future__ import annotations
 
+from repro.campaign.cache import ResultCache
+from repro.campaign.telemetry import CampaignStats
 from repro.core.platform import Platform
 from repro.experiments.dags import dag_sweep
 from repro.experiments.report import ExperimentResult, Series
@@ -28,10 +30,19 @@ def run(
     n_values: tuple[int, ...] = DEFAULT_N_VALUES,
     algorithms: tuple[str, ...] = PAPER_ALGORITHMS,
     platform: Platform = PAPER_PLATFORM,
+    jobs: int | None = 1,
+    cache: ResultCache | None = None,
 ) -> ExperimentResult:
     """Reproduce one panel of Figure 7 (one kernel family)."""
+    telemetry: list[CampaignStats] = []
     metrics = dag_sweep(
-        kernel, n_values=n_values, algorithms=algorithms, platform=platform
+        kernel,
+        n_values=n_values,
+        algorithms=algorithms,
+        platform=platform,
+        jobs=jobs,
+        cache=cache,
+        telemetry=telemetry,
     )
     series = [
         Series(name, [metrics[(name, n)].ratio for n in n_values])
@@ -43,7 +54,11 @@ def run(
         x_label="N (tiles)",
         x_values=list(n_values),
         series=series,
-        data={"kernel": kernel, "metrics": metrics},
+        data={
+            "kernel": kernel,
+            "metrics": metrics,
+            "campaign_stats": telemetry[0] if telemetry else None,
+        },
     )
     best_mid = min(
         (max(s.values) for s in series if s.label.startswith("heteroprio")),
@@ -60,9 +75,18 @@ def run_all(
     n_values: tuple[int, ...] = DEFAULT_N_VALUES,
     algorithms: tuple[str, ...] = PAPER_ALGORITHMS,
     platform: Platform = PAPER_PLATFORM,
+    jobs: int | None = 1,
+    cache: ResultCache | None = None,
 ) -> list[ExperimentResult]:
     """All three panels (Cholesky, QR, LU) of Figure 7."""
     return [
-        run(kernel, n_values=n_values, algorithms=algorithms, platform=platform)
+        run(
+            kernel,
+            n_values=n_values,
+            algorithms=algorithms,
+            platform=platform,
+            jobs=jobs,
+            cache=cache,
+        )
         for kernel in ("cholesky", "qr", "lu")
     ]

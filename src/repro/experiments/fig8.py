@@ -11,6 +11,7 @@ higher (it ignores acceleration); DualHP sits in between.
 
 from __future__ import annotations
 
+from repro.campaign.cache import ResultCache
 from repro.core.platform import Platform
 from repro.experiments.dags import dag_sweep
 from repro.experiments.report import ExperimentResult, Series
@@ -26,10 +27,17 @@ def run(
     n_values: tuple[int, ...] = DEFAULT_N_VALUES,
     algorithms: tuple[str, ...] = PAPER_ALGORITHMS,
     platform: Platform = PAPER_PLATFORM,
+    jobs: int | None = 1,
+    cache: ResultCache | None = None,
 ) -> ExperimentResult:
     """Reproduce one panel pair (CPU, GPU) of Figure 8."""
     metrics = dag_sweep(
-        kernel, n_values=n_values, algorithms=algorithms, platform=platform
+        kernel,
+        n_values=n_values,
+        algorithms=algorithms,
+        platform=platform,
+        jobs=jobs,
+        cache=cache,
     )
     series: list[Series] = []
     for name in algorithms:
@@ -61,9 +69,18 @@ def run_all(
     n_values: tuple[int, ...] = DEFAULT_N_VALUES,
     algorithms: tuple[str, ...] = PAPER_ALGORITHMS,
     platform: Platform = PAPER_PLATFORM,
+    jobs: int | None = 1,
+    cache: ResultCache | None = None,
 ) -> list[ExperimentResult]:
     """All three kernel families of Figure 8."""
     return [
-        run(kernel, n_values=n_values, algorithms=algorithms, platform=platform)
+        run(
+            kernel,
+            n_values=n_values,
+            algorithms=algorithms,
+            platform=platform,
+            jobs=jobs,
+            cache=cache,
+        )
         for kernel in ("cholesky", "qr", "lu")
     ]

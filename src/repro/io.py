@@ -22,6 +22,7 @@ Format (version 1)::
 from __future__ import annotations
 
 import json
+import math
 from pathlib import Path
 from typing import Any
 
@@ -30,6 +31,7 @@ from repro.dag.dataflow import Access, AccessMode
 from repro.dag.graph import TaskGraph
 
 __all__ = [
+    "canonical_dumps",
     "instance_to_json",
     "instance_from_json",
     "graph_to_json",
@@ -39,6 +41,48 @@ __all__ = [
 ]
 
 FORMAT_VERSION = 1
+
+
+def _canonicalise(obj: Any) -> Any:
+    """Normalise a JSON payload so equal values serialise to equal bytes.
+
+    Floats must be finite (NaN/Infinity have no canonical JSON spelling)
+    and negative zero collapses to zero; integral floats stay floats
+    (``repr`` keeps the ``.0``, so the type survives a round trip).
+    """
+    if isinstance(obj, float):
+        if not math.isfinite(obj):
+            raise ValueError(f"non-finite float {obj!r} has no canonical JSON form")
+        return 0.0 if obj == 0.0 else obj
+    if isinstance(obj, dict):
+        for key in obj:
+            if not isinstance(key, str):
+                raise TypeError(f"canonical JSON requires string keys, got {key!r}")
+        return {key: _canonicalise(value) for key, value in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_canonicalise(item) for item in obj]
+    if obj is None or isinstance(obj, (str, int, bool)):
+        return obj
+    raise TypeError(f"cannot canonically serialise {type(obj).__name__}")
+
+
+def canonical_dumps(payload: Any, *, indent: int | None = None) -> str:
+    """Serialise *payload* to byte-stable JSON.
+
+    Keys are sorted, separators fixed, floats emitted via ``repr``
+    (shortest exact round trip) with ``-0.0`` normalised and non-finite
+    values rejected — so equal payloads always produce identical bytes,
+    the property the content-addressed result cache
+    (:mod:`repro.campaign`) hashes rely on.
+    """
+    separators = (",", ":") if indent is None else (",", ": ")
+    return json.dumps(
+        _canonicalise(payload),
+        sort_keys=True,
+        indent=indent,
+        separators=separators,
+        allow_nan=False,
+    )
 
 
 def _task_to_dict(task: Task) -> dict[str, Any]:
@@ -68,7 +112,7 @@ def instance_to_json(instance: Instance, *, indent: int | None = 2) -> str:
         "kind": "instance",
         "tasks": [_task_to_dict(t) for t in instance],
     }
-    return json.dumps(payload, indent=indent)
+    return json.dumps(payload, indent=indent, sort_keys=True, allow_nan=False)
 
 
 def instance_from_json(text: str) -> Instance:
@@ -95,7 +139,7 @@ def graph_to_json(graph: TaskGraph, *, indent: int | None = 2) -> str:
             repr(handle): size for handle, size in graph.handle_bytes.items()
         },
     }
-    return json.dumps(payload, indent=indent)
+    return json.dumps(payload, indent=indent, sort_keys=True, allow_nan=False)
 
 
 def graph_from_json(text: str) -> TaskGraph:

@@ -1,0 +1,355 @@
+"""Tests for the campaign engine (specs, cache, executor, CLI).
+
+The load-bearing guarantees, each pinned here:
+
+* determinism — the same spec set yields identical metrics at any job
+  count (parallelism only changes wall clock);
+* caching — a warm second run is 100% cache hits and never touches the
+  simulator;
+* invalidation — editing the code-version salt invalidates every entry;
+* fidelity — the campaign-backed figure sweeps reproduce the legacy
+  hand-rolled serial loops bit for bit.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import io
+from repro.bounds.area import area_bound
+from repro.campaign import (
+    CODE_VERSION,
+    InstanceSpec,
+    ResultCache,
+    campaign_id,
+    derive_seeds,
+    execute_spec,
+    metrics_to_run_metrics,
+    run_campaign,
+)
+from repro.campaign.cache import _encode_value
+from repro.campaign import executor as executor_mod
+from repro.core.heteroprio import heteroprio_schedule
+from repro.core.platform import Platform
+from repro.experiments import dags, fig6
+from repro.experiments.workloads import PAPER_PLATFORM, build_graph
+from repro.schedulers.dualhp import dualhp_schedule
+from repro.schedulers.heft import heft_schedule
+
+
+def canon(metrics: dict) -> str:
+    """NaN/inf-tolerant canonical form for exact metric comparison."""
+    return io.canonical_dumps(_encode_value(metrics))
+
+
+def small_specs() -> list[InstanceSpec]:
+    """A fast mixed campaign: independent and DAG instances."""
+    independent = [
+        InstanceSpec(
+            workload="cholesky",
+            size=n,
+            algorithm=algorithm,
+            mode="independent",
+            bound="area",
+        )
+        for n in (4, 6)
+        for algorithm in ("heteroprio", "dualhp", "heft")
+    ]
+    dag = [
+        InstanceSpec(workload="cholesky", size=4, algorithm=algorithm)
+        for algorithm in ("heteroprio-min", "heft-avg")
+    ]
+    return independent + dag
+
+
+class TestInstanceSpec:
+    def test_hash_is_stable_and_salt_sensitive(self):
+        spec = InstanceSpec(workload="qr", size=8, algorithm="heteroprio-min")
+        again = InstanceSpec(workload="qr", size=8, algorithm="heteroprio-min")
+        assert spec.spec_hash() == again.spec_hash()
+        assert spec.spec_hash(salt="other") != spec.spec_hash()
+        assert len(spec.spec_hash()) == 64
+
+    def test_hash_depends_on_every_field(self):
+        base = InstanceSpec(workload="qr", size=8, algorithm="heteroprio-min")
+        variants = [
+            InstanceSpec(workload="lu", size=8, algorithm="heteroprio-min"),
+            InstanceSpec(workload="qr", size=12, algorithm="heteroprio-min"),
+            InstanceSpec(workload="qr", size=8, algorithm="heft-avg"),
+            InstanceSpec(workload="qr", size=8, algorithm="heteroprio-min", num_gpus=2),
+            InstanceSpec(workload="qr", size=8, algorithm="heteroprio-min", bound="mixed"),
+        ]
+        hashes = {v.spec_hash() for v in variants} | {base.spec_hash()}
+        assert len(hashes) == len(variants) + 1
+
+    def test_params_order_never_affects_hash(self):
+        a = InstanceSpec(
+            workload="layered", size=3, algorithm="heteroprio-avg", seed=7,
+            params=(("width", 4), ("edge_probability", 0.5)),
+        )
+        b = InstanceSpec(
+            workload="layered", size=3, algorithm="heteroprio-avg", seed=7,
+            params=(("edge_probability", 0.5), ("width", 4)),
+        )
+        assert a == b
+        assert a.spec_hash() == b.spec_hash()
+
+    def test_dict_round_trip(self):
+        spec = InstanceSpec(
+            workload="chains", size=3, algorithm="dualhp-fifo",
+            num_cpus=4, num_gpus=2, seed=11, params=(("length", 5),),
+        )
+        restored = InstanceSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert restored == spec
+        assert restored.spec_hash() == spec.spec_hash()
+
+    def test_seeded_workloads_require_seed(self):
+        with pytest.raises(ValueError, match="seed"):
+            InstanceSpec(workload="layered", size=3, algorithm="heteroprio-avg")
+
+    def test_invalid_mode_and_size_rejected(self):
+        with pytest.raises(ValueError, match="mode"):
+            InstanceSpec(workload="qr", size=4, algorithm="x", mode="magic")
+        with pytest.raises(ValueError, match="size"):
+            InstanceSpec(workload="qr", size=0, algorithm="x")
+
+
+class TestDeriveSeeds:
+    def test_deterministic_and_distinct(self):
+        seeds = derive_seeds(42, 8)
+        assert seeds == derive_seeds(42, 8)
+        assert len(set(seeds)) == 8
+        assert derive_seeds(43, 8) != seeds
+
+    def test_prefix_stability(self):
+        # Growing a sweep keeps the existing instances' seeds unchanged.
+        assert derive_seeds(42, 12)[:8] == derive_seeds(42, 8)
+
+
+class TestExecuteSpec:
+    def test_independent_matches_legacy_pipeline(self):
+        platform = PAPER_PLATFORM
+        instance = build_graph("qr", 4).to_instance()
+        bound = area_bound(instance, platform).value
+        legacy = {
+            "heteroprio": heteroprio_schedule(
+                instance, platform, compute_ns=False
+            ).makespan,
+            "dualhp": dualhp_schedule(instance, platform).makespan,
+            "heft": heft_schedule(instance, platform).makespan,
+        }
+        for algorithm, makespan in legacy.items():
+            metrics = execute_spec(
+                InstanceSpec(
+                    workload="qr", size=4, algorithm=algorithm,
+                    mode="independent", bound="area",
+                )
+            )
+            assert metrics["makespan"] == makespan
+            assert metrics["lower_bound"] == bound
+            assert metrics["ratio"] == makespan / bound
+
+    def test_dag_payload_rebuilds_run_metrics(self):
+        spec = InstanceSpec(workload="cholesky", size=4, algorithm="heteroprio-min")
+        metrics = execute_spec(spec)
+        run = metrics_to_run_metrics(metrics)
+        assert run.makespan == metrics["makespan"]
+        assert run.ratio == pytest.approx(metrics["ratio"])
+
+    def test_seeded_workloads_are_reproducible(self):
+        spec = InstanceSpec(
+            workload="layered", size=3, algorithm="heteroprio-avg",
+            num_cpus=4, num_gpus=2, seed=123, params=(("width", 4),),
+        )
+        assert canon(execute_spec(spec)) == canon(execute_spec(spec))
+        other = execute_spec(spec.with_seed(124))
+        assert canon(other) != canon(execute_spec(spec))
+
+    def test_unknown_workload_and_algorithm_rejected(self):
+        with pytest.raises(ValueError, match="workload"):
+            execute_spec(InstanceSpec(workload="svd", size=4, algorithm="heft-avg"))
+        with pytest.raises(ValueError, match="independent algorithm"):
+            execute_spec(
+                InstanceSpec(
+                    workload="qr", size=4, algorithm="magic",
+                    mode="independent", bound="area",
+                )
+            )
+
+
+class TestResultCache:
+    def test_round_trip_including_nonfinite(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = InstanceSpec(workload="qr", size=4, algorithm="heteroprio-min")
+        metrics = {"makespan": 1.5, "weird": float("inf"), "worse": float("nan")}
+        cache.put(spec, metrics, elapsed_s=0.25)
+        entry = cache.get(spec)
+        assert entry["metrics"]["makespan"] == 1.5
+        assert entry["metrics"]["weird"] == float("inf")
+        assert entry["metrics"]["worse"] != entry["metrics"]["worse"]  # NaN
+        assert entry["elapsed_s"] == 0.25
+        assert len(cache) == 1
+
+    def test_entry_files_are_canonical_and_sharded(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = InstanceSpec(workload="qr", size=4, algorithm="heteroprio-min")
+        path = cache.put(spec, {"makespan": 1.0})
+        key = cache.key(spec)
+        assert path.parent.name == key[:2]
+        assert path.stem == key
+        assert path.read_text() == cache.put(spec, {"makespan": 1.0}).read_text()
+
+    def test_corrupt_or_mismatched_entries_are_misses(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = InstanceSpec(workload="qr", size=4, algorithm="heteroprio-min")
+        path = cache.put(spec, {"makespan": 1.0})
+        path.write_text("{not json")
+        assert cache.get(spec) is None
+        cache.put(spec, {"makespan": 1.0})
+        assert ResultCache(tmp_path, salt="other").get(spec) is None
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for n in (4, 6, 8):
+            cache.put(
+                InstanceSpec(workload="qr", size=n, algorithm="heft-avg"),
+                {"makespan": float(n)},
+            )
+        assert cache.clear() == 3
+        assert len(cache) == 0
+
+
+class TestRunCampaign:
+    def test_serial_and_parallel_metrics_identical(self):
+        specs = small_specs()
+        serial = run_campaign(specs, jobs=1)
+        parallel = run_campaign(specs, jobs=3)
+        assert serial.stats.executed == len(specs)
+        for a, b in zip(serial.records, parallel.records):
+            assert a.spec == b.spec
+            assert canon(a.metrics) == canon(b.metrics)
+
+    def test_second_run_is_all_cache_hits_without_simulating(self, tmp_path, monkeypatch):
+        specs = small_specs()
+        cache = ResultCache(tmp_path)
+        cold = run_campaign(specs, jobs=1, cache=cache)
+        assert cold.stats.misses == len(specs)
+        assert cold.stats.hit_rate == 0.0
+
+        def boom(spec):  # pragma: no cover - must never run
+            raise AssertionError("warm run must not execute the simulator")
+
+        monkeypatch.setattr(executor_mod, "execute_spec", boom)
+        warm = run_campaign(specs, jobs=1, cache=cache)
+        assert warm.stats.hits == len(specs)
+        assert warm.stats.executed == 0
+        assert warm.stats.hit_rate == 1.0
+        for a, b in zip(cold.records, warm.records):
+            assert canon(a.metrics) == canon(b.metrics)
+            assert b.cached
+
+    def test_editing_the_salt_invalidates_the_cache(self, tmp_path):
+        specs = small_specs()[:3]
+        cold = run_campaign(specs, jobs=1, cache=ResultCache(tmp_path, salt="v1"))
+        assert cold.stats.executed == len(specs)
+        bumped = run_campaign(specs, jobs=1, cache=ResultCache(tmp_path, salt="v2"))
+        assert bumped.stats.hits == 0
+        assert bumped.stats.executed == len(specs)
+        back = run_campaign(specs, jobs=1, cache=ResultCache(tmp_path, salt="v1"))
+        assert back.stats.hits == len(specs)
+
+    def test_progress_events_cover_every_instance(self, tmp_path):
+        specs = small_specs()[:4]
+        events = []
+        run_campaign(specs, jobs=1, cache=ResultCache(tmp_path), progress=events.append)
+        assert [e.done for e in events] == [1, 2, 3, 4]
+        assert {e.spec for e in events} == set(specs)
+        assert all(e.total == 4 for e in events)
+        events.clear()
+        run_campaign(specs, jobs=1, cache=ResultCache(tmp_path), progress=events.append)
+        assert all(e.cached for e in events)
+
+    def test_manifest_written_next_to_cache(self, tmp_path):
+        specs = small_specs()[:2]
+        cache = ResultCache(tmp_path)
+        outcome = run_campaign(specs, jobs=1, cache=cache)
+        path = tmp_path / "manifests" / f"{campaign_id(specs, salt=CODE_VERSION)}.json"
+        assert path.exists()
+        manifest = json.loads(path.read_text())
+        assert manifest["salt"] == CODE_VERSION
+        assert manifest["stats"]["executed"] == outcome.stats.executed
+        assert [InstanceSpec.from_dict(d) for d in manifest["specs"]] == specs
+
+
+class TestExperimentFidelity:
+    def test_fig6_matches_legacy_serial_loop(self):
+        platform = PAPER_PLATFORM
+        n_values = (4, 6)
+        legacy: dict[str, list[float]] = {name: [] for name in fig6.ALGORITHMS}
+        for n_tiles in n_values:
+            instance = build_graph("qr", n_tiles).to_instance()
+            bound = area_bound(instance, platform).value
+            legacy["heteroprio"].append(
+                heteroprio_schedule(instance, platform, compute_ns=False).makespan
+                / bound
+            )
+            legacy["dualhp"].append(dualhp_schedule(instance, platform).makespan / bound)
+            legacy["heft"].append(heft_schedule(instance, platform).makespan / bound)
+        result = fig6.run("qr", n_values=n_values)
+        for name in fig6.ALGORITHMS:
+            assert result.series_by_label(name).values == legacy[name]
+
+    def test_fig6_parallel_equals_serial(self):
+        serial = fig6.run("qr", n_values=(4, 6), jobs=1)
+        parallel = fig6.run("qr", n_values=(4, 6), jobs=2)
+        for a, b in zip(serial.series, parallel.series):
+            assert a.values == b.values
+
+    def test_dag_sweep_uses_disk_cache_across_memo_clears(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        kwargs = dict(
+            n_values=(4,), algorithms=("heteroprio-min", "heft-avg"), cache=cache
+        )
+        dags.clear_cache()
+        telemetry: list = []
+        first = dags.dag_sweep("cholesky", telemetry=telemetry, **kwargs)
+        assert telemetry[-1].executed == 2
+        dags.clear_cache()
+        second = dags.dag_sweep("cholesky", telemetry=telemetry, **kwargs)
+        assert telemetry[-1].hits == 2 and telemetry[-1].executed == 0
+        assert set(first) == set(second)
+        for key in first:
+            assert repr(first[key]) == repr(second[key])
+        dags.clear_cache()
+
+
+class TestCampaignCli:
+    def test_campaign_smoke_cold_then_warm(self, tmp_path, capsys):
+        from repro.cli import main
+
+        argv = [
+            "campaign", "--targets", "fig6", "--kernel", "qr",
+            "--fast", "--jobs", "1", "--cache-dir", str(tmp_path),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr()
+        assert "heteroprio" in out.out
+        assert "0 cache hits" in out.err
+        assert main(argv) == 0
+        out = capsys.readouterr()
+        assert "(100%)" in out.err
+        assert (tmp_path / "manifests").exists()
+
+    def test_campaign_rejects_unknown_target(self, capsys):
+        from repro.cli import main
+
+        assert main(["campaign", "--targets", "table1"]) == 2
+        assert "unknown campaign targets" in capsys.readouterr().err
+
+    def test_jobs_flag_accepted_on_figures(self, capsys):
+        from repro.cli import main
+
+        assert main(["fig6", "--kernel", "qr", "--fast", "--jobs", "1"]) == 0
+        assert "heteroprio" in capsys.readouterr().out

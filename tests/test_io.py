@@ -12,6 +12,63 @@ from repro.dag.graph import TaskGraph
 from conftest import instances
 
 
+class TestCanonicalJson:
+    def test_key_order_never_changes_bytes(self):
+        a = {"b": 1, "a": [1.5, {"y": 2, "x": 3}]}
+        b = {"a": [1.5, {"x": 3, "y": 2}], "b": 1}
+        assert io.canonical_dumps(a) == io.canonical_dumps(b)
+
+    def test_negative_zero_is_normalised(self):
+        assert io.canonical_dumps({"v": -0.0}) == io.canonical_dumps({"v": 0.0})
+        assert "-0.0" not in io.canonical_dumps({"v": -0.0})
+
+    def test_floats_round_trip_exactly(self):
+        import json
+
+        values = [0.1, 1 / 3, 1e-17, 123456.789, 2.0**-52]
+        restored = json.loads(io.canonical_dumps(values))
+        assert restored == values
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ValueError, match="canonical"):
+            io.canonical_dumps({"v": float("nan")})
+        with pytest.raises(ValueError, match="canonical"):
+            io.canonical_dumps([float("inf")])
+
+    def test_non_string_keys_rejected(self):
+        with pytest.raises(TypeError, match="string keys"):
+            io.canonical_dumps({1: "x"})
+
+    def test_tuples_serialise_like_lists(self):
+        assert io.canonical_dumps((1, 2)) == io.canonical_dumps([1, 2])
+
+
+class TestByteStability:
+    """Serialised workloads must be byte-stable across runs (the
+    property the content-addressed campaign cache hashes rely on)."""
+
+    def test_instance_serialisation_is_byte_stable(self, rng):
+        inst = Instance.uniform_random(16, rng)
+        assert io.instance_to_json(inst) == io.instance_to_json(inst)
+
+    def test_instance_round_trip_is_byte_stable(self, rng):
+        inst = Instance.uniform_random(16, rng)
+        text = io.instance_to_json(inst)
+        assert io.instance_to_json(io.instance_from_json(text)) == text
+
+    def test_graph_serialisation_is_byte_stable(self):
+        g = cholesky_graph(4)
+        assert io.graph_to_json(g) == io.graph_to_json(g)
+
+    def test_instance_json_keys_are_sorted(self, rng):
+        import json
+
+        inst = Instance.uniform_random(3, rng)
+        payload = json.loads(io.instance_to_json(inst))
+        for task in payload["tasks"]:
+            assert list(task) == sorted(task)
+
+
 class TestInstanceRoundtrip:
     @given(inst=instances())
     @settings(max_examples=30, deadline=None)
