@@ -5,6 +5,8 @@ matter for a runtime scheduler (the paper's motivation for HeteroPrio
 is precisely its low decision cost).
 """
 
+import random
+
 import numpy as np
 import pytest
 
@@ -13,8 +15,11 @@ from repro.core.heteroprio import heteroprio_schedule
 from repro.core.platform import Platform
 from repro.core.task import Instance
 from repro.dag.cholesky import cholesky_graph
+from repro.dag.lu import lu_graph
 from repro.dag.priorities import assign_priorities
-from repro.schedulers.online import HeteroPrioPolicy
+from repro.dag.qr import qr_graph
+from repro.schedulers.online import BucketHeteroPrioPolicy, HeftPolicy, HeteroPrioPolicy
+from repro.schedulers.online.ready_queue import DualEndedTaskQueue
 from repro.simulator import simulate
 
 PLATFORM = Platform(num_cpus=20, num_gpus=4)
@@ -60,3 +65,78 @@ def test_simulator_heteroprio_cholesky_n16(benchmark):
         iterations=1,
     )
     assert len(schedule.completed_placements()) == len(graph)
+
+
+# -- hot-path cases at n >= 1000 tasks (the `repro bench` fig7 sweep) --------
+
+
+def _bench_dag(benchmark, graph, policy_factory):
+    assign_priorities(graph, PLATFORM, "avg")
+    schedule = benchmark.pedantic(
+        lambda: simulate(graph, PLATFORM, policy_factory()), rounds=3, iterations=1
+    )
+    assert len(schedule.completed_placements()) == len(graph)
+
+
+def test_simulator_heteroprio_cholesky_n20(benchmark):
+    _bench_dag(benchmark, cholesky_graph(20), HeteroPrioPolicy)  # 1540 tasks
+
+
+def test_simulator_buckets_cholesky_n20(benchmark):
+    _bench_dag(benchmark, cholesky_graph(20), BucketHeteroPrioPolicy)
+
+
+def test_simulator_heft_cholesky_n20(benchmark):
+    _bench_dag(benchmark, cholesky_graph(20), HeftPolicy)
+
+
+def test_simulator_heteroprio_qr_n14(benchmark):
+    _bench_dag(benchmark, qr_graph(14), HeteroPrioPolicy)  # 1015 tasks
+
+
+def test_simulator_heteroprio_lu_n14(benchmark):
+    _bench_dag(benchmark, lu_graph(14), HeteroPrioPolicy)  # 1015 tasks
+
+
+# -- ready-queue microbenchmarks ---------------------------------------------
+
+
+def _queue_workload(n: int) -> list[tuple[float, float, int]]:
+    rng = random.Random(0)
+    return [(rng.uniform(0, 4), rng.uniform(-9, 9), i) for i in range(n)]
+
+
+def test_ready_queue_push_pop_10k(benchmark):
+    keys = _queue_workload(10_000)
+
+    def run():
+        queue: DualEndedTaskQueue[int] = DualEndedTaskQueue()
+        queue.extend([(k, k[2]) for k in keys])
+        out = 0
+        while queue:
+            out += queue.pop_min()
+            if queue:
+                out += queue.pop_max()
+        return out
+
+    total = benchmark(run)
+    assert total == sum(range(10_000))
+
+
+def test_ready_queue_interleaved_10k(benchmark):
+    keys = _queue_workload(10_000)
+
+    def run():
+        queue: DualEndedTaskQueue[int] = DualEndedTaskQueue()
+        popped = 0
+        for i, key in enumerate(keys):
+            queue.push(key, key[2])
+            if i % 3 == 2:  # push/pop mix as in a DAG run's steady state
+                queue.pop_max()
+                popped += 1
+        while queue:
+            queue.pop_min()
+            popped += 1
+        return popped
+
+    assert benchmark(run) == 10_000

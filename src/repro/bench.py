@@ -1,0 +1,298 @@
+"""The ``repro bench`` perf-regression harness.
+
+Benchmarks the simulator hot path on the paper's figure workloads and
+emits a machine-readable report (``BENCH_simcore.json``):
+
+* **fig7 cases** run one factorization DAG (cholesky N=20, qr N=14,
+  lu N=14 — all >= 1000 tasks) through :class:`RuntimeSimulator` under
+  the HeteroPrio, bucketed-HeteroPrio and HEFT policies, reading the
+  hot-loop counters from :attr:`RuntimeSimulator.last_stats`;
+* **fig6 cases** run the independent-task HeteroPrio core
+  (:func:`repro.core.heteroprio.heteroprio_schedule`) on a 2000-task
+  random instance.
+
+Each case reports events/sec, pick-calls/sec, wall time and the
+makespan (a cheap sanity check that the schedule did not change).  The
+report also embeds the wall times of the pre-optimization
+implementation measured on the development machine
+(:data:`PRE_PR_WALL_S`) — since the optimized loop produces the exact
+same schedule event-for-event, the events/sec ratio equals the
+wall-time ratio, so ``speedup_vs_pre_pr`` is meaningful on that
+machine and indicative elsewhere.
+
+For CI regression checks, absolute events/sec is useless across
+runners of different speeds.  Every report therefore includes a
+*calibration* measurement (a fixed pure-Python heap workload timed at
+report creation); :func:`compare` normalizes the current events/sec by
+the calibration ratio before applying the regression threshold, which
+absorbs runner-speed differences.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.core.heteroprio import heteroprio_schedule
+from repro.core.platform import Platform
+from repro.core.task import Instance, Task
+from repro.dag.priorities import assign_priorities
+from repro.experiments.workloads import PAPER_PLATFORM, build_graph
+from repro.schedulers.online import make_policy
+from repro.simulator.runtime import RuntimeSimulator
+
+__all__ = [
+    "BenchCase",
+    "BENCH_CASES",
+    "QUICK_CASES",
+    "PRE_PR_WALL_S",
+    "run_bench",
+    "compare",
+    "main",
+]
+
+#: Current report layout version.
+SCHEMA = 1
+
+#: Wall times of the pre-optimization simulator/core on the same cases,
+#: measured (best of 3) on the development machine before the hot-path
+#: overhaul.  Kept verbatim so the report can state the speedup the
+#: overhaul delivered; not used by the CI regression check.
+PRE_PR_WALL_S: dict[str, float] = {
+    "fig7:cholesky:n20:heteroprio": 0.1348,
+    "fig7:cholesky:n20:buckets": 0.1522,
+    "fig7:cholesky:n20:heft": 0.3913,
+    "fig7:qr:n14:heteroprio": 0.1473,
+    "fig7:qr:n14:buckets": 0.1540,
+    "fig7:qr:n14:heft": 0.2675,
+    "fig7:lu:n14:heteroprio": 0.0927,
+    "fig7:lu:n14:buckets": 0.1112,
+    "fig7:lu:n14:heft": 0.1715,
+    "fig6:independent:n2000:heteroprio": 0.0194,
+}
+
+#: Policy short names used in case ids -> ``make_policy`` names.
+_POLICIES = {
+    "heteroprio": "heteroprio-avg",
+    "buckets": "buckets",
+    "heft": "heft-avg",
+}
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One benchmark case: a workload plus the policy that schedules it."""
+
+    case_id: str
+    runner: Callable[[int], dict]
+    repeats: int = 3
+
+
+def _dag_case(kernel: str, n_tiles: int, policy_key: str, repeats: int = 3) -> BenchCase:
+    case_id = f"fig7:{kernel}:n{n_tiles}:{policy_key}"
+
+    def runner(reps: int) -> dict:
+        graph = build_graph(kernel, n_tiles)
+        assign_priorities(graph, PAPER_PLATFORM, "avg")
+        best = None
+        makespan = None
+        for _ in range(reps):
+            sim = RuntimeSimulator(graph, PAPER_PLATFORM, make_policy(_POLICIES[policy_key]))
+            schedule = sim.run()
+            stats = sim.last_stats
+            assert stats is not None
+            if best is None or stats.wall_s < best.wall_s:
+                best = stats
+                makespan = schedule.makespan
+        payload = best.to_dict()
+        payload["makespan"] = makespan
+        return payload
+
+    return BenchCase(case_id, runner, repeats)
+
+
+def _independent_case(n_tasks: int, seed: int = 42, repeats: int = 3) -> BenchCase:
+    case_id = f"fig6:independent:n{n_tasks}:heteroprio"
+
+    def runner(reps: int) -> dict:
+        rng = random.Random(seed)
+        instance = Instance(
+            [
+                Task(name=f"t{i}", cpu_time=rng.uniform(1.0, 50.0),
+                     gpu_time=rng.uniform(0.5, 10.0))
+                for i in range(n_tasks)
+            ]
+        )
+        best = None
+        for _ in range(reps):
+            started = time.perf_counter()
+            result = heteroprio_schedule(instance, PAPER_PLATFORM, compute_ns=False)
+            wall = time.perf_counter() - started
+            if best is None or wall < best["wall_s"]:
+                spoliations = len(result.spoliations)
+                # Every execution start pushes one completion event and
+                # every event pops exactly once; a spoliation leaves one
+                # stale event behind.
+                events = n_tasks + spoliations
+                best = {
+                    "events": events,
+                    "stale_events": spoliations,
+                    "picks": 0,
+                    "tasks": n_tasks,
+                    "aborts": spoliations,
+                    "wall_s": wall,
+                    "events_per_sec": events / wall if wall > 0 else float("inf"),
+                    "picks_per_sec": 0.0,
+                    "makespan": result.makespan,
+                }
+        return best
+
+    return BenchCase(case_id, runner, repeats)
+
+
+#: The full ``repro bench`` suite: the fig7 sweeps at n >= 1000 tasks,
+#: plus the ``--quick`` smoke cases so the committed report doubles as
+#: the CI regression baseline for ``repro bench --quick``.
+BENCH_CASES: tuple[BenchCase, ...] = (
+    _dag_case("cholesky", 12, "heteroprio"),
+    _dag_case("cholesky", 12, "buckets"),
+    _independent_case(500),
+    _dag_case("cholesky", 20, "heteroprio"),
+    _dag_case("cholesky", 20, "buckets"),
+    _dag_case("cholesky", 20, "heft"),
+    _dag_case("qr", 14, "heteroprio"),
+    _dag_case("qr", 14, "buckets"),
+    _dag_case("qr", 14, "heft"),
+    _dag_case("lu", 14, "heteroprio"),
+    _dag_case("lu", 14, "buckets"),
+    _dag_case("lu", 14, "heft"),
+    _independent_case(2000),
+)
+
+#: The ``--quick`` CI smoke subset (a few seconds total).
+QUICK_CASES: tuple[BenchCase, ...] = (
+    _dag_case("cholesky", 12, "heteroprio", repeats=2),
+    _dag_case("cholesky", 12, "buckets", repeats=2),
+    _independent_case(500, repeats=2),
+)
+
+
+def _calibrate(reps: int = 5) -> float:
+    """Wall time of a fixed pure-Python heap workload (runner speed probe).
+
+    Best of *reps* runs: the minimum measures the runner's steady-state
+    speed, insulated from scheduler noise that a single run would pick up.
+    """
+    rng = random.Random(0)
+    values = [rng.random() for _ in range(50_000)]
+    best = float("inf")
+    for _ in range(reps):
+        started = time.perf_counter()
+        heap: list[float] = []
+        for v in values:
+            heapq.heappush(heap, v)
+        while heap:
+            heapq.heappop(heap)
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def run_bench(cases: Iterable[BenchCase] | None = None, *, quick: bool = False) -> dict:
+    """Run the suite and return the report dict (``BENCH_simcore.json``)."""
+    if cases is None:
+        cases = QUICK_CASES if quick else BENCH_CASES
+    report: dict = {
+        "schema": SCHEMA,
+        "quick": quick,
+        "calibration_s": _calibrate(),
+        "cases": {},
+    }
+    for case in cases:
+        payload = case.runner(case.repeats)
+        pre = PRE_PR_WALL_S.get(case.case_id)
+        if pre is not None:
+            payload["pre_pr_wall_s"] = pre
+            payload["speedup_vs_pre_pr"] = pre / payload["wall_s"]
+        report["cases"][case.case_id] = payload
+    return report
+
+
+def compare(current: dict, baseline: dict, *, threshold: float = 0.30) -> list[str]:
+    """Regression check: current vs a committed baseline report.
+
+    Events/sec are normalized by the calibration ratio so a slower CI
+    runner does not read as a code regression.  Returns one message per
+    case whose normalized events/sec dropped more than *threshold*
+    below the baseline (empty list = pass).  Cases present in only one
+    report are skipped.
+    """
+    failures: list[str] = []
+    cur_calib = current.get("calibration_s") or 1.0
+    base_calib = baseline.get("calibration_s") or 1.0
+    scale = cur_calib / base_calib  # >1 when this runner is slower
+    for case_id, base in baseline.get("cases", {}).items():
+        cur = current.get("cases", {}).get(case_id)
+        if cur is None:
+            continue
+        base_eps = base.get("events_per_sec", 0.0)
+        if not base_eps:
+            continue
+        normalized = cur.get("events_per_sec", 0.0) * scale
+        ratio = normalized / base_eps
+        if ratio < 1.0 - threshold:
+            failures.append(
+                f"{case_id}: events/sec fell to {ratio:.0%} of baseline "
+                f"({cur.get('events_per_sec', 0.0):,.0f} vs {base_eps:,.0f}, "
+                f"calibration scale {scale:.2f})"
+            )
+    return failures
+
+
+def render(report: dict) -> str:
+    """Human-readable table of a bench report."""
+    lines = [
+        f"{'case':<40} {'tasks':>6} {'events/s':>12} {'picks/s':>12} "
+        f"{'wall (s)':>9} {'vs pre-PR':>10}",
+    ]
+    for case_id, payload in report["cases"].items():
+        speedup = payload.get("speedup_vs_pre_pr")
+        lines.append(
+            f"{case_id:<40} {payload['tasks']:>6} "
+            f"{payload['events_per_sec']:>12,.0f} "
+            f"{payload['picks_per_sec']:>12,.0f} "
+            f"{payload['wall_s']:>9.4f} "
+            + (f"{speedup:>9.2f}x" if speedup is not None else f"{'-':>10}")
+        )
+    lines.append(f"calibration: {report['calibration_s']:.4f}s")
+    return "\n".join(lines)
+
+
+def main(
+    *,
+    quick: bool = False,
+    out: str | None = None,
+    baseline: str | None = None,
+    threshold: float = 0.30,
+) -> int:
+    """The ``repro bench`` subcommand body; returns an exit code."""
+    report = run_bench(quick=quick)
+    print(render(report))
+    if out:
+        with open(out, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"[bench] report written to {out}")
+    if baseline:
+        with open(baseline) as fh:
+            base = json.load(fh)
+        failures = compare(report, base, threshold=threshold)
+        if failures:
+            for message in failures:
+                print(f"[bench] REGRESSION {message}")
+            return 1
+        print(f"[bench] no regression vs {baseline} (threshold {threshold:.0%})")
+    return 0

@@ -20,6 +20,13 @@ reassignment is expensive at large N).  The campaign-backed sweeps
 ``--cache-dir`` (default ``.repro-cache``), so a warm re-run completes
 without executing a single simulation.  ``--refresh`` clears the cache
 first; ``--no-cache`` disables it for the run.
+
+``bench`` runs the simulator perf harness (:mod:`repro.bench`) and
+writes ``BENCH_simcore.json``; ``--quick`` selects the CI smoke
+subset, ``--baseline FILE`` fails the run when events/sec regresses
+more than ``--threshold`` (default 30%) below a committed report.
+Any invocation accepts ``--profile`` to wrap the run in ``cProfile``
+and print the top cumulative-time hotspots.
 """
 
 from __future__ import annotations
@@ -47,8 +54,21 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(ALL_EXPERIMENTS) + ["all", "list", "campaign"],
-        help="experiment id (paper table/figure), 'all', 'list', or 'campaign'",
+        choices=sorted(ALL_EXPERIMENTS) + ["all", "list", "campaign", "bench"],
+        help="experiment id (paper table/figure), 'all', 'list', 'campaign', or 'bench'",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="wrap the run in cProfile and print the top hotspots "
+        "by cumulative time",
+    )
+    parser.add_argument(
+        "--profile-top",
+        type=int,
+        default=25,
+        metavar="N",
+        help="number of profile rows to print with --profile (default: 25)",
     )
     parser.add_argument(
         "--kernel",
@@ -103,6 +123,32 @@ def _build_parser() -> argparse.ArgumentParser:
         default=",".join(_CAMPAIGN_DEFAULT_TARGETS),
         help="comma-separated campaign experiments "
         f"(subset of {sorted(_CAMPAIGN_EXPERIMENTS)}; default: fig6,fig7)",
+    )
+    bench = parser.add_argument_group("bench options")
+    bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="bench: run the small CI smoke subset instead of the full suite",
+    )
+    bench.add_argument(
+        "--json",
+        metavar="FILE",
+        default="BENCH_simcore.json",
+        help="bench: write the JSON report here (default: BENCH_simcore.json; "
+        "'-' to skip writing)",
+    )
+    bench.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help="bench: committed baseline report to regression-check against",
+    )
+    bench.add_argument(
+        "--threshold",
+        type=float,
+        default=0.30,
+        metavar="FRAC",
+        help="bench: allowed events/sec drop vs baseline (default: 0.30)",
     )
     return parser
 
@@ -182,9 +228,39 @@ def _run_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_bench(args: argparse.Namespace) -> int:
+    """The ``repro bench`` subcommand: the simulator perf harness."""
+    from repro import bench
+
+    return bench.main(
+        quick=args.quick,
+        out=None if args.json == "-" else args.json,
+        baseline=args.baseline,
+        threshold=args.threshold,
+    )
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
+    if args.profile:
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        args.profile = False  # run the real body below, unprofiled branch
+        profiler.enable()
+        try:
+            return main_dispatch(args)
+        finally:
+            profiler.disable()
+            stats = pstats.Stats(profiler, stream=sys.stderr)
+            stats.sort_stats("cumulative").print_stats(args.profile_top)
+    return main_dispatch(args)
+
+
+def main_dispatch(args: argparse.Namespace) -> int:
+    """Dispatch an already-parsed invocation (separated for --profile)."""
     if args.experiment == "list":
         for name, module in sorted(ALL_EXPERIMENTS.items()):
             doc = (module.__doc__ or "").strip().splitlines()[0]
@@ -192,6 +268,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
     if args.experiment == "campaign":
         return _run_campaign(args)
+    if args.experiment == "bench":
+        return _run_bench(args)
     names = sorted(ALL_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     out_dir = None
     if args.out is not None:

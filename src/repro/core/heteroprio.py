@@ -199,44 +199,67 @@ def _run(
     migration: MigrationMode,
     service_order: ServiceOrder,
 ) -> tuple[Schedule, list[SpoliationEvent], float]:
-    """Discrete-event execution of Algorithm 1."""
-    queue = sorted_queue(instance)  # index 0 = CPU end, index -1 = GPU end
+    """Discrete-event execution of Algorithm 1.
+
+    Uses the same incremental hot-path layout as the DAG simulator
+    (:mod:`repro.simulator.runtime`): workers are dense integer slots so
+    the loop never hashes ``Worker`` dataclasses, the idle set is a flag
+    array walked in a precomputed service order, per-task times are
+    flattened up front, and the affinity queue is the O(log n)
+    double-ended heap popping in exactly the order of the sorted list it
+    replaced (``tests/test_differential_simcore.py`` pins the whole loop
+    event-for-event against the pre-optimization implementation).
+    """
+    # Lazy import: the online-policy package imports this module at load
+    # time, so a top-level import would be circular.
+    from repro.schedulers.online.ready_queue import DualEndedTaskQueue
+
+    # The double-ended affinity queue Q: pop_min is the CPU end (least
+    # accelerated), pop_max the GPU end.
+    queue: DualEndedTaskQueue[Task] = DualEndedTaskQueue()
+    queue.extend([(_queue_key(t), t) for t in instance])
     # Preempted tasks complete in several partial placements, so exact
     # per-placement durations cannot be enforced.
     schedule = Schedule(platform, strict=(migration != "preemption"))
     spoliations: list[SpoliationEvent] = []
 
-    running: dict[Worker, _Running] = {}
-    idle: set[Worker] = set(platform.workers())
+    # Slots are numbered in service order, so a plain integer sort of the
+    # idle set reproduces the service-order walk of the old settle().
+    service_key = _worker_service_key(service_order)
+    workers: tuple[Worker, ...] = tuple(sorted(platform.workers(), key=service_key))
+    n_workers = len(workers)
+    # Index into the per-task (cpu_time, gpu_time) pair for each slot.
+    time_index = tuple(
+        1 if w.kind is ResourceKind.GPU else 0 for w in workers
+    )
+    task_times = {t: (t.cpu_time, t.gpu_time) for t in instance}
+
+    running: list[_Running | None] = [None] * n_workers
+    idle = set(range(n_workers))
     remaining = len(instance)
     t_first_idle: float | None = None
 
-    # Event heap: (time, sequence, worker, generation).  The generation
+    # Event heap: (time, sequence, slot, generation).  The generation
     # counter invalidates completion events of spoliated executions.
-    events: list[tuple[float, int, Worker, int]] = []
+    events: list[tuple[float, int, int, int]] = []
     seq = itertools.count()
-    generations: dict[Worker, int] = {w: 0 for w in platform.workers()}
+    generations = [0] * n_workers
 
-    service_key = _worker_service_key(service_order)
+    def start_task(task: Task, slot: int, now: float, fraction: float = 1.0) -> None:
+        end = now + fraction * task_times[task][time_index[slot]]
+        gen = generations[slot] + 1
+        generations[slot] = gen
+        running[slot] = _Running(task=task, worker=workers[slot], start=now,
+                                 end=end, generation=gen, fraction=fraction)
+        idle.discard(slot)
+        heapq.heappush(events, (end, next(seq), slot, gen))
 
-    def start_task(
-        task: Task, worker: Worker, now: float, fraction: float = 1.0
-    ) -> None:
-        nonlocal remaining
-        end = now + fraction * task.time_on(worker.kind)
-        generations[worker] += 1
-        record = _Running(task=task, worker=worker, start=now, end=end,
-                          generation=generations[worker], fraction=fraction)
-        running[worker] = record
-        idle.discard(worker)
-        heapq.heappush(events, (end, next(seq), worker, record.generation))
-
-    def try_assign(worker: Worker, now: float) -> bool:
-        """Give *worker* a task from the queue, or spoliate.  True on action."""
+    def try_assign(slot: int, now: float) -> bool:
+        """Give the worker in *slot* a task from the queue, or spoliate."""
         nonlocal t_first_idle
         if queue:
-            task = queue.pop() if worker.kind is ResourceKind.GPU else queue.pop(0)
-            start_task(task, worker, now)
+            task = queue.pop_max() if time_index[slot] else queue.pop_min()
+            start_task(task, slot, now)
             return True
         if t_first_idle is None:
             t_first_idle = now
@@ -244,9 +267,14 @@ def _run(
             return False
         # Migration attempt: victims on the other class, by decreasing
         # expected completion time, ties broken by higher priority.
-        victims = [r for r in running.values() if r.worker.kind is worker.kind.other]
-        victims.sort(key=lambda r: (-r.end, -r.task.priority, r.task.uid))
-        for victim in victims:
+        other_index = 1 - time_index[slot]
+        victims = [
+            (vslot, r)
+            for vslot, r in enumerate(running)
+            if r is not None and time_index[vslot] == other_index
+        ]
+        victims.sort(key=lambda vr: (-vr[1].end, -vr[1].task.priority, vr[1].task.uid))
+        for vslot, victim in victims:
             if migration == "preemption":
                 # Progress carries over: only the unfinished fraction of
                 # the task must run on the new worker.
@@ -254,23 +282,23 @@ def _run(
                 fraction = victim.fraction * (1.0 - done_share)
             else:
                 fraction = 1.0  # spoliation: progress is lost
-            new_end = now + fraction * victim.task.time_on(worker.kind)
+            new_end = now + fraction * task_times[victim.task][time_index[slot]]
             if new_end < victim.end - TIME_EPS:
                 schedule.add(victim.task, victim.worker, victim.start, end=now, aborted=True)
-                del running[victim.worker]
-                idle.add(victim.worker)
-                generations[victim.worker] += 1  # cancel its completion event
+                running[vslot] = None
+                idle.add(vslot)
+                generations[vslot] += 1  # cancel its completion event
                 spoliations.append(
                     SpoliationEvent(
                         task=victim.task,
                         victim_worker=victim.worker,
-                        new_worker=worker,
+                        new_worker=workers[slot],
                         abort_time=now,
                         old_completion=victim.end,
                         new_completion=new_end,
                     )
                 )
-                start_task(victim.task, worker, now, fraction)
+                start_task(victim.task, slot, now, fraction)
                 return True
         return False
 
@@ -279,31 +307,33 @@ def _run(
         progress = True
         while progress:
             progress = False
-            for worker in sorted(idle, key=service_key):
-                if worker in idle and try_assign(worker, now):
+            for slot in sorted(idle):
+                if slot in idle and try_assign(slot, now):
                     progress = True
 
     settle(0.0)
     while remaining > 0:
         if not events:  # pragma: no cover - defensive; cannot happen
             raise RuntimeError("HeteroPrio stalled with unfinished tasks")
-        time, _, worker, gen = heapq.heappop(events)
-        if generations.get(worker) != gen:
+        time, _, slot, gen = heapq.heappop(events)
+        if generations[slot] != gen:
             continue  # stale event: the execution was spoliated
-        record = running.pop(worker)
-        schedule.add(record.task, worker, record.start, end=record.end)
+        record = running[slot]
+        running[slot] = None
+        schedule.add(record.task, record.worker, record.start, end=record.end)
         remaining -= 1
-        idle.add(worker)
+        idle.add(slot)
         # Batch all completions at the same instant before re-dispatching,
         # so simultaneous finishers see a consistent queue state.
         while events and events[0][0] <= time + TIME_EPS:
-            time2, _, worker2, gen2 = heapq.heappop(events)
-            if generations.get(worker2) != gen2:
+            time2, _, slot2, gen2 = heapq.heappop(events)
+            if generations[slot2] != gen2:
                 continue
-            record2 = running.pop(worker2)
-            schedule.add(record2.task, worker2, record2.start, end=record2.end)
+            record2 = running[slot2]
+            running[slot2] = None
+            schedule.add(record2.task, record2.worker, record2.start, end=record2.end)
             remaining -= 1
-            idle.add(worker2)
+            idle.add(slot2)
         if remaining > 0:
             settle(time)
 

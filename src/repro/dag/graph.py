@@ -89,6 +89,15 @@ class TaskGraph:
     def successors(self, task: Task) -> list[Task]:
         return list(self._succ[task])
 
+    def successor_map(self) -> dict[Task, tuple[Task, ...]]:
+        """Flat adjacency snapshot: ``{task: (successors...)}`` for every node.
+
+        One allocation up front instead of one list copy per
+        :meth:`successors` call — the event-loop consumers (simulator,
+        exact DAG scheduler) take this once at entry.
+        """
+        return {task: tuple(succs) for task, succs in self._succ.items()}
+
     def predecessors(self, task: Task) -> list[Task]:
         return list(self._pred[task])
 

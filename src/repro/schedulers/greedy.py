@@ -5,10 +5,20 @@ Section 3 observes that plain list scheduling on unrelated resources has
 *no* bounded approximation ratio (a slow resource may grab a huge task),
 which the test suite demonstrates with :func:`eft_list_schedule` on
 adversarial two-task instances.
+
+Worker selection is O(log W) per task: each resource class keeps a heap
+of ``(load, tie_break, worker)`` entries refreshed lazily as loads grow
+(an entry is stale when its recorded load no longer matches the
+worker's current load).  Within a class all tasks see the same
+processing time, so the class minimum plus a cross-class comparison
+reproduces the previous full ``min()`` scans, tie-breaking included
+(the one theoretical exception: two same-class workers with different
+loads whose finish times collide after float rounding).
 """
 
 from __future__ import annotations
 
+import heapq
 from typing import Callable, Iterable
 
 from repro.core.platform import Platform, ResourceKind, Worker
@@ -16,6 +26,44 @@ from repro.core.schedule import Schedule
 from repro.core.task import Instance, Task
 
 __all__ = ["eft_list_schedule", "earliest_start_schedule", "single_class_schedule"]
+
+
+class _LoadHeap:
+    """Lazy min-heap over one class's ``(load, tie_break, worker)``."""
+
+    __slots__ = ("_heap", "loads", "_tie")
+
+    def __init__(self, workers: list[Worker], tie: Callable[[Worker], object]):
+        self._tie = tie
+        self.loads: dict[Worker, float] = {w: 0.0 for w in workers}
+        self._heap = [(0.0, tie(w), w) for w in workers]
+        heapq.heapify(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self.loads)
+
+    def peek(self) -> tuple[float, object, Worker]:
+        """The entry with the least (load, tie_break), skipping stale ones."""
+        heap = self._heap
+        while heap[0][0] != self.loads[heap[0][2]]:
+            heapq.heappop(heap)
+        return heap[0]
+
+    def assign(self, worker: Worker, duration: float) -> float:
+        """Record *duration* more work on *worker*; return its old load."""
+        load = self.loads[worker]
+        self.loads[worker] = load + duration
+        heapq.heappush(self._heap, (load + duration, self._tie(worker), worker))
+        return load
+
+
+def _class_heaps(
+    platform: Platform, tie: Callable[[Worker], object]
+) -> dict[ResourceKind, _LoadHeap]:
+    return {
+        kind: _LoadHeap(list(platform.workers(kind)), tie)
+        for kind in (ResourceKind.CPU, ResourceKind.GPU)
+    }
 
 
 def eft_list_schedule(
@@ -27,17 +75,29 @@ def eft_list_schedule(
     """Greedy earliest-finish-time in a fixed task order (no ranking).
 
     Tasks are processed in instance order, or sorted by *key* when
-    given, and each goes to the worker finishing it earliest.
+    given, and each goes to the worker finishing it earliest (ties by
+    ``str(worker)``, as before this module used heaps).
     """
     tasks: Iterable[Task] = instance
     if key is not None:
         tasks = sorted(instance, key=key)
     schedule = Schedule(platform)
-    loads: dict[Worker, float] = {w: 0.0 for w in platform.workers()}
+    heaps = _class_heaps(platform, str)
     for task in tasks:
-        worker = min(loads, key=lambda w: (loads[w] + task.time_on(w.kind), str(w)))
-        schedule.add(task, worker, loads[worker])
-        loads[worker] += task.time_on(worker.kind)
+        best = None
+        best_heap = None
+        for kind, heap in heaps.items():
+            if not heap:
+                continue
+            load, tie, worker = heap.peek()
+            candidate = (load + task.time_on(kind), tie, worker)
+            if best is None or candidate < best:
+                best = candidate
+                best_heap = heap
+        assert best is not None and best_heap is not None
+        worker = best[2]
+        start = best_heap.assign(worker, task.time_on(worker.kind))
+        schedule.add(task, worker, start)
     return schedule
 
 
@@ -56,7 +116,6 @@ def earliest_start_schedule(
     (the adversarial choice in the classic two-task example).
     """
     schedule = Schedule(platform)
-    loads: dict[Worker, float] = {w: 0.0 for w in platform.workers()}
 
     def tie_rank(worker: Worker) -> tuple[int, int]:
         cpu_rank = 0 if worker.kind is ResourceKind.CPU else 1
@@ -64,10 +123,22 @@ def earliest_start_schedule(
             cpu_rank = 1 - cpu_rank
         return (cpu_rank, worker.index)
 
+    heaps = _class_heaps(platform, tie_rank)
     for task in instance:
-        worker = min(loads, key=lambda w: (loads[w], tie_rank(w)))
-        schedule.add(task, worker, loads[worker])
-        loads[worker] += task.time_on(worker.kind)
+        best = None
+        best_heap = None
+        for heap in heaps.values():
+            if not heap:
+                continue
+            load, tie, worker = heap.peek()
+            candidate = (load, tie, worker)
+            if best is None or candidate < best:
+                best = candidate
+                best_heap = heap
+        assert best is not None and best_heap is not None
+        worker = best[2]
+        start = best_heap.assign(worker, task.time_on(worker.kind))
+        schedule.add(task, worker, start)
     return schedule
 
 
@@ -90,9 +161,9 @@ def single_class_schedule(
     if lpt:
         tasks.sort(key=lambda t: -t.time_on(kind))
     schedule = Schedule(platform)
-    loads = {w: 0.0 for w in platform.workers(kind)}
+    heap = _LoadHeap(list(platform.workers(kind)), lambda w: w.index)
     for task in tasks:
-        worker = min(loads, key=lambda w: (loads[w], w.index))
-        schedule.add(task, worker, loads[worker])
-        loads[worker] += task.time_on(kind)
+        _, _, worker = heap.peek()
+        start = heap.assign(worker, task.time_on(kind))
+        schedule.add(task, worker, start)
     return schedule

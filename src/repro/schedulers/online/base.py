@@ -20,10 +20,18 @@ import abc
 from dataclasses import dataclass
 from typing import Mapping, Sequence, Union
 
-from repro.core.platform import Platform, Worker
+from repro.core.platform import Platform, ResourceKind, Worker
+from repro.core.schedule import TIME_EPS
 from repro.core.task import Task
 
-__all__ = ["RunningView", "StartTask", "Spoliate", "Action", "OnlinePolicy"]
+__all__ = [
+    "RunningView",
+    "StartTask",
+    "Spoliate",
+    "Action",
+    "OnlinePolicy",
+    "spoliation_victim",
+]
 
 
 @dataclass(frozen=True)
@@ -51,6 +59,56 @@ class Spoliate:
 
 
 Action = Union[StartTask, Spoliate]
+
+
+def spoliation_victim(
+    worker: Worker,
+    time: float,
+    running: Mapping[Worker, "RunningView"],
+    *,
+    victim_rule: str = "priority",
+) -> Spoliate | None:
+    """Pick the spoliation victim for an idle *worker*, or ``None``.
+
+    The one candidate scan shared by every spoliating policy: consider
+    executions on the *other* resource class whose completion the idle
+    worker would improve by more than ``TIME_EPS`` (restarting the task
+    from scratch), then order the candidates by the victim rule —
+
+    * ``"priority"`` — Section 6.2's DAG rule: highest priority first,
+      then latest expected completion, then ``uid``;
+    * ``"completion"`` — Algorithm 1 line 11's rule for independent
+      tasks: latest expected completion first, then highest priority,
+      then ``uid``.
+
+    The scan is a single pass keeping the running best, equivalent to
+    (but cheaper than) materialising the candidate list and taking its
+    ``min``.
+    """
+    if victim_rule not in ("priority", "completion"):
+        raise ValueError(f"unknown victim_rule {victim_rule!r}")
+    other = worker.kind.other
+    on_cpu = worker.kind is ResourceKind.CPU
+    by_priority = victim_rule == "priority"
+    best_key: tuple[float, float, int] | None = None
+    best_worker: Worker | None = None
+    for view in running.values():
+        if view.worker.kind is not other:
+            continue
+        task = view.task
+        new_time = task.cpu_time if on_cpu else task.gpu_time
+        if time + new_time >= view.end - TIME_EPS:
+            continue
+        if by_priority:
+            key = (-task.priority, -view.end, task.uid)
+        else:
+            key = (-view.end, -task.priority, task.uid)
+        if best_key is None or key < best_key:
+            best_key = key
+            best_worker = view.worker
+    if best_worker is None:
+        return None
+    return Spoliate(best_worker)
 
 
 class OnlinePolicy(abc.ABC):

@@ -11,6 +11,7 @@ precisely what Figure 9 exposes as CPU idle time.
 
 from __future__ import annotations
 
+import heapq
 import itertools
 from typing import Mapping, Sequence
 
@@ -132,20 +133,27 @@ class DualHPPolicy(OnlinePolicy):
         Mirrors :func:`repro.schedulers.dualhp.dualhp_try` but only
         yields the class split (the runtime decides actual workers), and
         accounts for the initial class loads of running work.
+
+        Class loads are kept in binary heaps of ``(load, slot)`` so each
+        pack is O(log m) instead of a linear argmin over the class; the
+        heap minimum is the exact element the old scan chose (smallest
+        load, ties to the smallest slot index).
         """
         assert self._platform is not None
         limit = 2.0 * lam
-        cpu_loads = list(cpu_init)
-        gpu_loads = list(gpu_init)
+        cpu_loads = [(load, slot) for slot, load in enumerate(cpu_init)]
+        gpu_loads = [(load, slot) for slot, load in enumerate(gpu_init)]
+        heapq.heapify(cpu_loads)
+        heapq.heapify(gpu_loads)
         has_cpu = bool(cpu_loads)
         has_gpu = bool(gpu_loads)
         assignment: dict[Task, ResourceKind] = {}
         cpu_overflow: list[Task] = []
 
-        def pack(loads: list[float], duration: float) -> bool:
-            slot = min(range(len(loads)), key=loads.__getitem__)
-            if loads[slot] + duration <= limit:
-                loads[slot] += duration
+        def pack(loads: list[tuple[float, int]], duration: float) -> bool:
+            load, slot = loads[0]
+            if load + duration <= limit:
+                heapq.heapreplace(loads, (load + duration, slot))
                 return True
             return False
 

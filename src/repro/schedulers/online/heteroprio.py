@@ -7,24 +7,29 @@ resolved by priority.  When the queue is empty, an idle worker attempts
 spoliation on the other resource class (victims in decreasing expected
 completion time, ties by priority) — this is the mechanism that lets
 HeteroPrio recover from affinity mistakes near the end of DAG phases.
+
+The queue is a :class:`~repro.schedulers.online.ready_queue.DualEndedTaskQueue`
+— O(log n) push and pop at either end, replacing the previous sorted
+list (O(n) ``bisect``/``insert``/``pop(0)``) while popping in exactly
+the same order.  The spoliation scan is the shared
+:func:`~repro.schedulers.online.base.spoliation_victim` helper.
 """
 
 from __future__ import annotations
 
-import bisect
 from typing import Mapping, Sequence
 
 from repro.core.heteroprio import _queue_key
 from repro.core.platform import Platform, ResourceKind, Worker
-from repro.core.schedule import TIME_EPS
 from repro.core.task import Task
 from repro.schedulers.online.base import (
     Action,
     OnlinePolicy,
     RunningView,
-    Spoliate,
     StartTask,
+    spoliation_victim,
 )
+from repro.schedulers.online.ready_queue import DualEndedTaskQueue
 
 __all__ = ["HeteroPrioPolicy"]
 
@@ -49,19 +54,15 @@ class HeteroPrioPolicy(OnlinePolicy):
             raise ValueError(f"unknown victim_rule {victim_rule!r}")
         self.spoliation = spoliation
         self.victim_rule = victim_rule
-        self._keys: list[tuple[float, float, int]] = []
-        self._queue: list[Task] = []
+        self._queue: DualEndedTaskQueue[Task] = DualEndedTaskQueue()
 
     def prepare(self, platform: Platform) -> None:
-        self._keys = []
-        self._queue = []
+        self._queue = DualEndedTaskQueue()
 
     def tasks_ready(self, tasks: Sequence[Task], time: float) -> None:
+        push = self._queue.push
         for task in tasks:
-            key = _queue_key(task)
-            pos = bisect.bisect(self._keys, key)
-            self._keys.insert(pos, key)
-            self._queue.insert(pos, task)
+            push(_queue_key(task), task)
 
     def pick(
         self,
@@ -69,28 +70,11 @@ class HeteroPrioPolicy(OnlinePolicy):
         time: float,
         running: Mapping[Worker, RunningView],
     ) -> Action | None:
-        if self._queue:
+        queue = self._queue
+        if queue:
             if worker.kind is ResourceKind.GPU:
-                self._keys.pop()
-                return StartTask(self._queue.pop())
-            self._keys.pop(0)
-            return StartTask(self._queue.pop(0))
+                return StartTask(queue.pop_max())
+            return StartTask(queue.pop_min())
         if not self.spoliation:
             return None
-        candidates = [
-            view
-            for view in running.values()
-            if view.worker.kind is worker.kind.other
-            and time + view.task.time_on(worker.kind) < view.end - TIME_EPS
-        ]
-        if not candidates:
-            return None
-        if self.victim_rule == "priority":
-            # Section 6.2: among the candidates whose completion the idle
-            # worker can improve, spoliate the highest-priority one.
-            key = lambda v: (-v.task.priority, -v.end, v.task.uid)  # noqa: E731
-        else:
-            # Algorithm 1, line 11: decreasing expected completion time.
-            key = lambda v: (-v.end, -v.task.priority, v.task.uid)  # noqa: E731
-        best = min(candidates, key=key)
-        return Spoliate(best.worker)
+        return spoliation_victim(worker, time, running, victim_rule=self.victim_rule)

@@ -4,8 +4,7 @@ The paper's conclusion notes that "a practical implementation of
 HeteroPrio in the StarPU runtime system is currently under way"; that
 implementation (StarPU's ``heteroprio`` scheduler) does not keep one
 sorted queue but one *bucket per kernel type*, each architecture
-visiting the buckets in its own affinity order — O(1) pops instead of
-O(log n) insertions.
+visiting the buckets in its own affinity order.
 
 This policy reproduces that design: ready tasks go into the bucket of
 their ``kind``; buckets are ordered by the acceleration factor of the
@@ -17,7 +16,14 @@ matches the sorted-queue policy up to intra-kind ordering, and the
 per-decision cost no longer grows with the ready-set size.
 
 Tasks with an empty ``kind`` fall into a per-task bucket keyed by their
-acceleration factor, so the policy also works on untyped workloads.
+acceleration factor, so the policy also works on untyped workloads —
+where the bucket count grows with the ready set.  The visiting order is
+therefore *indexed*: two heaps (one per affinity direction) rank the
+non-empty buckets by the acceleration of their current top task, with
+per-bucket version stamps invalidating entries lazily whenever that top
+changes.  Picks are O(log #buckets) instead of the previous O(#buckets)
+scan, and select exactly the same bucket (ties resolve by bucket
+creation order, as the old first-max-wins scan did).
 """
 
 from __future__ import annotations
@@ -27,14 +33,13 @@ import itertools
 from typing import Hashable, Mapping, Sequence
 
 from repro.core.platform import Platform, ResourceKind, Worker
-from repro.core.schedule import TIME_EPS
 from repro.core.task import Task
 from repro.schedulers.online.base import (
     Action,
     OnlinePolicy,
     RunningView,
-    Spoliate,
     StartTask,
+    spoliation_victim,
 )
 
 __all__ = ["BucketHeteroPrioPolicy"]
@@ -43,10 +48,15 @@ __all__ = ["BucketHeteroPrioPolicy"]
 class _Bucket:
     """Priority heap of ready tasks sharing one kernel kind."""
 
-    __slots__ = ("key", "heap", "counter")
+    __slots__ = ("key", "order", "version", "heap", "counter")
 
-    def __init__(self, key: Hashable):
+    def __init__(self, key: Hashable, order: int):
         self.key = key
+        #: Creation rank — the tie-breaker of the visiting order.
+        self.order = order
+        #: Bumped whenever the bucket's top acceleration changes (or the
+        #: bucket empties); stale visiting-heap entries compare against it.
+        self.version = 0
         self.heap: list[tuple[float, int, Task]] = []
         self.counter = itertools.count()
 
@@ -60,7 +70,7 @@ class _Bucket:
         return len(self.heap)
 
     def acceleration(self) -> float:
-        """Acceleration factor of the tasks currently in the bucket."""
+        """Acceleration factor of the bucket's current top task."""
         return self.heap[0][2].acceleration
 
 
@@ -72,20 +82,40 @@ class BucketHeteroPrioPolicy(OnlinePolicy):
     def __init__(self, *, spoliation: bool = True):
         self.spoliation = spoliation
         self._buckets: dict[Hashable, _Bucket] = {}
+        self._ready = 0
+        # Visiting heaps: (signed acceleration, creation order, version,
+        # bucket).  Version stamps make entries self-invalidating; the
+        # bucket object itself is never compared (versions differ).
+        self._gpu_order: list[tuple[float, int, int, _Bucket]] = []
+        self._cpu_order: list[tuple[float, int, int, _Bucket]] = []
 
     def prepare(self, platform: Platform) -> None:
         self._buckets = {}
+        self._ready = 0
+        self._gpu_order = []
+        self._cpu_order = []
 
     def _bucket_key(self, task: Task) -> Hashable:
         return task.kind if task.kind else ("rho", task.acceleration)
+
+    def _enqueue(self, bucket: _Bucket) -> None:
+        """(Re-)register a bucket under its current top acceleration."""
+        bucket.version += 1
+        acc = bucket.acceleration()
+        heapq.heappush(self._gpu_order, (-acc, bucket.order, bucket.version, bucket))
+        heapq.heappush(self._cpu_order, (acc, bucket.order, bucket.version, bucket))
 
     def tasks_ready(self, tasks: Sequence[Task], time: float) -> None:
         for task in tasks:
             key = self._bucket_key(task)
             bucket = self._buckets.get(key)
             if bucket is None:
-                bucket = self._buckets[key] = _Bucket(key)
+                bucket = self._buckets[key] = _Bucket(key, len(self._buckets))
+            top_acc = bucket.acceleration() if len(bucket) else None
             bucket.push(task)
+            self._ready += 1
+            if top_acc is None or bucket.acceleration() != top_acc:
+                self._enqueue(bucket)
 
     def pick(
         self,
@@ -93,23 +123,26 @@ class BucketHeteroPrioPolicy(OnlinePolicy):
         time: float,
         running: Mapping[Worker, RunningView],
     ) -> Action | None:
-        non_empty = [b for b in self._buckets.values() if len(b)]
-        if non_empty:
-            gpu = worker.kind is ResourceKind.GPU
-            best = max(
-                non_empty,
-                key=lambda b: (b.acceleration() if gpu else -b.acceleration()),
+        if self._ready:
+            order = (
+                self._gpu_order
+                if worker.kind is ResourceKind.GPU
+                else self._cpu_order
             )
-            return StartTask(best.pop())
+            while True:
+                _, _, version, bucket = order[0]
+                if len(bucket) and bucket.version == version:
+                    break
+                heapq.heappop(order)
+            top_acc = bucket.acceleration()
+            task = bucket.pop()
+            self._ready -= 1
+            if len(bucket):
+                if bucket.acceleration() != top_acc:
+                    self._enqueue(bucket)
+            else:
+                bucket.version += 1  # retire the bucket's heap entries
+            return StartTask(task)
         if not self.spoliation:
             return None
-        candidates = [
-            view
-            for view in running.values()
-            if view.worker.kind is worker.kind.other
-            and time + view.task.time_on(worker.kind) < view.end - TIME_EPS
-        ]
-        if not candidates:
-            return None
-        best_victim = min(candidates, key=lambda v: (-v.task.priority, -v.end, v.task.uid))
-        return Spoliate(best_victim.worker)
+        return spoliation_victim(worker, time, running, victim_rule="priority")

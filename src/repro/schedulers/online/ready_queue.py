@@ -1,0 +1,124 @@
+"""A dual-ended indexed priority queue for HeteroPrio affinity order.
+
+HeteroPrio keeps its ready tasks sorted by acceleration factor and pops
+from *both* ends: CPUs take the least accelerated task (the minimum of
+:func:`repro.core.heteroprio._queue_key`), GPUs the most accelerated
+(the maximum).  The original implementations maintained a sorted list —
+O(n) per insertion (``bisect`` + ``list.insert``) and O(n) per CPU pop
+(``list.pop(0)``).
+
+:class:`DualEndedTaskQueue` replaces that with two binary heaps over
+the same totally ordered keys — a min-heap of the keys and a max-heap
+of their elementwise negations — plus a live-entry index.  A pop from
+one end leaves a *tombstone* in the other heap, discarded lazily when
+it surfaces.  Keys must be unique, which the ``uid`` component of the
+HeteroPrio queue key guarantees, so the index doubles as the tombstone
+filter.  All operations are O(log n); the pop order is *identical* to
+the sorted-list implementation because the key order is total.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Generic, Tuple, TypeVar
+
+__all__ = ["DualEndedTaskQueue"]
+
+T = TypeVar("T")
+
+#: Keys are tuples of numbers; elementwise negation reverses their
+#: lexicographic order, which is what makes the max-heap a plain
+#: min-heap of negated keys.
+Key = Tuple[float, ...]
+
+
+def _neg(key: Key) -> Key:
+    """Elementwise negation (fast path for the 3-tuple HeteroPrio key)."""
+    if len(key) == 3:
+        return (-key[0], -key[1], -key[2])
+    return tuple(-k for k in key)
+
+
+class DualEndedTaskQueue(Generic[T]):
+    """Indexed double-ended priority queue with O(log n) push/pop-min/pop-max.
+
+    Items are pushed with an explicit, totally ordered, *unique* tuple
+    key (pushing a key twice while it is live raises ``ValueError`` —
+    the tombstone index could not tell the copies apart).
+    """
+
+    __slots__ = ("_min_heap", "_max_heap", "_live")
+
+    def __init__(self) -> None:
+        self._min_heap: list[Key] = []
+        self._max_heap: list[Key] = []
+        self._live: dict[Key, T] = {}
+
+    def __len__(self) -> int:
+        return len(self._live)
+
+    def __bool__(self) -> bool:
+        return bool(self._live)
+
+    def clear(self) -> None:
+        self._min_heap = []
+        self._max_heap = []
+        self._live = {}
+
+    def push(self, key: Key, item: T) -> None:
+        """Insert *item* under *key* (O(log n))."""
+        if key in self._live:
+            raise ValueError(f"duplicate queue key {key!r}")
+        self._live[key] = item
+        heapq.heappush(self._min_heap, key)
+        heapq.heappush(self._max_heap, _neg(key))
+
+    def extend(self, pairs: "list[tuple[Key, T]]") -> None:
+        """Bulk-insert ``(key, item)`` pairs in O(total) via heapify."""
+        live = self._live
+        for key, item in pairs:
+            if key in live:
+                raise ValueError(f"duplicate queue key {key!r}")
+            live[key] = item
+        self._min_heap.extend(key for key, _ in pairs)
+        self._max_heap.extend(_neg(key) for key, _ in pairs)
+        heapq.heapify(self._min_heap)
+        heapq.heapify(self._max_heap)
+
+    def pop_min(self) -> T:
+        """Remove and return the item with the smallest key (O(log n) am.)."""
+        live = self._live
+        heap = self._min_heap
+        while True:
+            key = heapq.heappop(heap)
+            item = live.pop(key, None)
+            if item is not None:
+                return item
+
+    def pop_max(self) -> T:
+        """Remove and return the item with the largest key (O(log n) am.)."""
+        live = self._live
+        heap = self._max_heap
+        while True:
+            key = _neg(heapq.heappop(heap))
+            item = live.pop(key, None)
+            if item is not None:
+                return item
+
+    def peek_min_key(self) -> Key:
+        """The smallest live key, without removing it."""
+        live = self._live
+        heap = self._min_heap
+        while heap[0] not in live:
+            heapq.heappop(heap)
+        return heap[0]
+
+    def peek_max_key(self) -> Key:
+        """The largest live key, without removing it."""
+        live = self._live
+        heap = self._max_heap
+        while True:
+            key = _neg(heap[0])
+            if key in live:
+                return key
+            heapq.heappop(heap)

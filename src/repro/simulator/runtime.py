@@ -7,13 +7,41 @@ order, and (3) repeatedly polls idle workers (GPUs first, then CPUs, as
 in :mod:`repro.core.heteroprio`) until no policy action is possible.
 Spoliation aborts the victim's in-flight execution — its progress is
 lost and the interval is recorded as an aborted placement.
+
+The loop is written for incremental, allocation-free stepping (see the
+"Simulator internals" section of ``docs/architecture.md``):
+
+* the mapping of in-flight executions handed to ``policy.pick()`` is
+  *one live dict*, updated as executions start and finish, and exposed
+  read-only through a :class:`types.MappingProxyType` — it is never
+  rebuilt per pick;
+* workers are addressed by dense integer *slots*; the idle set is a
+  flag array walked in a precomputed service order (GPUs first, by
+  index), so no ``settle()`` round ever sorts;
+* per-task CPU/GPU times and successor tuples are flattened into plain
+  dicts at :meth:`RuntimeSimulator.run` entry, bypassing
+  :meth:`Task.time_on` and the per-call list copies of
+  :meth:`TaskGraph.successors`;
+* completion events carry a per-slot *generation* stamp; events whose
+  stamp is stale (the execution was spoliated) are skipped without
+  touching any other state.
+
+Every run also fills :attr:`RuntimeSimulator.last_stats` with
+:class:`SimStats` hot-loop counters (events, picks, tasks, aborts,
+wall time) — the raw material of ``repro bench``.
+
+A differential test (``tests/test_differential_simcore.py``) pins this
+implementation event-for-event to the pre-optimization loop on every
+figure workload.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass
+import time as _time
+from dataclasses import asdict, dataclass
+from types import MappingProxyType
 
 from repro.core.platform import Platform, ResourceKind, Worker
 from repro.core.schedule import Schedule, TIME_EPS
@@ -21,16 +49,40 @@ from repro.core.task import Task
 from repro.dag.graph import TaskGraph
 from repro.schedulers.online.base import OnlinePolicy, RunningView, Spoliate, StartTask
 
-__all__ = ["RuntimeSimulator", "simulate"]
+__all__ = ["RuntimeSimulator", "SimStats", "simulate"]
 
 
 @dataclass
-class _Execution:
-    task: Task
-    worker: Worker
-    start: float
-    end: float
-    generation: int
+class SimStats:
+    """Hot-loop counters of one simulator run.
+
+    ``events`` counts completion events popped from the heap (including
+    stale ones); ``stale_events`` the subset skipped via generation
+    stamps; ``picks`` the ``policy.pick()`` calls; ``tasks`` completed
+    tasks; ``aborts`` spoliated executions.  ``wall_s`` is the wall
+    clock of the whole :meth:`RuntimeSimulator.run` call.
+    """
+
+    events: int = 0
+    stale_events: int = 0
+    picks: int = 0
+    tasks: int = 0
+    aborts: int = 0
+    wall_s: float = 0.0
+
+    @property
+    def events_per_sec(self) -> float:
+        return self.events / self.wall_s if self.wall_s > 0 else float("inf")
+
+    @property
+    def picks_per_sec(self) -> float:
+        return self.picks / self.wall_s if self.wall_s > 0 else float("inf")
+
+    def to_dict(self) -> dict:
+        payload = asdict(self)
+        payload["events_per_sec"] = self.events_per_sec
+        payload["picks_per_sec"] = self.picks_per_sec
+        return payload
 
 
 class RuntimeSimulator:
@@ -40,6 +92,8 @@ class RuntimeSimulator:
         self.graph = graph
         self.platform = platform
         self.policy = policy
+        #: Counters of the most recent :meth:`run` (``None`` before).
+        self.last_stats: SimStats | None = None
 
     def run(self) -> Schedule:
         """Simulate to completion and return the full schedule.
@@ -48,104 +102,156 @@ class RuntimeSimulator:
         forever while tasks remain), which would indicate a policy bug.
         """
         graph, platform, policy = self.graph, self.platform, self.policy
+        started = _time.perf_counter()
+        stats = SimStats()
+        self.last_stats = stats
         schedule = Schedule(platform)
         if len(graph) == 0:
+            stats.wall_s = _time.perf_counter() - started
             return schedule
 
         policy.prepare(platform)
+
+        # -- flat per-run precomputation ---------------------------------
+        workers: tuple[Worker, ...] = tuple(platform.workers())
+        n_workers = len(workers)
+        slot_of = {w: i for i, w in enumerate(workers)}
+        kind_of = tuple(w.kind for w in workers)
+        # Idle polling order: GPUs first, then CPUs, each by index.
+        service_slots = tuple(sorted(
+            range(n_workers),
+            key=lambda i: (0 if kind_of[i] is ResourceKind.GPU else 1, workers[i].index),
+        ))
+        # 1 = GPU time, 0 = CPU time: index into the per-task time pair.
+        time_index = tuple(1 if k is ResourceKind.GPU else 0 for k in kind_of)
+        task_times = {t: (t.cpu_time, t.gpu_time) for t in graph}
+        succ_of = graph.successor_map()
         indegree = {task: graph.in_degree(task) for task in graph}
         remaining = len(graph)
 
-        running: dict[Worker, _Execution] = {}
-        idle: set[Worker] = set(platform.workers())
-        generations: dict[Worker, int] = {w: 0 for w in platform.workers()}
-        events: list[tuple[float, int, Worker, int]] = []
+        # -- live state ---------------------------------------------------
+        # The one running-view mapping: updated incrementally, exposed
+        # read-only to the policy, never rebuilt.
+        running: dict[Worker, RunningView] = {}
+        running_ro = MappingProxyType(running)
+        idle = [True] * n_workers
+        generations = [0] * n_workers
+        events: list[tuple[float, int, int, int]] = []  # (end, seq, slot, gen)
         seq = itertools.count()
-
-        def service_key(worker: Worker) -> tuple[int, int]:
-            return (0 if worker.kind is ResourceKind.GPU else 1, worker.index)
+        heappush, heappop = heapq.heappush, heapq.heappop
+        pick = policy.pick
+        notify_started = policy.task_started
+        notify_finished = policy.task_finished
 
         def announce(tasks: list[Task], now: float) -> None:
             tasks.sort(key=lambda t: (-t.priority, t.uid))
             policy.tasks_ready(tasks, now)
 
-        def running_view() -> dict[Worker, RunningView]:
-            return {
-                w: RunningView(task=e.task, worker=w, start=e.start, end=e.end)
-                for w, e in running.items()
-            }
-
-        def start(task: Task, worker: Worker, now: float) -> None:
-            end = now + task.time_on(worker.kind)
-            generations[worker] += 1
-            running[worker] = _Execution(task, worker, now, end, generations[worker])
-            idle.discard(worker)
-            heapq.heappush(events, (end, next(seq), worker, generations[worker]))
-            policy.task_started(task, worker, now)
+        def start(task: Task, slot: int, now: float) -> None:
+            worker = workers[slot]
+            end = now + task_times[task][time_index[slot]]
+            gen = generations[slot] + 1
+            generations[slot] = gen
+            running[worker] = RunningView(task=task, worker=worker, start=now, end=end)
+            idle[slot] = False
+            heappush(events, (end, next(seq), slot, gen))
+            notify_started(task, worker, now)
 
         def settle(now: float) -> None:
             progress = True
             while progress:
                 progress = False
-                for worker in sorted(idle, key=service_key):
-                    if worker not in idle:
+                # Snapshot the idle set in service order: a worker freed
+                # by a spoliation during this pass is only served on the
+                # next pass, like the sorted(idle) snapshot it replaces.
+                pass_slots = [i for i in service_slots if idle[i]]
+                for slot in pass_slots:
+                    if not idle[slot]:
                         continue
-                    action = policy.pick(worker, now, running_view())
+                    stats.picks += 1
+                    action = pick(workers[slot], now, running_ro)
                     if action is None:
                         continue
                     if isinstance(action, StartTask):
-                        start(action.task, worker, now)
+                        start(action.task, slot, now)
                         progress = True
                     elif isinstance(action, Spoliate):
                         victim = running.get(action.victim)
-                        if victim is None or victim.worker.kind is worker.kind:
+                        if victim is None or victim.worker.kind is kind_of[slot]:
                             raise RuntimeError(
                                 f"policy {policy.name} issued an invalid spoliation"
                             )
+                        vslot = slot_of[victim.worker]
                         schedule.add(
                             victim.task, victim.worker, victim.start, end=now, aborted=True
                         )
                         del running[victim.worker]
-                        generations[victim.worker] += 1
-                        idle.add(victim.worker)
+                        generations[vslot] += 1
+                        idle[vslot] = True
+                        stats.aborts += 1
                         policy.task_aborted(victim.task, victim.worker, now)
-                        start(victim.task, worker, now)
+                        start(victim.task, slot, now)
                         progress = True
                     else:  # pragma: no cover - exhaustive Action union
                         raise TypeError(f"unknown action {action!r}")
+
+        def stall_error() -> RuntimeError:
+            finished_tasks = {p.task for p in schedule.completed_placements()}
+            pending = [t for t in graph if t not in finished_tasks]
+            sample = ", ".join(f"{t.name}#{t.uid}" for t in pending[:5])
+            if len(pending) > 5:
+                sample += ", ..."
+            idle_names = ", ".join(
+                str(workers[i]) for i in service_slots if idle[i]
+            ) or "none"
+            return RuntimeError(
+                f"policy {policy.name} stalled with {remaining} tasks unfinished "
+                f"({sample}); idle workers: {idle_names}; "
+                f"{len(running)} executions still in flight"
+            )
 
         announce(graph.sources(), 0.0)
         settle(0.0)
         while remaining > 0:
             if not events:
-                raise RuntimeError(
-                    f"policy {policy.name} stalled with {remaining} tasks unfinished"
-                )
-            time, _, worker, gen = heapq.heappop(events)
-            finished: list[_Execution] = []
-            if generations[worker] == gen:
-                finished.append(running.pop(worker))
-            while events and events[0][0] <= time + TIME_EPS:
-                time2, _, worker2, gen2 = heapq.heappop(events)
-                if generations[worker2] == gen2:
-                    finished.append(running.pop(worker2))
+                raise stall_error()
+            time, _, slot, gen = heappop(events)
+            stats.events += 1
+            finished: list[RunningView] = []
+            if generations[slot] == gen:
+                finished.append(running.pop(workers[slot]))
+                idle[slot] = True
+            else:
+                stats.stale_events += 1
+            # Batch all completions within TIME_EPS of this event so
+            # simultaneous finishers observe a consistent queue state.
+            limit = time + TIME_EPS
+            while events and events[0][0] <= limit:
+                _, _, slot2, gen2 = heappop(events)
+                stats.events += 1
+                if generations[slot2] == gen2:
+                    finished.append(running.pop(workers[slot2]))
+                    idle[slot2] = True
+                else:
+                    stats.stale_events += 1
             if not finished:
                 continue
             newly_ready: list[Task] = []
-            for execution in finished:
-                schedule.add(execution.task, execution.worker, execution.start,
-                             end=execution.end)
+            for view in finished:
+                schedule.add(view.task, view.worker, view.start, end=view.end)
                 remaining -= 1
-                idle.add(execution.worker)
-                policy.task_finished(execution.task, execution.worker, execution.end)
-                for succ in self.graph.successors(execution.task):
-                    indegree[succ] -= 1
-                    if indegree[succ] == 0:
+                stats.tasks += 1
+                notify_finished(view.task, view.worker, view.end)
+                for succ in succ_of[view.task]:
+                    left = indegree[succ] - 1
+                    indegree[succ] = left
+                    if left == 0:
                         newly_ready.append(succ)
             if newly_ready:
                 announce(newly_ready, time)
             if remaining > 0:
                 settle(time)
+        stats.wall_s = _time.perf_counter() - started
         return schedule
 
 

@@ -1,0 +1,402 @@
+"""Frozen pre-optimization simulator and policies (differential oracle).
+
+Verbatim snapshots of ``repro.simulator.runtime``,
+``repro.schedulers.online.heteroprio``,
+``repro.schedulers.online.heteroprio_buckets`` and the event loop of
+``repro.core.heteroprio`` as they stood *before* the hot-path overhaul
+(PR 2).  ``tests/test_differential_simcore.py`` replays every figure
+workload through both implementations and requires event-for-event
+identical schedules — same starts, ends, placements and aborts — which
+is what keeps campaign cache entries valid without a ``CODE_VERSION``
+bump.
+
+Do not "fix" or optimise this module: its only job is to stay identical
+to the pre-PR behaviour.
+"""
+
+from __future__ import annotations
+
+import bisect
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Hashable, Mapping, Sequence
+
+from repro.core.heteroprio import _queue_key, sorted_queue
+from repro.core.platform import Platform, ResourceKind, Worker
+from repro.core.schedule import Schedule, TIME_EPS
+from repro.core.task import Instance, Task
+from repro.dag.graph import TaskGraph
+from repro.schedulers.online.base import (
+    Action,
+    OnlinePolicy,
+    RunningView,
+    Spoliate,
+    StartTask,
+)
+
+__all__ = [
+    "ReferenceSimulator",
+    "ReferenceHeteroPrioPolicy",
+    "ReferenceBucketHeteroPrioPolicy",
+    "reference_simulate",
+    "reference_independent_heteroprio",
+]
+
+
+@dataclass
+class _Execution:
+    task: Task
+    worker: Worker
+    start: float
+    end: float
+    generation: int
+
+
+class ReferenceSimulator:
+    """Pre-PR ``RuntimeSimulator``: rebuilds the running view per pick."""
+
+    def __init__(self, graph: TaskGraph, platform: Platform, policy: OnlinePolicy):
+        self.graph = graph
+        self.platform = platform
+        self.policy = policy
+
+    def run(self) -> Schedule:
+        graph, platform, policy = self.graph, self.platform, self.policy
+        schedule = Schedule(platform)
+        if len(graph) == 0:
+            return schedule
+
+        policy.prepare(platform)
+        indegree = {task: graph.in_degree(task) for task in graph}
+        remaining = len(graph)
+
+        running: dict[Worker, _Execution] = {}
+        idle: set[Worker] = set(platform.workers())
+        generations: dict[Worker, int] = {w: 0 for w in platform.workers()}
+        events: list[tuple[float, int, Worker, int]] = []
+        seq = itertools.count()
+
+        def service_key(worker: Worker) -> tuple[int, int]:
+            return (0 if worker.kind is ResourceKind.GPU else 1, worker.index)
+
+        def announce(tasks: list[Task], now: float) -> None:
+            tasks.sort(key=lambda t: (-t.priority, t.uid))
+            policy.tasks_ready(tasks, now)
+
+        def running_view() -> dict[Worker, RunningView]:
+            return {
+                w: RunningView(task=e.task, worker=w, start=e.start, end=e.end)
+                for w, e in running.items()
+            }
+
+        def start(task: Task, worker: Worker, now: float) -> None:
+            end = now + task.time_on(worker.kind)
+            generations[worker] += 1
+            running[worker] = _Execution(task, worker, now, end, generations[worker])
+            idle.discard(worker)
+            heapq.heappush(events, (end, next(seq), worker, generations[worker]))
+            policy.task_started(task, worker, now)
+
+        def settle(now: float) -> None:
+            progress = True
+            while progress:
+                progress = False
+                for worker in sorted(idle, key=service_key):
+                    if worker not in idle:
+                        continue
+                    action = policy.pick(worker, now, running_view())
+                    if action is None:
+                        continue
+                    if isinstance(action, StartTask):
+                        start(action.task, worker, now)
+                        progress = True
+                    elif isinstance(action, Spoliate):
+                        victim = running.get(action.victim)
+                        if victim is None or victim.worker.kind is worker.kind:
+                            raise RuntimeError(
+                                f"policy {policy.name} issued an invalid spoliation"
+                            )
+                        schedule.add(
+                            victim.task, victim.worker, victim.start, end=now, aborted=True
+                        )
+                        del running[victim.worker]
+                        generations[victim.worker] += 1
+                        idle.add(victim.worker)
+                        policy.task_aborted(victim.task, victim.worker, now)
+                        start(victim.task, worker, now)
+                        progress = True
+                    else:  # pragma: no cover - exhaustive Action union
+                        raise TypeError(f"unknown action {action!r}")
+
+        announce(graph.sources(), 0.0)
+        settle(0.0)
+        while remaining > 0:
+            if not events:
+                raise RuntimeError(
+                    f"policy {policy.name} stalled with {remaining} tasks unfinished"
+                )
+            time, _, worker, gen = heapq.heappop(events)
+            finished: list[_Execution] = []
+            if generations[worker] == gen:
+                finished.append(running.pop(worker))
+            while events and events[0][0] <= time + TIME_EPS:
+                time2, _, worker2, gen2 = heapq.heappop(events)
+                if generations[worker2] == gen2:
+                    finished.append(running.pop(worker2))
+            if not finished:
+                continue
+            newly_ready: list[Task] = []
+            for execution in finished:
+                schedule.add(execution.task, execution.worker, execution.start,
+                             end=execution.end)
+                remaining -= 1
+                idle.add(execution.worker)
+                policy.task_finished(execution.task, execution.worker, execution.end)
+                for succ in self.graph.successors(execution.task):
+                    indegree[succ] -= 1
+                    if indegree[succ] == 0:
+                        newly_ready.append(succ)
+            if newly_ready:
+                announce(newly_ready, time)
+            if remaining > 0:
+                settle(time)
+        return schedule
+
+
+def reference_simulate(
+    graph: TaskGraph, platform: Platform, policy: OnlinePolicy
+) -> Schedule:
+    return ReferenceSimulator(graph, platform, policy).run()
+
+
+class ReferenceHeteroPrioPolicy(OnlinePolicy):
+    """Pre-PR ``HeteroPrioPolicy``: O(n) bisect-insert affinity queue."""
+
+    name = "heteroprio"
+
+    def __init__(self, *, spoliation: bool = True, victim_rule: str = "priority"):
+        if victim_rule not in ("priority", "completion"):
+            raise ValueError(f"unknown victim_rule {victim_rule!r}")
+        self.spoliation = spoliation
+        self.victim_rule = victim_rule
+        self._keys: list[tuple[float, float, int]] = []
+        self._queue: list[Task] = []
+
+    def prepare(self, platform: Platform) -> None:
+        self._keys = []
+        self._queue = []
+
+    def tasks_ready(self, tasks: Sequence[Task], time: float) -> None:
+        for task in tasks:
+            key = _queue_key(task)
+            pos = bisect.bisect(self._keys, key)
+            self._keys.insert(pos, key)
+            self._queue.insert(pos, task)
+
+    def pick(
+        self,
+        worker: Worker,
+        time: float,
+        running: Mapping[Worker, RunningView],
+    ) -> Action | None:
+        if self._queue:
+            if worker.kind is ResourceKind.GPU:
+                self._keys.pop()
+                return StartTask(self._queue.pop())
+            self._keys.pop(0)
+            return StartTask(self._queue.pop(0))
+        if not self.spoliation:
+            return None
+        candidates = [
+            view
+            for view in running.values()
+            if view.worker.kind is worker.kind.other
+            and time + view.task.time_on(worker.kind) < view.end - TIME_EPS
+        ]
+        if not candidates:
+            return None
+        if self.victim_rule == "priority":
+            key = lambda v: (-v.task.priority, -v.end, v.task.uid)  # noqa: E731
+        else:
+            key = lambda v: (-v.end, -v.task.priority, v.task.uid)  # noqa: E731
+        best = min(candidates, key=key)
+        return Spoliate(best.worker)
+
+
+class _Bucket:
+    __slots__ = ("key", "heap", "counter")
+
+    def __init__(self, key: Hashable):
+        self.key = key
+        self.heap: list[tuple[float, int, Task]] = []
+        self.counter = itertools.count()
+
+    def push(self, task: Task) -> None:
+        heapq.heappush(self.heap, (-task.priority, next(self.counter), task))
+
+    def pop(self) -> Task:
+        return heapq.heappop(self.heap)[2]
+
+    def __len__(self) -> int:
+        return len(self.heap)
+
+    def acceleration(self) -> float:
+        return self.heap[0][2].acceleration
+
+
+class ReferenceBucketHeteroPrioPolicy(OnlinePolicy):
+    """Pre-PR ``BucketHeteroPrioPolicy``: linear scan over all buckets."""
+
+    name = "heteroprio-buckets"
+
+    def __init__(self, *, spoliation: bool = True):
+        self.spoliation = spoliation
+        self._buckets: dict[Hashable, _Bucket] = {}
+
+    def prepare(self, platform: Platform) -> None:
+        self._buckets = {}
+
+    def _bucket_key(self, task: Task) -> Hashable:
+        return task.kind if task.kind else ("rho", task.acceleration)
+
+    def tasks_ready(self, tasks: Sequence[Task], time: float) -> None:
+        for task in tasks:
+            key = self._bucket_key(task)
+            bucket = self._buckets.get(key)
+            if bucket is None:
+                bucket = self._buckets[key] = _Bucket(key)
+            bucket.push(task)
+
+    def pick(
+        self,
+        worker: Worker,
+        time: float,
+        running: Mapping[Worker, RunningView],
+    ) -> Action | None:
+        non_empty = [b for b in self._buckets.values() if len(b)]
+        if non_empty:
+            gpu = worker.kind is ResourceKind.GPU
+            best = max(
+                non_empty,
+                key=lambda b: (b.acceleration() if gpu else -b.acceleration()),
+            )
+            return StartTask(best.pop())
+        if not self.spoliation:
+            return None
+        candidates = [
+            view
+            for view in running.values()
+            if view.worker.kind is worker.kind.other
+            and time + view.task.time_on(worker.kind) < view.end - TIME_EPS
+        ]
+        if not candidates:
+            return None
+        best_victim = min(candidates, key=lambda v: (-v.task.priority, -v.end, v.task.uid))
+        return Spoliate(best_victim.worker)
+
+
+@dataclass
+class _Running:
+    task: Task
+    worker: Worker
+    start: float
+    end: float
+    generation: int
+    fraction: float = 1.0
+
+
+def reference_independent_heteroprio(
+    instance: Instance,
+    platform: Platform,
+    *,
+    spoliation: bool = True,
+    service_order: str = "gpu_first",
+) -> tuple[Schedule, int]:
+    """Pre-PR event loop of ``repro.core.heteroprio._run`` (spoliation mode).
+
+    Returns the schedule and the number of spoliation events; this is the
+    Figure 6 (independent tasks) oracle.
+    """
+    queue = sorted_queue(instance)  # index 0 = CPU end, index -1 = GPU end
+    schedule = Schedule(platform)
+    n_spoliations = 0
+    migration = "spoliation" if spoliation else "none"
+
+    running: dict[Worker, _Running] = {}
+    idle: set[Worker] = set(platform.workers())
+    remaining = len(instance)
+
+    events: list[tuple[float, int, Worker, int]] = []
+    seq = itertools.count()
+    generations: dict[Worker, int] = {w: 0 for w in platform.workers()}
+
+    def service_key(worker: Worker) -> tuple[int, int]:
+        gpu_rank = 0 if worker.kind is ResourceKind.GPU else 1
+        if service_order == "cpu_first":
+            gpu_rank = 1 - gpu_rank
+        return (gpu_rank, worker.index)
+
+    def start_task(task: Task, worker: Worker, now: float) -> None:
+        end = now + task.time_on(worker.kind)
+        generations[worker] += 1
+        record = _Running(task=task, worker=worker, start=now, end=end,
+                          generation=generations[worker])
+        running[worker] = record
+        idle.discard(worker)
+        heapq.heappush(events, (end, next(seq), worker, record.generation))
+
+    def try_assign(worker: Worker, now: float) -> bool:
+        nonlocal n_spoliations
+        if queue:
+            task = queue.pop() if worker.kind is ResourceKind.GPU else queue.pop(0)
+            start_task(task, worker, now)
+            return True
+        if migration == "none":
+            return False
+        victims = [r for r in running.values() if r.worker.kind is worker.kind.other]
+        victims.sort(key=lambda r: (-r.end, -r.task.priority, r.task.uid))
+        for victim in victims:
+            new_end = now + victim.task.time_on(worker.kind)
+            if new_end < victim.end - TIME_EPS:
+                schedule.add(victim.task, victim.worker, victim.start, end=now,
+                             aborted=True)
+                del running[victim.worker]
+                idle.add(victim.worker)
+                generations[victim.worker] += 1
+                n_spoliations += 1
+                start_task(victim.task, worker, now)
+                return True
+        return False
+
+    def settle(now: float) -> None:
+        progress = True
+        while progress:
+            progress = False
+            for worker in sorted(idle, key=service_key):
+                if worker in idle and try_assign(worker, now):
+                    progress = True
+
+    settle(0.0)
+    while remaining > 0:
+        if not events:  # pragma: no cover - defensive
+            raise RuntimeError("HeteroPrio stalled with unfinished tasks")
+        time, _, worker, gen = heapq.heappop(events)
+        if generations.get(worker) != gen:
+            continue
+        record = running.pop(worker)
+        schedule.add(record.task, worker, record.start, end=record.end)
+        remaining -= 1
+        idle.add(worker)
+        while events and events[0][0] <= time + TIME_EPS:
+            time2, _, worker2, gen2 = heapq.heappop(events)
+            if generations.get(worker2) != gen2:
+                continue
+            record2 = running.pop(worker2)
+            schedule.add(record2.task, worker2, record2.start, end=record2.end)
+            remaining -= 1
+            idle.add(worker2)
+        if remaining > 0:
+            settle(time)
+
+    return schedule, n_spoliations

@@ -1,0 +1,115 @@
+"""Tests for the ``repro bench`` perf harness and its CLI wiring."""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro import bench
+from repro.cli import main as cli_main
+
+
+@pytest.fixture(scope="module")
+def quick_report() -> dict:
+    return bench.run_bench(quick=True)
+
+
+def test_quick_report_shape(quick_report):
+    assert quick_report["schema"] == bench.SCHEMA
+    assert quick_report["quick"] is True
+    assert quick_report["calibration_s"] > 0
+    assert set(quick_report["cases"]) == {c.case_id for c in bench.QUICK_CASES}
+    for payload in quick_report["cases"].values():
+        assert payload["tasks"] > 0
+        assert payload["wall_s"] > 0
+        assert payload["events_per_sec"] > 0
+        assert payload["events"] >= payload["tasks"]
+        assert payload["makespan"] > 0
+
+
+def test_full_suite_contains_quick_cases_and_large_fig7():
+    ids = {c.case_id for c in bench.BENCH_CASES}
+    assert {c.case_id for c in bench.QUICK_CASES} <= ids
+    # The acceptance-criterion cases: fig7 sweeps at n >= 1000 tasks.
+    assert "fig7:cholesky:n20:heteroprio" in ids
+    assert "fig7:qr:n14:heteroprio" in ids
+    assert "fig7:lu:n14:heteroprio" in ids
+
+
+def test_pre_pr_reference_attached_to_known_cases():
+    for case_id in bench.PRE_PR_WALL_S:
+        assert case_id.startswith(("fig6:", "fig7:"))
+
+
+def test_compare_passes_on_identical_reports(quick_report):
+    assert bench.compare(quick_report, quick_report) == []
+
+
+def test_compare_flags_regression(quick_report):
+    slower = copy.deepcopy(quick_report)
+    case_id = next(iter(slower["cases"]))
+    slower["cases"][case_id]["events_per_sec"] *= 0.5  # 50% drop
+    failures = bench.compare(slower, quick_report, threshold=0.30)
+    assert len(failures) == 1 and case_id in failures[0]
+    # A 50% drop passes a 60% threshold.
+    assert bench.compare(slower, quick_report, threshold=0.60) == []
+
+
+def test_compare_normalizes_by_calibration(quick_report):
+    # Same code on a uniformly 2x-slower runner: half the events/sec,
+    # double the calibration time.  Must NOT read as a regression.
+    slower_runner = copy.deepcopy(quick_report)
+    slower_runner["calibration_s"] *= 2.0
+    for payload in slower_runner["cases"].values():
+        payload["events_per_sec"] *= 0.5
+    assert bench.compare(slower_runner, quick_report) == []
+
+
+def test_compare_skips_unknown_cases(quick_report):
+    extra = copy.deepcopy(quick_report)
+    extra["cases"]["fig7:made-up:n99:heteroprio"] = {"events_per_sec": 1.0}
+    assert bench.compare(quick_report, extra) == []
+
+
+def test_render_mentions_every_case(quick_report):
+    text = bench.render(quick_report)
+    for case_id in quick_report["cases"]:
+        assert case_id in text
+
+
+def test_cli_bench_quick_writes_report(tmp_path, capsys):
+    out = tmp_path / "bench.json"
+    assert cli_main(["bench", "--quick", "--json", str(out)]) == 0
+    report = json.loads(out.read_text())
+    assert report["quick"] is True
+    assert set(report["cases"]) == {c.case_id for c in bench.QUICK_CASES}
+    captured = capsys.readouterr().out
+    assert "events/s" in captured
+
+
+def test_cli_bench_baseline_check(tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    assert cli_main(["bench", "--quick", "--json", str(baseline)]) == 0
+    # Re-run against the just-written baseline: same machine, must pass.
+    assert (
+        cli_main(["bench", "--quick", "--json", "-", "--baseline", str(baseline)]) == 0
+    )
+    # Inflate the baseline beyond reach: the check must fail.
+    report = json.loads(baseline.read_text())
+    for payload in report["cases"].values():
+        payload["events_per_sec"] *= 100.0
+    baseline.write_text(json.dumps(report))
+    capsys.readouterr()
+    assert (
+        cli_main(["bench", "--quick", "--json", "-", "--baseline", str(baseline)]) == 1
+    )
+    assert "REGRESSION" in capsys.readouterr().out
+
+
+def test_cli_profile_smoke(capsys):
+    assert cli_main(["bench", "--quick", "--json", "-", "--profile",
+                     "--profile-top", "5"]) == 0
+    captured = capsys.readouterr()
+    assert "cumulative" in captured.err or "cumtime" in captured.err

@@ -1,0 +1,192 @@
+"""Differential tests: the optimized hot path vs the pre-PR implementation.
+
+The simulator/queue overhaul must be a pure performance change: on every
+figure workload the new code has to produce *event-for-event* identical
+schedules — same placements, same starts and ends, same aborts — as the
+frozen pre-optimization implementation kept in
+:mod:`tests.reference_runtime`.  Schedule identity is also what keeps the
+campaign result cache valid without a ``CODE_VERSION`` bump (the
+tripwire test at the bottom).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from reference_runtime import (
+    ReferenceBucketHeteroPrioPolicy,
+    ReferenceHeteroPrioPolicy,
+    reference_independent_heteroprio,
+    reference_simulate,
+)
+
+from repro.campaign.spec import CODE_VERSION
+from repro.core.heteroprio import heteroprio_schedule
+from repro.core.platform import Platform
+from repro.core.task import Instance, Task
+from repro.dag.priorities import assign_priorities
+from repro.experiments.workloads import PAPER_PLATFORM, build_graph
+from repro.schedulers.online import (
+    BucketHeteroPrioPolicy,
+    DualHPPolicy,
+    HeftPolicy,
+    HeteroPrioPolicy,
+)
+from repro.simulator.runtime import simulate
+
+
+def schedule_events(schedule):
+    """Every placement as a comparable event tuple (aborts included)."""
+    return sorted(
+        (p.task.uid, p.worker.kind.name, p.worker.index, p.start, p.end, p.aborted)
+        for p in schedule.placements
+    )
+
+
+def assert_identical(new_schedule, ref_schedule):
+    assert schedule_events(new_schedule) == schedule_events(ref_schedule)
+
+
+# ---------------------------------------------------------------------------
+# DAG simulator + online policies
+# ---------------------------------------------------------------------------
+
+DAG_WORKLOADS = [
+    ("cholesky", 8),
+    ("cholesky", 12),
+    ("qr", 8),
+    ("lu", 8),
+]
+
+
+def _prepared_graph(kernel: str, n_tiles: int, scheme: str = "avg"):
+    graph = build_graph(kernel, n_tiles)
+    assign_priorities(graph, PAPER_PLATFORM, scheme)
+    return graph
+
+
+@pytest.mark.parametrize("kernel,n_tiles", DAG_WORKLOADS)
+@pytest.mark.parametrize("spoliation", [True, False])
+def test_heteroprio_policy_identical(kernel, n_tiles, spoliation):
+    graph = _prepared_graph(kernel, n_tiles)
+    new = simulate(graph, PAPER_PLATFORM, HeteroPrioPolicy(spoliation=spoliation))
+    ref = reference_simulate(
+        graph, PAPER_PLATFORM, ReferenceHeteroPrioPolicy(spoliation=spoliation)
+    )
+    assert_identical(new, ref)
+
+
+@pytest.mark.parametrize("kernel,n_tiles", DAG_WORKLOADS)
+def test_heteroprio_completion_rule_identical(kernel, n_tiles):
+    graph = _prepared_graph(kernel, n_tiles)
+    new = simulate(graph, PAPER_PLATFORM, HeteroPrioPolicy(victim_rule="completion"))
+    ref = reference_simulate(
+        graph, PAPER_PLATFORM, ReferenceHeteroPrioPolicy(victim_rule="completion")
+    )
+    assert_identical(new, ref)
+
+
+@pytest.mark.parametrize("kernel,n_tiles", DAG_WORKLOADS)
+def test_bucket_policy_identical(kernel, n_tiles):
+    graph = _prepared_graph(kernel, n_tiles)
+    new = simulate(graph, PAPER_PLATFORM, BucketHeteroPrioPolicy())
+    ref = reference_simulate(graph, PAPER_PLATFORM, ReferenceBucketHeteroPrioPolicy())
+    assert_identical(new, ref)
+
+
+@pytest.mark.parametrize("kernel,n_tiles", DAG_WORKLOADS)
+def test_heft_under_new_simulator_identical(kernel, n_tiles):
+    # HEFT itself is untouched; this pins the simulator loop rewrite.
+    graph = _prepared_graph(kernel, n_tiles)
+    new = simulate(graph, PAPER_PLATFORM, HeftPolicy())
+    ref = reference_simulate(graph, PAPER_PLATFORM, HeftPolicy())
+    assert_identical(new, ref)
+
+
+@pytest.mark.parametrize("kernel,n_tiles", [("cholesky", 6), ("lu", 6)])
+def test_dualhp_under_new_simulator_identical(kernel, n_tiles):
+    # Small sizes: online DualHP reassignment is expensive.  Covers both
+    # the simulator loop and the heap-based pack() rewrite.
+    graph = _prepared_graph(kernel, n_tiles)
+    new = simulate(graph, PAPER_PLATFORM, DualHPPolicy())
+    ref = reference_simulate(graph, PAPER_PLATFORM, DualHPPolicy())
+    assert_identical(new, ref)
+
+
+@pytest.mark.parametrize("scheme", ["min", "fifo"])
+def test_other_ranking_schemes_identical(scheme):
+    graph = _prepared_graph("cholesky", 10, scheme)
+    new = simulate(graph, PAPER_PLATFORM, HeteroPrioPolicy())
+    ref = reference_simulate(graph, PAPER_PLATFORM, ReferenceHeteroPrioPolicy())
+    assert_identical(new, ref)
+
+
+def test_small_platform_identical():
+    graph = _prepared_graph("qr", 6)
+    platform = Platform(num_cpus=2, num_gpus=1)
+    new = simulate(graph, platform, HeteroPrioPolicy())
+    ref = reference_simulate(graph, platform, ReferenceHeteroPrioPolicy())
+    assert_identical(new, ref)
+
+
+# ---------------------------------------------------------------------------
+# Independent-task HeteroPrio core (Figure 6)
+# ---------------------------------------------------------------------------
+
+
+def _random_instance(seed: int, n: int) -> Instance:
+    rng = random.Random(seed)
+    return Instance(
+        [
+            Task(name=f"t{i}", cpu_time=rng.uniform(1.0, 50.0),
+                 gpu_time=rng.uniform(0.5, 10.0))
+            for i in range(n)
+        ]
+    )
+
+
+@pytest.mark.parametrize("seed,n,cpus,gpus", [
+    (1, 40, 4, 2),
+    (2, 200, 20, 4),
+    (3, 500, 20, 4),
+    (4, 100, 2, 7),
+    (5, 60, 1, 1),
+])
+@pytest.mark.parametrize("spoliation", [True, False])
+def test_independent_core_identical(seed, n, cpus, gpus, spoliation):
+    instance = _random_instance(seed, n)
+    platform = Platform(num_cpus=cpus, num_gpus=gpus)
+    ref_schedule, ref_spoliations = reference_independent_heteroprio(
+        instance, platform, spoliation=spoliation
+    )
+    result = heteroprio_schedule(instance, platform, spoliation=spoliation)
+    assert_identical(result.schedule, ref_schedule)
+    if spoliation:
+        assert len(result.spoliations) == ref_spoliations
+
+
+def test_independent_core_identical_with_ties():
+    # Duplicated processing times exercise every tie-breaking rule.
+    tasks = []
+    for i in range(120):
+        tasks.append(Task(name=f"t{i}", cpu_time=float(2 + i % 3), gpu_time=1.0))
+    instance = Instance(tasks)
+    platform = Platform(num_cpus=6, num_gpus=3)
+    ref_schedule, _ = reference_independent_heteroprio(instance, platform)
+    result = heteroprio_schedule(instance, platform)
+    assert_identical(result.schedule, ref_schedule)
+
+
+# ---------------------------------------------------------------------------
+# Cache-validity tripwire
+# ---------------------------------------------------------------------------
+
+
+def test_code_version_unchanged():
+    """The overhaul is behavior-preserving, so cached campaign results
+    stay valid: ``CODE_VERSION`` must NOT be bumped by this change.  If
+    this fails, either schedules changed (fix the regression) or a
+    deliberate behavior change was made (update this tripwire with it).
+    """
+    assert CODE_VERSION == "2026.08-1"

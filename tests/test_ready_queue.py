@@ -1,0 +1,211 @@
+"""Unit tests for the dual-ended indexed ready queue and the shared
+spoliation-victim helper."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.heteroprio import _queue_key
+from repro.core.platform import Platform, ResourceKind, Worker
+from repro.core.schedule import TIME_EPS
+from repro.core.task import Task
+from repro.schedulers.online.base import RunningView, Spoliate, spoliation_victim
+from repro.schedulers.online.ready_queue import DualEndedTaskQueue
+
+
+# ---------------------------------------------------------------------------
+# DualEndedTaskQueue
+# ---------------------------------------------------------------------------
+
+
+def _random_keys(rng: random.Random, n: int) -> list[tuple[float, float, int]]:
+    # uid-style last component keeps keys unique, as in the HeteroPrio key.
+    return [(rng.uniform(0, 4), rng.uniform(-9, 9), i) for i in range(n)]
+
+
+def test_pop_min_matches_sorted_order():
+    rng = random.Random(7)
+    keys = _random_keys(rng, 300)
+    queue: DualEndedTaskQueue[int] = DualEndedTaskQueue()
+    for key in keys:
+        queue.push(key, key[2])
+    expected = [k[2] for k in sorted(keys)]
+    assert [queue.pop_min() for _ in range(len(keys))] == expected
+    assert not queue
+
+
+def test_pop_max_matches_reverse_sorted_order():
+    rng = random.Random(8)
+    keys = _random_keys(rng, 300)
+    queue: DualEndedTaskQueue[int] = DualEndedTaskQueue()
+    queue.extend([(k, k[2]) for k in keys])
+    expected = [k[2] for k in sorted(keys, reverse=True)]
+    assert [queue.pop_max() for _ in range(len(keys))] == expected
+
+
+def test_mixed_pops_match_sorted_list_simulation():
+    rng = random.Random(9)
+    keys = _random_keys(rng, 200)
+    queue: DualEndedTaskQueue[int] = DualEndedTaskQueue()
+    queue.extend([(k, k[2]) for k in keys])
+    mirror = sorted(keys)
+    while mirror:
+        if rng.random() < 0.5:
+            assert queue.pop_min() == mirror.pop(0)[2]
+        else:
+            assert queue.pop_max() == mirror.pop()[2]
+        assert len(queue) == len(mirror)
+
+
+def test_interleaved_pushes_and_pops():
+    rng = random.Random(10)
+    queue: DualEndedTaskQueue[int] = DualEndedTaskQueue()
+    mirror: list[tuple[float, float, int]] = []
+    uid = 0
+    for _ in range(500):
+        if mirror and rng.random() < 0.4:
+            if rng.random() < 0.5:
+                assert queue.pop_min() == mirror.pop(0)[2]
+            else:
+                assert queue.pop_max() == mirror.pop()[2]
+        else:
+            key = (rng.uniform(0, 4), rng.uniform(-9, 9), uid)
+            uid += 1
+            queue.push(key, key[2])
+            mirror.append(key)
+            mirror.sort()
+    while mirror:
+        assert queue.pop_min() == mirror.pop(0)[2]
+
+
+def test_duplicate_key_rejected():
+    queue: DualEndedTaskQueue[str] = DualEndedTaskQueue()
+    queue.push((1.0, 2.0, 3), "a")
+    with pytest.raises(ValueError, match="duplicate"):
+        queue.push((1.0, 2.0, 3), "b")
+    with pytest.raises(ValueError, match="duplicate"):
+        queue.extend([((1.0, 2.0, 3), "b")])
+
+
+def test_peeks_do_not_remove():
+    queue: DualEndedTaskQueue[int] = DualEndedTaskQueue()
+    queue.extend([((float(i), 0.0, i), i) for i in (3, 1, 2)])
+    assert queue.peek_min_key() == (1.0, 0.0, 1)
+    assert queue.peek_max_key() == (3.0, 0.0, 3)
+    assert len(queue) == 3
+    assert queue.pop_min() == 1
+    # Peeks skip the tombstone the pop left in the other heap.
+    assert queue.peek_max_key() == (3.0, 0.0, 3)
+    assert queue.pop_max() == 3
+    assert queue.pop_min() == 2
+
+
+def test_clear():
+    queue: DualEndedTaskQueue[int] = DualEndedTaskQueue()
+    queue.push((1.0, 0.0, 0), 0)
+    queue.clear()
+    assert not queue
+    assert len(queue) == 0
+
+
+def test_non_three_tuple_keys():
+    # The 3-tuple negation fast path must not break other key widths.
+    queue: DualEndedTaskQueue[str] = DualEndedTaskQueue()
+    queue.push((2.0, 1.0), "a")
+    queue.push((2.0, 5.0), "b")
+    queue.push((1.0, 9.0), "c")
+    assert queue.pop_max() == "b"
+    assert queue.pop_min() == "c"
+    assert queue.pop_min() == "a"
+
+
+def test_heteroprio_key_round_trip():
+    # The production key: pop order must equal the sorted-list order.
+    rng = random.Random(11)
+    tasks = [
+        Task(name=f"t{i}", cpu_time=rng.uniform(1, 50), gpu_time=rng.uniform(0.5, 10),
+             priority=rng.choice([0.0, 1.0, 2.0]))
+        for i in range(100)
+    ]
+    queue: DualEndedTaskQueue[Task] = DualEndedTaskQueue()
+    queue.extend([(_queue_key(t), t) for t in tasks])
+    by_key = sorted(tasks, key=_queue_key)
+    assert queue.pop_min() is by_key[0]
+    assert queue.pop_max() is by_key[-1]
+    assert queue.pop_max() is by_key[-2]
+    assert queue.pop_min() is by_key[1]
+
+
+# ---------------------------------------------------------------------------
+# spoliation_victim (satellite: shared candidate scan, both victim rules)
+# ---------------------------------------------------------------------------
+
+
+def _view(task: Task, worker: Worker, start: float, end: float) -> RunningView:
+    return RunningView(task=task, worker=worker, start=start, end=end)
+
+
+def _gpu_running(tasks_ends: list[tuple[Task, float]]) -> dict[Worker, RunningView]:
+    return {
+        Worker(ResourceKind.GPU, i): _view(task, Worker(ResourceKind.GPU, i), 0.0, end)
+        for i, (task, end) in enumerate(tasks_ends)
+    }
+
+
+def test_victim_rule_priority_prefers_high_priority():
+    cpu = Worker(ResourceKind.CPU, 0)
+    urgent = Task(name="urgent", cpu_time=1.0, gpu_time=10.0, priority=5.0)
+    late = Task(name="late", cpu_time=1.0, gpu_time=10.0, priority=1.0)
+    running = _gpu_running([(urgent, 10.0), (late, 50.0)])
+    action = spoliation_victim(cpu, 0.0, running, victim_rule="priority")
+    assert isinstance(action, Spoliate)
+    # Priority rule: highest priority first even though `late` ends later.
+    assert running[action.victim].task is urgent
+
+
+def test_victim_rule_completion_prefers_latest_end():
+    cpu = Worker(ResourceKind.CPU, 0)
+    urgent = Task(name="urgent", cpu_time=1.0, gpu_time=10.0, priority=5.0)
+    late = Task(name="late", cpu_time=1.0, gpu_time=10.0, priority=1.0)
+    running = _gpu_running([(urgent, 10.0), (late, 50.0)])
+    action = spoliation_victim(cpu, 0.0, running, victim_rule="completion")
+    assert isinstance(action, Spoliate)
+    assert running[action.victim].task is late
+
+
+def test_victim_must_improve_by_more_than_eps():
+    cpu = Worker(ResourceKind.CPU, 0)
+    # CPU restart would finish exactly at the victim's end: no gain.
+    task = Task(name="t", cpu_time=10.0, gpu_time=10.0)
+    running = _gpu_running([(task, 10.0)])
+    assert spoliation_victim(cpu, 0.0, running) is None
+
+
+def test_only_other_class_considered():
+    cpu = Worker(ResourceKind.CPU, 0)
+    task = Task(name="t", cpu_time=1.0, gpu_time=50.0)
+    peer = Worker(ResourceKind.CPU, 1)
+    running = {peer: _view(task, peer, 0.0, 100.0)}
+    # Only a CPU execution exists; a CPU poller cannot spoliate it.
+    assert spoliation_victim(cpu, 0.0, running) is None
+    gpu = Worker(ResourceKind.GPU, 0)
+    action = spoliation_victim(gpu, 0.0, running)
+    assert isinstance(action, Spoliate) and action.victim is peer
+
+
+def test_unknown_victim_rule_rejected():
+    cpu = Worker(ResourceKind.CPU, 0)
+    with pytest.raises(ValueError, match="victim_rule"):
+        spoliation_victim(cpu, 0.0, {}, victim_rule="nope")
+
+
+def test_near_finished_victim_protected_by_eps():
+    """Satellite edge case: a victim finishing within TIME_EPS of *now*
+    must not be spoliated (the improvement test uses ``end - TIME_EPS``)."""
+    cpu = Worker(ResourceKind.CPU, 0)
+    task = Task(name="t", cpu_time=1e-9, gpu_time=10.0)
+    now = 10.0 - 0.5 * TIME_EPS  # victim ends within eps of now
+    running = _gpu_running([(task, 10.0)])
+    assert spoliation_victim(cpu, now, running) is None

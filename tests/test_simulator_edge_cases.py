@@ -1,0 +1,162 @@
+"""Edge cases of the incremental simulator loop.
+
+Covers the satellite items of the hot-path overhaul: TIME_EPS batching
+around near-simultaneous completions and spoliation, generation-stamp
+hygiene when a spoliated task restarts, the hot-loop counters, and the
+diagnostic stall error.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import assert_precedence_respected, assert_schedule_consistent
+from repro.core.platform import Platform, ResourceKind
+from repro.core.schedule import TIME_EPS
+from repro.core.task import Task
+from repro.dag.graph import TaskGraph
+from repro.schedulers.online import BucketHeteroPrioPolicy, HeteroPrioPolicy
+from repro.simulator import RuntimeSimulator, simulate
+
+
+def _t(name: str, p: float = 1.0, q: float = 1.0, priority: float = 0.0) -> Task:
+    return Task(cpu_time=p, gpu_time=q, name=name, priority=priority)
+
+
+class TestEpsBatching:
+    """Completions within TIME_EPS are retired as one batch."""
+
+    def test_victim_finishing_within_eps_not_spoliated(self):
+        # GPU task 'a' ends at 1.0; CPU task 'b' ends at 1.0 + eps/2.
+        # When 'a' completes, the batch window swallows 'b''s completion
+        # too, so the GPU polls against a queue where 'b' is already
+        # done: it must NOT spoliate an execution about to expire.
+        g = TaskGraph("eps")
+        g.add_task(_t("a", p=50.0, q=1.0, priority=1.0))
+        g.add_task(_t("b", p=1.0 + 0.5 * TIME_EPS, q=50.0))
+        sim = RuntimeSimulator(g, Platform(1, 1), HeteroPrioPolicy())
+        schedule = sim.run()
+        assert schedule.aborted_placements() == []
+        assert sim.last_stats is not None and sim.last_stats.aborts == 0
+        assert schedule.makespan == pytest.approx(1.0 + 0.5 * TIME_EPS)
+
+    def test_stale_event_popped_without_side_effects(self):
+        # Construction that forces a stale event to actually POP from
+        # the heap (a later real completion must still be pending):
+        #   GPU warms up on 'a' (ends 2), CPU1 runs victim 'v' (ends
+        #   10), CPU0 runs 'L' (ends 20).  At t=2 the GPU spoliates 'v'
+        #   (restart ends 3, leaving a stale event at 10); 'L' keeps the
+        #   loop alive past t=10, so the stale event pops at 10 and must
+        #   be skipped without completing anything.
+        g = TaskGraph("stale-pop")
+        a = _t("a", p=1000.0, q=2.0, priority=1.0)
+        v = _t("v", p=10.0, q=1.0)
+        L = _t("L", p=20.0, q=30.0)
+        for task in (a, v, L):
+            g.add_task(task)
+        sim = RuntimeSimulator(g, Platform(2, 1), HeteroPrioPolicy())
+        schedule = sim.run()
+        stats = sim.last_stats
+        assert stats is not None
+        assert stats.aborts == 1
+        assert stats.stale_events == 1
+        assert stats.tasks == 3
+        assert stats.events == stats.tasks + stats.stale_events
+        completed = schedule.completed_placements()
+        assert len({p.task.uid for p in completed}) == 3
+        # 'v' completes exactly once, on the GPU, ending at 3.
+        (v_done,) = [p for p in completed if p.task is v]
+        assert v_done.worker.kind is ResourceKind.GPU
+        assert v_done.end == pytest.approx(3.0)
+        assert schedule.makespan == pytest.approx(20.0)
+        assert_schedule_consistent(schedule)
+
+
+class TestGenerationStamps:
+    """Spoliated executions leave no resurrectable state behind."""
+
+    def test_spoliated_task_restarts_with_fresh_generation(self):
+        # 6 GPU-friendly tasks on 5 CPUs + 1 GPU: the GPU finishes its
+        # task at 1.0 and spoliates a CPU execution (would end at 100);
+        # the restarted execution must complete exactly once, and the
+        # stale CPU completion event must be skipped, not resurrected.
+        g = TaskGraph("respawn")
+        tasks = [_t(f"t{i}", p=100.0, q=1.0) for i in range(6)]
+        for task in tasks:
+            g.add_task(task)
+        sim = RuntimeSimulator(g, Platform(5, 1), HeteroPrioPolicy())
+        schedule = sim.run()
+        stats = sim.last_stats
+        assert stats is not None
+        completed = schedule.completed_placements()
+        assert len(completed) == 6
+        # Each task completes exactly once (no stale-event double finish).
+        assert len({p.task.uid for p in completed}) == 6
+        assert stats.aborts == len(schedule.aborted_placements()) == 5
+        assert stats.tasks == 6
+        # The stale events here sit at t=100, after the last completion:
+        # the loop exits without ever popping them (by design — dead
+        # heap entries are never touched).
+        assert stats.stale_events == 0
+        # All completions on the GPU, one after the other.
+        assert all(p.worker.kind is ResourceKind.GPU for p in completed)
+        assert schedule.makespan == pytest.approx(6.0)
+        assert_schedule_consistent(schedule)
+
+    def test_counters_on_plain_dag_run(self):
+        from repro.dag.priorities import assign_priorities
+        from repro.experiments.workloads import build_graph
+
+        g = build_graph("cholesky", 6)
+        platform = Platform(4, 2)
+        assign_priorities(g, platform, "avg")
+        sim = RuntimeSimulator(g, platform, BucketHeteroPrioPolicy())
+        schedule = sim.run()
+        stats = sim.last_stats
+        assert stats is not None
+        assert stats.tasks == len(g) == len(schedule.completed_placements())
+        assert stats.events == stats.tasks + stats.stale_events
+        assert stats.aborts == len(schedule.aborted_placements())
+        assert stats.picks >= stats.tasks
+        assert stats.wall_s > 0
+        assert stats.events_per_sec > 0
+        payload = stats.to_dict()
+        assert payload["tasks"] == stats.tasks
+        assert payload["events_per_sec"] == stats.events_per_sec
+        assert_precedence_respected(schedule, g)
+
+
+class TestStallDiagnostics:
+    """The stall error names the remaining tasks and the idle workers."""
+
+    def test_stall_message_reports_tasks_and_workers(self):
+        class Stall(HeteroPrioPolicy):
+            def pick(self, worker, time, running):
+                return None
+
+        g = TaskGraph("stuck")
+        first = _t("first")
+        blocked = _t("blocked-one")
+        g.add_task(first)
+        g.add_task(blocked)
+        g.add_edge(first, blocked)
+        with pytest.raises(RuntimeError) as err:
+            simulate(g, Platform(2, 1), Stall())
+        message = str(err.value)
+        assert "stalled" in message  # the pre-existing contract
+        assert "2 tasks unfinished" in message
+        assert f"first#{first.uid}" in message
+        assert f"blocked-one#{blocked.uid}" in message
+        assert "GPU0" in message and "CPU0" in message and "CPU1" in message
+        assert "0 executions still in flight" in message
+
+    def test_stall_message_truncates_long_task_list(self):
+        class Stall(HeteroPrioPolicy):
+            def pick(self, worker, time, running):
+                return None
+
+        g = TaskGraph("stuck-many")
+        for i in range(9):
+            g.add_task(_t(f"t{i}"))
+        with pytest.raises(RuntimeError, match=r"9 tasks unfinished .*\.\.\."):
+            simulate(g, Platform(1, 1), Stall())
