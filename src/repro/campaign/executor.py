@@ -40,15 +40,17 @@ import numpy as np
 from repro.bounds.area import area_bound
 from repro.bounds.dag_lp import dag_lower_bound
 from repro.campaign.cache import ResultCache
+from repro.campaign.graph_store import GraphStore
 from repro.campaign.spec import InstanceSpec
 from repro.campaign.telemetry import CampaignEvent, CampaignStats, write_manifest
 from repro.core.heteroprio import heteroprio_schedule
 from repro.core.platform import Platform
+from repro.dag.compiled import CompiledGraph
 from repro.dag.graph import TaskGraph
-from repro.dag.cholesky import cholesky_graph
-from repro.dag.lu import lu_graph
+from repro.dag.cholesky import cholesky_compiled, cholesky_graph
+from repro.dag.lu import lu_compiled, lu_graph
 from repro.dag.priorities import assign_priorities
-from repro.dag.qr import qr_graph
+from repro.dag.qr import qr_compiled, qr_graph
 from repro.dag.random_graphs import layered_random_graph, random_chain_graph
 from repro.schedulers.dualhp import dualhp_schedule
 from repro.schedulers.heft import heft_schedule
@@ -63,6 +65,7 @@ __all__ = [
     "execute_spec",
     "derive_seeds",
     "metrics_to_run_metrics",
+    "set_graph_store",
 ]
 
 #: The RunMetrics field names, in declaration order — the schema of the
@@ -79,6 +82,14 @@ FACTORIZATIONS = {
     "cholesky": cholesky_graph,
     "qr": qr_graph,
     "lu": lu_graph,
+}
+
+#: Compiled (struct-of-arrays) builders for the same families — the
+#: fast path every campaign spec over a factorization takes.
+COMPILED_FACTORIZATIONS = {
+    "cholesky": cholesky_compiled,
+    "qr": qr_compiled,
+    "lu": lu_compiled,
 }
 
 
@@ -124,6 +135,54 @@ def derive_seeds(root_seed: int, count: int) -> tuple[int, ...]:
 # -- single-spec execution ----------------------------------------------------
 
 
+#: Process-global compiled-graph store.  ``run_campaign`` installs one
+#: next to its result cache before dispatching work; forked workers
+#: inherit the handle, so every process of a campaign shares the same
+#: on-disk graphs.  ``None`` keeps the pipeline purely in memory.
+_graph_store: GraphStore | None = None
+
+
+def set_graph_store(store: GraphStore | None) -> None:
+    """Install (or remove) the process-global compiled-graph store.
+
+    Clears the in-memory graph memo so already-built graphs are
+    re-resolved against the new store's contents.
+    """
+    global _graph_store
+    _graph_store = store
+    _compiled_workload.cache_clear()
+
+
+@lru_cache(maxsize=8)
+def _compiled_workload(workload: str, size: int) -> CompiledGraph:
+    """One factorization's compiled graph: store hit, else build and publish."""
+    store = _graph_store
+    if store is not None:
+        cached = store.get(workload, size)
+        if cached is not None:
+            return cached
+    compiled = COMPILED_FACTORIZATIONS[workload](size)
+    if store is not None:
+        store.put(compiled, workload, size)
+    return compiled
+
+
+def _campaign_graph(
+    workload: str,
+    size: int,
+    seed: int | None,
+    params: tuple[tuple[str, float], ...],
+) -> TaskGraph | CompiledGraph:
+    """The graph behind one spec: compiled for factorizations, dict otherwise.
+
+    The random families stay on the tracker path — their generators are
+    seeded per spec, so there is nothing to share across workers.
+    """
+    if workload in COMPILED_FACTORIZATIONS:
+        return _compiled_workload(workload, size)
+    return _workload_graph(workload, size, seed, params)
+
+
 @lru_cache(maxsize=8)
 def _workload_graph(
     workload: str,
@@ -167,7 +226,11 @@ def _dag_bound(
     method: str,
 ) -> float:
     """Memoised dependency-aware lower bound (priority-independent)."""
-    graph = _workload_graph(workload, size, seed, params)
+    graph = _campaign_graph(workload, size, seed, params)
+    if isinstance(graph, CompiledGraph):
+        # The LP bound iterates ``edges()``; the materialized view lists
+        # them in tracker discovery order, so its rows are bit-identical.
+        graph = graph.as_task_graph()
     platform = Platform(num_cpus=num_cpus, num_gpus=num_gpus)
     return dag_lower_bound(graph, platform, method=method)
 
@@ -190,7 +253,7 @@ def execute_spec(spec: InstanceSpec) -> dict:
     normalisation); ``dag`` mode the Figure 7-9 pipeline (priority
     assignment, runtime simulation, Section 6.2 metrics).
     """
-    graph = _workload_graph(spec.workload, spec.size, spec.seed, spec.params)
+    graph = _campaign_graph(spec.workload, spec.size, spec.seed, spec.params)
     platform = spec.platform
     if spec.mode == "independent":
         if spec.bound not in ("area", "auto"):
@@ -284,6 +347,17 @@ def run_campaign(
         ``<cache root>/manifests/``.
     """
     spec_list = list(specs)
+    if cache is not None:
+        # Persist compiled graphs next to the results; keep the current
+        # store (and the in-memory graph memo) when it already points
+        # there, so back-to-back campaigns rebuild nothing.
+        graphs_root = cache.root / "graphs"
+        if (
+            _graph_store is None
+            or _graph_store.root != graphs_root
+            or _graph_store.salt != cache.salt
+        ):
+            set_graph_store(GraphStore(graphs_root, salt=cache.salt))
     started_wall = time.perf_counter()
     started_at = time.time()
     requested_jobs = os.cpu_count() or 1 if jobs is None else max(1, int(jobs))

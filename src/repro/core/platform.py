@@ -41,6 +41,14 @@ class Worker:
     def __post_init__(self) -> None:
         if self.index < 0:
             raise ValueError("worker index must be non-negative")
+        # Workers key every per-worker dict on the scheduler hot paths;
+        # the dataclass-generated hash re-hashes the enum member on each
+        # lookup, which profiles as a top cost in the HEFT commitment
+        # loop.  Cache it once (equality semantics are unchanged).
+        object.__setattr__(self, "_hash", hash((self.kind, self.index)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def __str__(self) -> str:
         return f"{self.kind}{self.index}"

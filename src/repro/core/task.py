@@ -11,6 +11,7 @@ smaller than one (tasks that run faster on a CPU).
 from __future__ import annotations
 
 import itertools
+import math
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Sequence
 
@@ -58,9 +59,11 @@ class Task:
     uid: int = field(default_factory=lambda: next(_task_counter))
 
     def __post_init__(self) -> None:
-        if not (self.cpu_time > 0 and np.isfinite(self.cpu_time)):
+        # math.isfinite, not np.isfinite: graph builders construct tasks
+        # by the thousand and the numpy scalar dispatch dominates there.
+        if not (self.cpu_time > 0 and math.isfinite(self.cpu_time)):
             raise ValueError(f"cpu_time must be positive and finite, got {self.cpu_time}")
-        if not (self.gpu_time > 0 and np.isfinite(self.gpu_time)):
+        if not (self.gpu_time > 0 and math.isfinite(self.gpu_time)):
             raise ValueError(f"gpu_time must be positive and finite, got {self.gpu_time}")
         if not self.name:
             self.name = f"task{self.uid}"

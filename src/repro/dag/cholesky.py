@@ -17,11 +17,18 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.task import Task
+from repro.dag.compiled import CompiledGraph, GraphProgram, ProgramBuilder, compile_program
 from repro.dag.dataflow import AccessMode, DataflowTracker
 from repro.dag.graph import TaskGraph
 from repro.timing.model import TimingModel
 
-__all__ = ["cholesky_graph", "cholesky_task_count", "TILE_BYTES"]
+__all__ = [
+    "cholesky_graph",
+    "cholesky_program",
+    "cholesky_compiled",
+    "cholesky_task_count",
+    "TILE_BYTES",
+]
 
 #: Size of one 960x960 double-precision tile (the paper's tile size).
 TILE_BYTES = 960 * 960 * 8
@@ -81,3 +88,45 @@ def cholesky_graph(
     graph = tracker.graph
     assert len(graph) == cholesky_task_count(n_tiles)
     return graph
+
+
+def cholesky_program(n_tiles: int) -> GraphProgram:
+    """The Cholesky submission trace for the compiled pipeline.
+
+    Same kernels, same accesses, same program order as
+    :func:`cholesky_graph` — only recorded instead of replayed through
+    the tracker.  Differential tests pin the two against each other.
+    """
+    if n_tiles < 1:
+        raise ValueError("n_tiles must be >= 1")
+    builder = ProgramBuilder(f"cholesky-{n_tiles}")
+    read, write = AccessMode.READ, AccessMode.READ_WRITE
+    for k in range(n_tiles):
+        builder.submit("POTRF", f"POTRF({k})", [((k, k), write)])
+        for i in range(k + 1, n_tiles):
+            builder.submit(
+                "TRSM", f"TRSM({i},{k})", [((k, k), read), ((i, k), write)]
+            )
+        for i in range(k + 1, n_tiles):
+            builder.submit(
+                "SYRK", f"SYRK({i},{k})", [((i, k), read), ((i, i), write)]
+            )
+            for j in range(k + 1, i):
+                builder.submit(
+                    "GEMM",
+                    f"GEMM({i},{j},{k})",
+                    [((i, k), read), ((j, k), read), ((i, j), write)],
+                )
+    return builder.finish()
+
+
+def cholesky_compiled(
+    n_tiles: int,
+    timing: TimingModel | None = None,
+) -> CompiledGraph:
+    """Vectorized-build equivalent of :func:`cholesky_graph`."""
+    if timing is None:
+        timing = TimingModel.for_factorization("cholesky")
+    compiled = compile_program(cholesky_program(n_tiles), timing)
+    assert len(compiled) == cholesky_task_count(n_tiles)
+    return compiled

@@ -1,0 +1,638 @@
+"""Compiled task graphs: struct-of-arrays DAGs built by vectorized hazard inference.
+
+The superscalar tracker (:mod:`repro.dag.dataflow`) infers edges one
+access at a time through Python dict loops — correct, but it dominates
+the wall time of the figure sweeps now that the simulator event loop is
+fast.  This module provides the compiled pipeline:
+
+* :class:`GraphProgram` — the *program* a generator submits, recorded as
+  flat access arrays (task index, dense handle id, read/write flags)
+  instead of being replayed through the tracker;
+* :func:`infer_edges` — the whole RAW/WAR/WAW hazard pass as a handful
+  of numpy grouped prefix-max / suffix-min scans, reproducing the
+  tracker's edges *in the same discovery order* (the LP lower bound
+  builds its rows from ``graph.edges()``, so edge order must be stable
+  for cached campaign metrics to stay bit-identical);
+* :class:`CompiledGraph` — CSR successor/predecessor index arrays plus
+  flat CPU/GPU duration vectors.  It quacks like a
+  :class:`~repro.dag.graph.TaskGraph` for the simulator's read surface
+  (``__len__``/``__iter__``/``successor_map``/``in_degree``/``sources``)
+  and can materialize a real ``TaskGraph`` (:meth:`~CompiledGraph.as_task_graph`)
+  for consumers that need the dict form (LP bound, exact scheduler).
+
+Everything here is *behavior-preserving by construction*: the same task
+order, the same durations (the timing model is sampled in submission
+order so noisy models consume the RNG identically), and the same edge
+set in the same order as the tracker.  Differential tests pin this on
+every figure workload.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.core.task import Instance, Task
+from repro.dag.dataflow import Access, AccessMode
+from repro.dag.graph import CycleError, TaskGraph
+from repro.timing.model import TimingModel
+
+__all__ = [
+    "GraphProgram",
+    "ProgramBuilder",
+    "CompiledGraph",
+    "infer_edges",
+    "compile_program",
+]
+
+
+# ---------------------------------------------------------------------------
+# Programs: a generator's submission sequence as flat arrays
+# ---------------------------------------------------------------------------
+
+
+class GraphProgram:
+    """The access trace of one generator run, in submission order.
+
+    A program is what a Chameleon-style generator hands the runtime:
+    kernels in program order, each with an ordered list of
+    (handle, mode) accesses.  Handles are densely renumbered in order of
+    first appearance; the original access order is preserved exactly, so
+    hazard inference over these arrays discovers the same edges in the
+    same order as replaying the trace through the tracker.
+    """
+
+    __slots__ = (
+        "name",
+        "kinds",
+        "labels",
+        "acc_task",
+        "acc_handle",
+        "acc_reads",
+        "acc_writes",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        kinds: Sequence[str],
+        labels: Sequence[str],
+        acc_task: np.ndarray,
+        acc_handle: np.ndarray,
+        acc_reads: np.ndarray,
+        acc_writes: np.ndarray,
+    ):
+        self.name = name
+        self.kinds = tuple(kinds)
+        self.labels = tuple(labels)
+        self.acc_task = acc_task
+        self.acc_handle = acc_handle
+        self.acc_reads = acc_reads
+        self.acc_writes = acc_writes
+
+    def __len__(self) -> int:
+        return len(self.kinds)
+
+
+class ProgramBuilder:
+    """Records kernels submitted in program order into a :class:`GraphProgram`."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._kinds: list[str] = []
+        self._labels: list[str] = []
+        self._acc_task: list[int] = []
+        self._acc_handle: list[int] = []
+        self._acc_reads: list[bool] = []
+        self._acc_writes: list[bool] = []
+        self._handle_ids: dict[Hashable, int] = {}
+
+    def submit(
+        self,
+        kind: str,
+        label: str,
+        accesses: Iterable[Access | tuple[Hashable, AccessMode]],
+    ) -> int:
+        """Record one kernel; returns its task index."""
+        index = len(self._kinds)
+        self._kinds.append(kind)
+        self._labels.append(label)
+        ids = self._handle_ids
+        for access in accesses:
+            if isinstance(access, tuple):
+                handle, mode = access
+            else:
+                handle, mode = access.handle, access.mode
+            hid = ids.setdefault(handle, len(ids))
+            self._acc_task.append(index)
+            self._acc_handle.append(hid)
+            self._acc_reads.append(mode.reads)
+            self._acc_writes.append(mode.writes)
+        return index
+
+    def finish(self) -> GraphProgram:
+        return GraphProgram(
+            self.name,
+            self._kinds,
+            self._labels,
+            np.asarray(self._acc_task, dtype=np.int64),
+            np.asarray(self._acc_handle, dtype=np.int64),
+            np.asarray(self._acc_reads, dtype=bool),
+            np.asarray(self._acc_writes, dtype=bool),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Vectorized hazard inference
+# ---------------------------------------------------------------------------
+
+
+def _grouped_exclusive_cummax(values: np.ndarray, new_group: np.ndarray) -> np.ndarray:
+    """Per group, the running max of *values* over strictly earlier rows.
+
+    ``values`` must be ``>= -1`` with ``-1`` the neutral element; rows of
+    one group must be contiguous, with ``new_group`` flagging each first
+    row.  The classic offset trick: shift each group into its own
+    disjoint value band so one global ``maximum.accumulate`` cannot leak
+    across group boundaries.
+    """
+    n = len(values)
+    shifted = np.empty(n, dtype=np.int64)
+    shifted[0] = -1
+    shifted[1:] = values[:-1]
+    shifted[new_group] = -1
+    offset = (np.cumsum(new_group) - 1) * (n + 1)
+    return np.maximum.accumulate(shifted + offset) - offset
+
+
+def infer_edges(
+    n_tasks: int,
+    acc_task: np.ndarray,
+    acc_handle: np.ndarray,
+    acc_reads: np.ndarray,
+    acc_writes: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Superscalar RAW/WAR/WAW inference over flat access arrays.
+
+    Returns CSR arrays ``(succ_indptr, succ_indices, pred_indptr,
+    pred_indices)`` whose successor lists reproduce the tracker's edge
+    *discovery order* exactly:
+
+    * RAW — a reading access depends on the group's last writer;
+    * WAR — a read-only access feeds the group's *next* writer (the
+      tracker's readers-since-last-write list, reformulated: a reader
+      sits in that list precisely until the first later write consumes
+      it), skipping self pairs like the tracker does;
+    * WAW — a write-not-read access depends on the previous writer.
+
+    Duplicate discoveries keep the earliest one (the tracker's
+    ``add_edge`` ignores duplicates), and each candidate edge is stamped
+    with the (access, hazard-phase, reader) position at which the
+    tracker would have added it, so the per-predecessor successor order
+    matches dict-path ``edges()`` exactly.
+    """
+    empty = np.empty(0, dtype=np.int64)
+    n_acc = len(acc_task)
+    indptr0 = np.zeros(n_tasks + 1, dtype=np.int64)
+    if n_acc == 0:
+        return indptr0, empty, indptr0.copy(), empty
+
+    # Stable sort by handle: rows of one handle stay in program order.
+    order = np.argsort(acc_handle, kind="stable")
+    handle = acc_handle[order]
+    task = acc_task[order]
+    reads = acc_reads[order]
+    writes = acc_writes[order]
+    pos = order.astype(np.int64)  # global program position of each row
+
+    new_group = np.empty(n_acc, dtype=bool)
+    new_group[0] = True
+    new_group[1:] = handle[1:] != handle[:-1]
+
+    rows = np.arange(n_acc, dtype=np.int64)
+    write_rows = np.where(writes, rows, -1)
+    last_write = _grouped_exclusive_cummax(write_rows, new_group)
+
+    # Exclusive suffix-min of write rows = exclusive prefix-max over the
+    # reversed array of mirrored rows (mirroring keeps values positive,
+    # clear of the -1 neutral element, and flips min into max).
+    rev_new_group = np.empty(n_acc, dtype=bool)
+    rev_new_group[0] = True
+    rev_new_group[1:] = handle[::-1][1:] != handle[::-1][:-1]
+    mirrored = np.where(writes[::-1], n_acc - rows[::-1], -1)
+    next_write = _grouped_exclusive_cummax(mirrored, rev_new_group)[::-1]
+    has_next_write = next_write >= 0
+    next_write = n_acc - next_write
+
+    n_phases = 4  # room for phases 0..2 in the packed key
+    span = np.int64(n_acc + 1)
+
+    def key_of(trigger_rows: np.ndarray, phase: int, sub: np.ndarray | int) -> np.ndarray:
+        return (pos[trigger_rows] * n_phases + phase) * span + sub
+
+    # RAW: reading access with a previous writer in its group.
+    raw = reads & (last_write >= 0)
+    raw_pred = task[last_write[raw]]
+    raw_succ = task[raw]
+    raw_key = key_of(np.flatnonzero(raw), 0, 0)
+
+    # WAR: read-only access consumed by the first strictly later writer.
+    ro = reads & ~writes
+    war = ro & has_next_write
+    war_rows = np.flatnonzero(war)
+    war_pred = task[war_rows]
+    war_succ = task[next_write[war_rows]]
+    keep = war_pred != war_succ  # the tracker skips `reader is task`
+    war_rows = war_rows[keep]
+    war_pred = war_pred[keep]
+    war_succ = war_succ[keep]
+    war_key = key_of(next_write[war_rows], 1, pos[war_rows])
+
+    # WAW: write-not-read access with a previous writer in its group.
+    waw = writes & ~reads & (last_write >= 0)
+    waw_pred = task[last_write[waw]]
+    waw_succ = task[waw]
+    waw_key = key_of(np.flatnonzero(waw), 2, 0)
+
+    pred = np.concatenate([raw_pred, war_pred, waw_pred])
+    succ = np.concatenate([raw_succ, war_succ, waw_succ])
+    key = np.concatenate([raw_key, war_key, waw_key])
+
+    if np.any(pred == succ):
+        bad = int(pred[pred == succ][0])
+        raise CycleError(f"self-dependency on task index {bad}")
+
+    # Dedup (pred, succ), keeping the earliest discovery.
+    edge_id = pred * np.int64(n_tasks) + succ
+    first = np.lexsort((key, edge_id))
+    edge_id = edge_id[first]
+    key = key[first]
+    uniq = np.empty(len(edge_id), dtype=bool)
+    if len(edge_id):
+        uniq[0] = True
+        uniq[1:] = edge_id[1:] != edge_id[:-1]
+    edge_id = edge_id[uniq]
+    key = key[uniq]
+    u_pred = edge_id // n_tasks
+    u_succ = edge_id % n_tasks
+
+    # Successor CSR in (pred, discovery) order == dict-path edges() order.
+    by_pred = np.lexsort((key, u_pred))
+    succ_indices = u_succ[by_pred]
+    succ_indptr = np.zeros(n_tasks + 1, dtype=np.int64)
+    np.cumsum(np.bincount(u_pred, minlength=n_tasks), out=succ_indptr[1:])
+
+    by_succ = np.lexsort((key, u_succ))
+    pred_indices = u_pred[by_succ]
+    pred_indptr = np.zeros(n_tasks + 1, dtype=np.int64)
+    np.cumsum(np.bincount(u_succ, minlength=n_tasks), out=pred_indptr[1:])
+
+    return succ_indptr, succ_indices, pred_indptr, pred_indices
+
+
+# ---------------------------------------------------------------------------
+# The compiled graph
+# ---------------------------------------------------------------------------
+
+
+class CompiledGraph:
+    """Struct-of-arrays task DAG: CSR adjacency plus flat duration vectors.
+
+    Tasks are identified by their index (== submission order, which is a
+    topological order for superscalar programs).  :class:`Task` objects
+    are materialized lazily, once, in index order — relative ``uid``
+    order therefore matches the dict path's creation order, which is
+    what every uid-based tie-break keys on.
+    """
+
+    __slots__ = (
+        "name",
+        "kinds",
+        "labels",
+        "cpu_times",
+        "gpu_times",
+        "succ_indptr",
+        "succ_indices",
+        "pred_indptr",
+        "pred_indices",
+        "_tasks",
+        "_index",
+        "_indeg",
+        "_task_graph",
+        "_level_plan",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        kinds: Sequence[str],
+        labels: Sequence[str],
+        cpu_times: np.ndarray,
+        gpu_times: np.ndarray,
+        succ_indptr: np.ndarray,
+        succ_indices: np.ndarray,
+        pred_indptr: np.ndarray,
+        pred_indices: np.ndarray,
+    ):
+        self.name = name
+        self.kinds = tuple(kinds)
+        self.labels = tuple(labels)
+        self.cpu_times = np.ascontiguousarray(cpu_times, dtype=np.float64)
+        self.gpu_times = np.ascontiguousarray(gpu_times, dtype=np.float64)
+        self.succ_indptr = np.ascontiguousarray(succ_indptr, dtype=np.int64)
+        self.succ_indices = np.ascontiguousarray(succ_indices, dtype=np.int64)
+        self.pred_indptr = np.ascontiguousarray(pred_indptr, dtype=np.int64)
+        self.pred_indices = np.ascontiguousarray(pred_indices, dtype=np.int64)
+        n = len(self.kinds)
+        if not (
+            len(self.labels) == len(self.cpu_times) == len(self.gpu_times) == n
+            and len(self.succ_indptr) == len(self.pred_indptr) == n + 1
+            and len(self.succ_indices) == len(self.pred_indices)
+        ):
+            raise ValueError("inconsistent compiled-graph array shapes")
+        self._tasks: tuple[Task, ...] | None = None
+        self._index: dict[Task, int] | None = None
+        self._indeg: list[int] | None = None
+        self._task_graph: TaskGraph | None = None
+        self._level_plan = None
+
+    # -- sizes -------------------------------------------------------------
+
+    @property
+    def n_tasks(self) -> int:
+        return len(self.kinds)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.succ_indices)
+
+    def __len__(self) -> int:
+        return len(self.kinds)
+
+    # -- task materialization ---------------------------------------------
+
+    @property
+    def tasks(self) -> tuple[Task, ...]:
+        """The graph's :class:`Task` objects, created once, in index order."""
+        if self._tasks is None:
+            cpu = self.cpu_times.tolist()
+            gpu = self.gpu_times.tolist()
+            self._tasks = tuple(
+                Task(cpu_time=p, gpu_time=q, name=label, kind=kind)
+                for p, q, label, kind in zip(cpu, gpu, self.labels, self.kinds)
+            )
+            self._index = {t: i for i, t in enumerate(self._tasks)}
+        return self._tasks
+
+    def index_of(self, task: Task) -> int:
+        """The array index of one of this graph's tasks."""
+        if self._index is None:
+            self.tasks
+        return self._index[task]
+
+    # -- TaskGraph read surface (what the simulator consumes) --------------
+
+    def __iter__(self) -> Iterator[Task]:
+        return iter(self.tasks)
+
+    def __contains__(self, task: object) -> bool:
+        if self._index is None:
+            self.tasks
+        return task in self._index
+
+    def successor_map(self) -> dict[Task, tuple[Task, ...]]:
+        """Flat adjacency snapshot, same contract as ``TaskGraph``."""
+        tasks = self.tasks
+        indptr = self.succ_indptr.tolist()
+        succs = self.succ_indices.tolist()
+        return {
+            t: tuple(tasks[j] for j in succs[indptr[i] : indptr[i + 1]])
+            for i, t in enumerate(tasks)
+        }
+
+    def in_degree(self, task: Task) -> int:
+        if self._indeg is None:
+            self._indeg = np.diff(self.pred_indptr).tolist()
+        return self._indeg[self.index_of(task)]
+
+    def out_degree(self, task: Task) -> int:
+        i = self.index_of(task)
+        return int(self.succ_indptr[i + 1] - self.succ_indptr[i])
+
+    def sources(self) -> list[Task]:
+        tasks = self.tasks
+        indeg = np.diff(self.pred_indptr)
+        return [tasks[i] for i in np.flatnonzero(indeg == 0)]
+
+    def kind_histogram(self) -> dict[str, int]:
+        hist: dict[str, int] = {}
+        for kind in self.kinds:
+            hist[kind] = hist.get(kind, 0) + 1
+        return hist
+
+    # -- conversions -------------------------------------------------------
+
+    def to_instance(self) -> Instance:
+        """Drop the edges: the node set as an independent-task instance."""
+        return Instance(self.tasks)
+
+    def as_task_graph(self) -> TaskGraph:
+        """Materialize (once) a dict-backed :class:`TaskGraph` view.
+
+        The view shares this graph's :class:`Task` objects and lists
+        edges in the same discovery order, so order-sensitive consumers
+        (the LP lower bound iterating ``edges()``) see exactly what the
+        tracker would have produced.  Dataflow access metadata is *not*
+        reconstructed — the communication-aware runtime keeps using the
+        dict-path generators.
+        """
+        if self._task_graph is None:
+            graph = TaskGraph(name=self.name)
+            tasks = self.tasks
+            for t in tasks:
+                graph.add_task(t)
+            indptr = self.succ_indptr.tolist()
+            succs = self.succ_indices.tolist()
+            graph.add_edges_unchecked(
+                (tasks[i], tasks[j])
+                for i in range(len(tasks))
+                for j in succs[indptr[i] : indptr[i + 1]]
+            )
+            self._task_graph = graph
+        return self._task_graph
+
+    @classmethod
+    def from_task_graph(cls, graph: TaskGraph, name: str | None = None) -> "CompiledGraph":
+        """Compile an existing dict-backed graph (task order preserved)."""
+        tasks = graph.tasks
+        index = {t: i for i, t in enumerate(tasks)}
+        n = len(tasks)
+        succ_counts = np.zeros(n, dtype=np.int64)
+        pred_counts = np.zeros(n, dtype=np.int64)
+        edge_pred: list[int] = []
+        edge_succ: list[int] = []
+        for p, s in graph.edges():
+            edge_pred.append(index[p])
+            edge_succ.append(index[s])
+        pred_arr = np.asarray(edge_pred, dtype=np.int64)
+        succ_arr = np.asarray(edge_succ, dtype=np.int64)
+        if len(pred_arr):
+            succ_counts = np.bincount(pred_arr, minlength=n)
+            pred_counts = np.bincount(succ_arr, minlength=n)
+        succ_indptr = np.zeros(n + 1, dtype=np.int64)
+        pred_indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(succ_counts, out=succ_indptr[1:])
+        np.cumsum(pred_counts, out=pred_indptr[1:])
+        # edges() already iterates in (pred, discovery) order; a stable
+        # sort by succ gives the predecessor CSR in discovery order too.
+        order = np.argsort(succ_arr, kind="stable") if len(succ_arr) else succ_arr
+        compiled = cls(
+            name if name is not None else graph.name,
+            [t.kind for t in tasks],
+            [t.name for t in tasks],
+            np.array([t.cpu_time for t in tasks]),
+            np.array([t.gpu_time for t in tasks]),
+            succ_indptr,
+            succ_arr,
+            pred_indptr,
+            pred_arr[order] if len(pred_arr) else pred_arr,
+        )
+        # Share the existing Task objects instead of minting new ones.
+        compiled._tasks = tuple(tasks)
+        compiled._index = index
+        return compiled
+
+    # -- serialization (consumed by the campaign graph store) ---------------
+
+    def to_arrays(self) -> dict[str, np.ndarray]:
+        """The graph as a flat dict of arrays, ready for ``np.savez``."""
+        return {
+            "kinds": np.asarray(self.kinds, dtype=np.str_),
+            "labels": np.asarray(self.labels, dtype=np.str_),
+            "cpu_times": self.cpu_times,
+            "gpu_times": self.gpu_times,
+            "succ_indptr": self.succ_indptr,
+            "succ_indices": self.succ_indices,
+            "pred_indptr": self.pred_indptr,
+            "pred_indices": self.pred_indices,
+        }
+
+    @classmethod
+    def from_arrays(cls, name: str, arrays) -> "CompiledGraph":
+        """Rebuild from :meth:`to_arrays` output (or a loaded ``.npz``)."""
+        return cls(
+            name,
+            [str(k) for k in arrays["kinds"]],
+            [str(label) for label in arrays["labels"]],
+            arrays["cpu_times"],
+            arrays["gpu_times"],
+            arrays["succ_indptr"],
+            arrays["succ_indices"],
+            arrays["pred_indptr"],
+            arrays["pred_indices"],
+        )
+
+    # -- layered sweep plan (consumed by repro.dag.priorities) ---------------
+
+    def level_plan(self):
+        """Reverse-topological layer plan for bottom-level sweeps.
+
+        Returns ``(sinks, layers)`` where ``sinks`` is the index array
+        of zero-out-degree tasks and each layer is a triple
+        ``(task_idx, seg_starts, gather)``: every task in ``task_idx``
+        has all successors in strictly earlier layers, ``gather`` is the
+        concatenation of their successor lists and ``seg_starts`` the
+        segment boundaries for ``np.maximum.reduceat``.  Built once and
+        cached — priority sweeps for different ranking schemes reuse it.
+        """
+        if self._level_plan is None:
+            self._level_plan = self._build_level_plan()
+        return self._level_plan
+
+    def _build_level_plan(self):
+        n = self.n_tasks
+        outdeg = np.diff(self.succ_indptr)
+        remaining = outdeg.copy()
+        sinks = np.flatnonzero(outdeg == 0)
+        remaining[sinks] = -1  # placed; never re-selected below
+        layers = []
+        frontier = sinks
+        placed = len(frontier)
+        while placed < n:
+            # Retire the frontier: decrement each predecessor once per
+            # edge into the frontier; tasks dropping to zero form the
+            # next layer (every successor is then already levelled).
+            starts = self.pred_indptr[frontier]
+            counts = self.pred_indptr[frontier + 1] - starts
+            touched = self.pred_indices[_ragged_gather(starts, counts)]
+            remaining = remaining - np.bincount(touched, minlength=n)
+            frontier = np.flatnonzero(remaining == 0)
+            if len(frontier) == 0:
+                raise CycleError(f"compiled graph {self.name!r} contains a cycle")
+            remaining[frontier] = -1
+            s = self.succ_indptr[frontier]
+            c = self.succ_indptr[frontier + 1] - s
+            gather = self.succ_indices[_ragged_gather(s, c)]
+            seg_starts = np.zeros(len(frontier), dtype=np.int64)
+            np.cumsum(c[:-1], out=seg_starts[1:])
+            layers.append((frontier, seg_starts, gather))
+            placed += len(frontier)
+        return sinks, layers
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CompiledGraph({self.name!r}, {len(self)} tasks, {self.num_edges} edges)"
+
+
+def _ragged_gather(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Indices of the concatenation of ``[s, s+c)`` ranges (CSR row gather)."""
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    offsets = np.zeros(len(counts), dtype=np.int64)
+    np.cumsum(counts[:-1], out=offsets[1:])
+    return (
+        np.arange(total, dtype=np.int64)
+        - np.repeat(offsets, counts)
+        + np.repeat(starts, counts)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Program -> CompiledGraph
+# ---------------------------------------------------------------------------
+
+
+def compile_program(
+    program: GraphProgram,
+    timing: TimingModel,
+) -> CompiledGraph:
+    """Compile a recorded program: sample durations, infer edges, build CSR.
+
+    Durations are sampled per kernel in submission order — exactly the
+    dict generators' call sequence — so noisy timing models consume the
+    random stream identically and produce bit-identical durations.
+    """
+    n = len(program)
+    if timing.noise == 0.0:
+        # Deterministic models: one table lookup per distinct kind.
+        table = {k: timing.reference(k) for k in set(program.kinds)}
+        cpu = np.fromiter(
+            (table[k].cpu_time for k in program.kinds), dtype=np.float64, count=n
+        )
+        gpu = np.fromiter(
+            (table[k].gpu_time for k in program.kinds), dtype=np.float64, count=n
+        )
+    else:
+        cpu = np.empty(n, dtype=np.float64)
+        gpu = np.empty(n, dtype=np.float64)
+        for i, kind in enumerate(program.kinds):
+            cpu[i], gpu[i] = timing.sample(kind)
+    csr = infer_edges(
+        n,
+        program.acc_task,
+        program.acc_handle,
+        program.acc_reads,
+        program.acc_writes,
+    )
+    return CompiledGraph(program.name, program.kinds, program.labels, cpu, gpu, *csr)

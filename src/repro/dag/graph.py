@@ -60,6 +60,21 @@ class TaskGraph:
             self._succ[pred].append(succ)
             self._pred[succ].append(pred)
 
+    def add_edges_unchecked(self, edges: Iterable[tuple[Task, Task]]) -> None:
+        """Append edges the caller guarantees are deduplicated and acyclic.
+
+        Skips :meth:`add_edge`'s per-edge membership scan (O(out-degree)
+        each); both endpoints must already be present.  Used by the
+        compiled-graph pipeline, which dedups edges during CSR
+        construction.
+        """
+        succ_map, pred_map = self._succ, self._pred
+        for pred, succ in edges:
+            if pred is succ:
+                raise CycleError(f"self-dependency on {pred.name}")
+            succ_map[pred].append(succ)
+            pred_map[succ].append(pred)
+
     # -- structure ---------------------------------------------------------------
 
     @property

@@ -15,11 +15,12 @@ from __future__ import annotations
 
 from repro.core.task import Task
 from repro.dag.cholesky import TILE_BYTES
+from repro.dag.compiled import CompiledGraph, GraphProgram, ProgramBuilder, compile_program
 from repro.dag.dataflow import AccessMode, DataflowTracker
 from repro.dag.graph import TaskGraph
 from repro.timing.model import TimingModel
 
-__all__ = ["lu_graph", "lu_task_count"]
+__all__ = ["lu_graph", "lu_program", "lu_compiled", "lu_task_count"]
 
 
 def lu_task_count(n_tiles: int) -> int:
@@ -68,3 +69,40 @@ def lu_graph(
     graph = tracker.graph
     assert len(graph) == lu_task_count(n_tiles)
     return graph
+
+
+def lu_program(n_tiles: int) -> GraphProgram:
+    """The LU submission trace for the compiled pipeline (see :func:`lu_graph`)."""
+    if n_tiles < 1:
+        raise ValueError("n_tiles must be >= 1")
+    builder = ProgramBuilder(f"lu-{n_tiles}")
+    read, rw = AccessMode.READ, AccessMode.READ_WRITE
+    for k in range(n_tiles):
+        builder.submit("GETRF", f"GETRF({k})", [((k, k), rw)])
+        for j in range(k + 1, n_tiles):
+            builder.submit(
+                "TRSM", f"TRSM_row({k},{j})", [((k, k), read), ((k, j), rw)]
+            )
+        for i in range(k + 1, n_tiles):
+            builder.submit(
+                "TRSM", f"TRSM_col({i},{k})", [((k, k), read), ((i, k), rw)]
+            )
+            for j in range(k + 1, n_tiles):
+                builder.submit(
+                    "GEMM",
+                    f"GEMM({i},{j},{k})",
+                    [((i, k), read), ((k, j), read), ((i, j), rw)],
+                )
+    return builder.finish()
+
+
+def lu_compiled(
+    n_tiles: int,
+    timing: TimingModel | None = None,
+) -> CompiledGraph:
+    """Vectorized-build equivalent of :func:`lu_graph`."""
+    if timing is None:
+        timing = TimingModel.for_factorization("lu")
+    compiled = compile_program(lu_program(n_tiles), timing)
+    assert len(compiled) == lu_task_count(n_tiles)
+    return compiled

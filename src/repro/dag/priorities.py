@@ -18,11 +18,15 @@ from __future__ import annotations
 
 from typing import Callable, Literal
 
+import numpy as np
+
 from repro.core.platform import Platform
 from repro.core.task import Task
+from repro.dag.compiled import CompiledGraph
 from repro.dag.graph import TaskGraph
 
 __all__ = ["RankScheme", "node_weight", "bottom_levels", "assign_priorities",
+           "compiled_node_weights", "compiled_bottom_levels",
            "critical_path_length"]
 
 RankScheme = Literal["avg", "min", "fifo"]
@@ -50,8 +54,42 @@ def bottom_levels(
     return levels
 
 
+def compiled_node_weights(
+    graph: CompiledGraph, platform: Platform, scheme: RankScheme
+) -> np.ndarray:
+    """Vector of :func:`node_weight` over a compiled graph's task order.
+
+    Element-for-element the same arithmetic as the scalar function, so
+    results are bit-identical to the dict path.
+    """
+    if scheme == "avg":
+        m, n = platform.num_cpus, platform.num_gpus
+        return (m * graph.cpu_times + n * graph.gpu_times) / (m + n)
+    if scheme == "min":
+        return np.minimum(graph.cpu_times, graph.gpu_times)
+    raise ValueError(f"scheme {scheme!r} does not define node weights")
+
+
+def compiled_bottom_levels(graph: CompiledGraph, weights: np.ndarray) -> np.ndarray:
+    """Bottom levels as a reverse-topological layered sweep over CSR arrays.
+
+    Each layer's tasks have all successors in earlier layers, so one
+    ``np.maximum.reduceat`` per layer replaces the dict path's per-task
+    generator max.  ``max`` over floats is order-independent and the
+    final ``weight + max`` uses the same two operands as the dict path,
+    so levels are bit-identical.
+    """
+    levels = np.empty(graph.n_tasks, dtype=np.float64)
+    sinks, layers = graph.level_plan()
+    levels[sinks] = weights[sinks]
+    for task_idx, seg_starts, gather in layers:
+        below = np.maximum.reduceat(levels[gather], seg_starts)
+        levels[task_idx] = weights[task_idx] + below
+    return levels
+
+
 def assign_priorities(
-    graph: TaskGraph,
+    graph: TaskGraph | CompiledGraph,
     platform: Platform,
     scheme: RankScheme = "avg",
 ) -> dict[Task, float]:
@@ -59,9 +97,18 @@ def assign_priorities(
 
     With ``scheme="fifo"`` all priorities are reset to zero (tasks are
     then processed in ready order, the DualHP-fifo variant of Section 6.2).
-    Returns the computed levels.
+    Compiled graphs take the vectorized sweep; the result is the same
+    either way.  Returns the computed levels.
     """
-    if scheme == "fifo":
+    if isinstance(graph, CompiledGraph):
+        if scheme == "fifo":
+            vec = np.zeros(graph.n_tasks)
+        else:
+            vec = compiled_bottom_levels(
+                graph, compiled_node_weights(graph, platform, scheme)
+            )
+        levels = dict(zip(graph.tasks, vec.tolist()))
+    elif scheme == "fifo":
         levels = {task: 0.0 for task in graph}
     else:
         levels = bottom_levels(graph, lambda t: node_weight(t, platform, scheme))

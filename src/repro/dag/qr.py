@@ -16,11 +16,12 @@ from __future__ import annotations
 
 from repro.core.task import Task
 from repro.dag.cholesky import TILE_BYTES
+from repro.dag.compiled import CompiledGraph, GraphProgram, ProgramBuilder, compile_program
 from repro.dag.dataflow import AccessMode, DataflowTracker
 from repro.dag.graph import TaskGraph
 from repro.timing.model import TimingModel
 
-__all__ = ["qr_graph", "qr_task_count", "T_TILE_BYTES"]
+__all__ = ["qr_graph", "qr_program", "qr_compiled", "qr_task_count", "T_TILE_BYTES"]
 
 #: Size of one 48x960 reflector-accumulation tile (inner blocking 48).
 T_TILE_BYTES = 48 * 960 * 8
@@ -83,3 +84,51 @@ def qr_graph(
     graph = tracker.graph
     assert len(graph) == qr_task_count(n_tiles)
     return graph
+
+
+def qr_program(n_tiles: int) -> GraphProgram:
+    """The QR submission trace for the compiled pipeline (see :func:`qr_graph`)."""
+    if n_tiles < 1:
+        raise ValueError("n_tiles must be >= 1")
+    builder = ProgramBuilder(f"qr-{n_tiles}")
+    read, rw, write = AccessMode.READ, AccessMode.READ_WRITE, AccessMode.WRITE
+    for k in range(n_tiles):
+        builder.submit(
+            "GEQRT", f"GEQRT({k})", [(("A", k, k), rw), (("T", k, k), write)]
+        )
+        for j in range(k + 1, n_tiles):
+            builder.submit(
+                "ORMQR",
+                f"ORMQR({k},{j})",
+                [(("A", k, k), read), (("T", k, k), read), (("A", k, j), rw)],
+            )
+        for i in range(k + 1, n_tiles):
+            builder.submit(
+                "TSQRT",
+                f"TSQRT({i},{k})",
+                [(("A", k, k), rw), (("A", i, k), rw), (("T", i, k), write)],
+            )
+            for j in range(k + 1, n_tiles):
+                builder.submit(
+                    "TSMQR",
+                    f"TSMQR({i},{j},{k})",
+                    [
+                        (("A", k, j), rw),
+                        (("A", i, j), rw),
+                        (("A", i, k), read),
+                        (("T", i, k), read),
+                    ],
+                )
+    return builder.finish()
+
+
+def qr_compiled(
+    n_tiles: int,
+    timing: TimingModel | None = None,
+) -> CompiledGraph:
+    """Vectorized-build equivalent of :func:`qr_graph`."""
+    if timing is None:
+        timing = TimingModel.for_factorization("qr")
+    compiled = compile_program(qr_program(n_tiles), timing)
+    assert len(compiled) == qr_task_count(n_tiles)
+    return compiled

@@ -5,17 +5,20 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.core.platform import Platform
-from repro.dag.cholesky import cholesky_graph
+from repro.dag.cholesky import cholesky_compiled, cholesky_graph
+from repro.dag.compiled import CompiledGraph
 from repro.dag.graph import TaskGraph
-from repro.dag.lu import lu_graph
-from repro.dag.qr import qr_graph
+from repro.dag.lu import lu_compiled, lu_graph
+from repro.dag.qr import qr_compiled, qr_graph
 
 __all__ = [
     "FACTORIZATIONS",
+    "COMPILED_FACTORIZATIONS",
     "PAPER_PLATFORM",
     "DEFAULT_N_VALUES",
     "FULL_N_VALUES",
     "build_graph",
+    "build_compiled",
 ]
 
 #: The three kernel families of Section 6 and their DAG generators.
@@ -23,6 +26,13 @@ FACTORIZATIONS: dict[str, Callable[[int], TaskGraph]] = {
     "cholesky": cholesky_graph,
     "qr": qr_graph,
     "lu": lu_graph,
+}
+
+#: The same families through the compiled (struct-of-arrays) pipeline.
+COMPILED_FACTORIZATIONS: dict[str, Callable[[int], CompiledGraph]] = {
+    "cholesky": cholesky_compiled,
+    "qr": qr_compiled,
+    "lu": lu_compiled,
 }
 
 #: The paper's evaluation platform: 20 CPU cores + 4 GPUs.
@@ -42,5 +52,22 @@ def build_graph(kernel: str, n_tiles: int) -> TaskGraph:
     except KeyError:
         raise ValueError(
             f"unknown kernel {kernel!r}; expected one of {sorted(FACTORIZATIONS)}"
+        ) from None
+    return generator(n_tiles)
+
+
+def build_compiled(kernel: str, n_tiles: int) -> CompiledGraph:
+    """Build one kernel family's graph through the compiled pipeline.
+
+    Same tasks, durations and edges (in the same order) as
+    :func:`build_graph`; differential tests pin the two against each
+    other on every figure workload.
+    """
+    try:
+        generator = COMPILED_FACTORIZATIONS[kernel.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown kernel {kernel!r}; expected one of "
+            f"{sorted(COMPILED_FACTORIZATIONS)}"
         ) from None
     return generator(n_tiles)

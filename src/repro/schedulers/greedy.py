@@ -18,50 +18,21 @@ loads whose finish times collide after float rounding).
 
 from __future__ import annotations
 
-import heapq
 from typing import Callable, Iterable
 
 from repro.core.platform import Platform, ResourceKind, Worker
 from repro.core.schedule import Schedule
 from repro.core.task import Instance, Task
+from repro.schedulers.load_heap import LoadHeap
 
 __all__ = ["eft_list_schedule", "earliest_start_schedule", "single_class_schedule"]
 
 
-class _LoadHeap:
-    """Lazy min-heap over one class's ``(load, tie_break, worker)``."""
-
-    __slots__ = ("_heap", "loads", "_tie")
-
-    def __init__(self, workers: list[Worker], tie: Callable[[Worker], object]):
-        self._tie = tie
-        self.loads: dict[Worker, float] = {w: 0.0 for w in workers}
-        self._heap = [(0.0, tie(w), w) for w in workers]
-        heapq.heapify(self._heap)
-
-    def __bool__(self) -> bool:
-        return bool(self.loads)
-
-    def peek(self) -> tuple[float, object, Worker]:
-        """The entry with the least (load, tie_break), skipping stale ones."""
-        heap = self._heap
-        while heap[0][0] != self.loads[heap[0][2]]:
-            heapq.heappop(heap)
-        return heap[0]
-
-    def assign(self, worker: Worker, duration: float) -> float:
-        """Record *duration* more work on *worker*; return its old load."""
-        load = self.loads[worker]
-        self.loads[worker] = load + duration
-        heapq.heappush(self._heap, (load + duration, self._tie(worker), worker))
-        return load
-
-
 def _class_heaps(
     platform: Platform, tie: Callable[[Worker], object]
-) -> dict[ResourceKind, _LoadHeap]:
+) -> dict[ResourceKind, LoadHeap]:
     return {
-        kind: _LoadHeap(list(platform.workers(kind)), tie)
+        kind: LoadHeap(list(platform.workers(kind)), tie)
         for kind in (ResourceKind.CPU, ResourceKind.GPU)
     }
 
@@ -161,7 +132,7 @@ def single_class_schedule(
     if lpt:
         tasks.sort(key=lambda t: -t.time_on(kind))
     schedule = Schedule(platform)
-    heap = _LoadHeap(list(platform.workers(kind)), lambda w: w.index)
+    heap = LoadHeap(list(platform.workers(kind)), lambda w: w.index)
     for task in tasks:
         _, _, worker = heap.peek()
         start = heap.assign(worker, task.time_on(kind))

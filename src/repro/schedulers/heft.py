@@ -11,10 +11,11 @@ ignores acceleration factors entirely.
 
 from __future__ import annotations
 
-from repro.core.platform import Platform, Worker
+from repro.core.platform import Platform, ResourceKind
 from repro.core.schedule import Schedule
 from repro.core.task import Instance, Task
 from repro.dag.priorities import RankScheme, node_weight
+from repro.schedulers.load_heap import LoadHeap
 
 __all__ = ["heft_schedule"]
 
@@ -27,6 +28,12 @@ def heft_schedule(
 ) -> Schedule:
     """Schedule independent tasks with ranked earliest finish time.
 
+    Worker selection is O(log m) per task: processing time depends only
+    on the worker's class, so the class's least-loaded worker (one lazy
+    heap peek per class) is its earliest-finish candidate, and the
+    winner is the better of the two under the deterministic tie-break
+    ``(finish time, CPUs before GPUs, worker index)``.
+
     Parameters
     ----------
     rank:
@@ -35,20 +42,33 @@ def heft_schedule(
         broken by task priority (highest first), then uid.
     """
     schedule = Schedule(platform)
-    loads: dict[Worker, float] = {w: 0.0 for w in platform.workers()}
+    heaps = {
+        kind: LoadHeap(list(platform.workers(kind)), lambda w: w.index)
+        for kind in (ResourceKind.CPU, ResourceKind.GPU)
+        if platform.count(kind)
+    }
 
     def rank_key(task: Task) -> tuple[float, float, int]:
         return (-node_weight(task, platform, rank), -task.priority, task.uid)
 
     for task in sorted(instance, key=rank_key):
+        best_key = None
         best_worker = None
-        best_finish = float("inf")
-        for worker, available in loads.items():
-            finish = available + task.time_on(worker.kind)
-            if finish < best_finish - 1e-15:
-                best_finish = finish
+        best_heap = None
+        for class_rank, (kind, heap) in enumerate(heaps.items()):
+            duration = task.cpu_time if kind is ResourceKind.CPU else task.gpu_time
+            finish, index, worker = heap.best_finish(duration)
+            key = (finish, class_rank, index)
+            if best_key is None or key < best_key:
+                best_key = key
                 best_worker = worker
-        assert best_worker is not None
-        schedule.add(task, best_worker, loads[best_worker])
-        loads[best_worker] = best_finish
+                best_heap = heap
+        assert best_worker is not None and best_heap is not None
+        duration = (
+            task.cpu_time
+            if best_worker.kind is ResourceKind.CPU
+            else task.gpu_time
+        )
+        start = best_heap.assign(best_worker, duration)
+        schedule.add(task, best_worker, start)
     return schedule

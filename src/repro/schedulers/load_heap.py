@@ -1,0 +1,171 @@
+"""Lazy per-class worker heaps shared by the greedy and HEFT schedulers.
+
+Both resource classes of the model are *identical within the class*: a
+task's processing time depends only on the worker's kind.  Worker
+selection therefore never needs a scan over all ``m + n`` workers — the
+best worker of a class is the class minimum, and the cross-class best is
+one comparison of two heap peeks.  Entries are refreshed lazily: pushing
+a worker's new state leaves the old entry in the heap, and stale entries
+(recorded state no longer matching the worker's current state) are
+skipped on peek.  Per-worker state is strictly increasing, so a recorded
+value matches the current one exactly when the entry is the freshest.
+
+:class:`LoadHeap` orders workers by accumulated load (offline list
+schedulers, where start time == load).  :class:`AvailabilityHeap` orders
+by availability *relative to the current simulation time*: every worker
+whose availability has passed can start a task immediately, so among
+those only the tie-break (platform order) matters — they sit in a
+separate heap keyed by index alone, fed from the time-keyed heap as the
+clock advances.  Simulation time is monotone, so the migration is one
+way and amortized O(log m) per query.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+from repro.core.platform import Worker
+
+__all__ = ["LoadHeap", "AvailabilityHeap"]
+
+
+class LoadHeap:
+    """Lazy min-heap over one class's ``(load, tie_break, worker)``."""
+
+    __slots__ = ("_heap", "loads", "_tie")
+
+    def __init__(self, workers: list[Worker], tie: Callable[[Worker], object]):
+        self._tie = tie
+        self.loads: dict[Worker, float] = {w: 0.0 for w in workers}
+        self._heap = [(0.0, tie(w), w) for w in workers]
+        heapq.heapify(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self.loads)
+
+    def peek(self) -> tuple[float, object, Worker]:
+        """The entry with the least (load, tie_break), skipping stale ones."""
+        heap = self._heap
+        while heap[0][0] != self.loads[heap[0][2]]:
+            heapq.heappop(heap)
+        return heap[0]
+
+    def assign(self, worker: Worker, duration: float) -> float:
+        """Record *duration* more work on *worker*; return its old load."""
+        load = self.loads[worker]
+        self.loads[worker] = load + duration
+        heapq.heappush(self._heap, (load + duration, self._tie(worker), worker))
+        return load
+
+    def best_finish(self, duration: float) -> tuple[float, object, Worker]:
+        """Least ``(load + duration, tie_break)`` over the class's workers.
+
+        Not always the same worker as :meth:`peek`: two different loads
+        can round to the *same* finish after adding ``duration``, and
+        then the tie-break decides — exactly as a full scan comparing
+        ``(finish, tie)`` would.  Entries are popped only while their
+        finish ties the running minimum (usually none), then restored,
+        so the cost degrades gracefully from O(log m) toward the old
+        O(m) scan only on load-collision-heavy instances.
+        """
+        heap = self._heap
+        loads = self.loads
+        best: tuple[float, object, Worker] | None = None
+        popped = []
+        while heap:
+            entry = heap[0]
+            if entry[0] != loads[entry[2]]:
+                heapq.heappop(heap)
+                continue
+            finish = entry[0] + duration
+            if best is not None and finish > best[0]:
+                break
+            if best is None or (finish, entry[1]) < (best[0], best[1]):
+                best = (finish, entry[1], entry[2])
+            popped.append(heapq.heappop(heap))
+        for entry in popped:
+            heapq.heappush(heap, entry)
+        assert best is not None
+        return best
+
+
+class AvailabilityHeap:
+    """One class's workers ordered by earliest availability at a given time.
+
+    :meth:`best_finish` answers "which worker of this class finishes a
+    task soonest at time ``t``, platform order on ties" in O(log m)
+    amortized.  Callers must query with non-decreasing times (simulation
+    time is monotone) and raise availabilities through :meth:`commit`.
+    """
+
+    __slots__ = ("avail", "_future", "_idle")
+
+    def __init__(
+        self,
+        workers: list[Worker],
+        avail: dict[Worker, float] | None = None,
+    ):
+        #: Current availability estimate of every worker of the class.
+        #: May be a dict shared with the caller (and with the other
+        #: class's heap) — this heap only ever reads its own workers'
+        #: entries, and :meth:`commit` is the one writer it relies on.
+        self.avail = avail if avail is not None else {}
+        for w in workers:
+            self.avail[w] = 0.0
+        # Entries whose recorded availability may still lie ahead of the
+        # clock: (avail, index, worker).
+        self._future: list[tuple[float, int, Worker]] = []
+        # Workers whose availability has passed: (index, worker, recorded
+        # avail) — keyed by index alone, because among already-available
+        # workers every finish time ties and platform order decides.
+        self._idle: list[tuple[int, Worker, float]] = [
+            (w.index, w, 0.0) for w in workers
+        ]
+        heapq.heapify(self._idle)
+
+    def __bool__(self) -> bool:
+        return bool(self.avail)
+
+    def best_finish(self, time: float, duration: float) -> tuple[float, int, Worker]:
+        """Least ``(max(avail, time) + duration, index)`` at *time*.
+
+        The idle heap answers the common case (some worker already
+        available: all such finishes tie, lowest index wins) in one
+        peek.  A busy worker can still *tie* that finish when its
+        availability exceeds the clock by less than a rounding ulp, so
+        future entries are scanned while their finish equals the running
+        minimum (usually zero or one entry) and then restored.
+        """
+        avail, future, idle = self.avail, self._future, self._idle
+        while future and future[0][0] <= time:
+            a, i, w = heapq.heappop(future)
+            if avail[w] == a:  # fresh: the worker really is available now
+                heapq.heappush(idle, (i, w, a))
+        while idle and avail[idle[0][1]] != idle[0][2]:
+            heapq.heappop(idle)
+        best: tuple[float, int, Worker] | None = None
+        if idle:
+            best = (time + duration, idle[0][0], idle[0][1])
+        popped = []
+        while future:
+            a, i, w = future[0]
+            if avail[w] != a:
+                heapq.heappop(future)
+                continue
+            finish = a + duration
+            if best is not None and finish > best[0]:
+                break
+            if best is None or (finish, i) < (best[0], best[1]):
+                best = (finish, i, w)
+            popped.append(heapq.heappop(future))
+        for entry in popped:
+            heapq.heappush(future, entry)
+        assert best is not None
+        return best
+
+    def commit(self, worker: Worker, new_avail: float) -> None:
+        """Raise *worker*'s availability; its old entries expire lazily."""
+        if new_avail != self.avail[worker]:
+            self.avail[worker] = new_avail
+            heapq.heappush(self._future, (new_avail, worker.index, worker))

@@ -6,6 +6,16 @@ the work already committed to each worker — the classic HEFT rule
 applied at runtime to the ready set, as in the paper's Section 6.2.
 Each worker then consumes its own FIFO commitment queue; HEFT performs
 no spoliation.
+
+Commitment is O(log m) per task instead of a scan over all ``m + n``
+workers: processing time depends only on the worker's *kind*, so the
+earliest finish within a class is decided by earliest availability
+alone, maintained in a per-class :class:`~repro.schedulers.load_heap.AvailabilityHeap`.
+The winner is the better of (at most) two class candidates under the
+deterministic tie-break ``(finish time, CPUs before GPUs, worker
+index)`` — platform order, replacing the historical first-strict-
+improvement epsilon scan, which was order-dependent and impossible to
+reproduce from a heap.
 """
 
 from __future__ import annotations
@@ -13,8 +23,9 @@ from __future__ import annotations
 from collections import deque
 from typing import Mapping, Sequence
 
-from repro.core.platform import Platform, Worker
+from repro.core.platform import Platform, ResourceKind, Worker
 from repro.core.task import Task
+from repro.schedulers.load_heap import AvailabilityHeap
 from repro.schedulers.online.base import Action, OnlinePolicy, RunningView, StartTask
 
 __all__ = ["HeftPolicy"]
@@ -28,23 +39,39 @@ class HeftPolicy(OnlinePolicy):
     def __init__(self) -> None:
         self._queues: dict[Worker, deque[Task]] = {}
         self._avail: dict[Worker, float] = {}
+        self._heaps: dict[ResourceKind, AvailabilityHeap] = {}
 
     def prepare(self, platform: Platform) -> None:
         self._queues = {w: deque() for w in platform.workers()}
-        self._avail = {w: 0.0 for w in platform.workers()}
+        # One availability dict, shared by both class heaps (and read by
+        # the comm-aware subclass, which keeps the full scan because its
+        # transfer estimates differ per worker within a class).
+        self._avail = {}
+        self._heaps = {
+            kind: AvailabilityHeap(list(platform.workers(kind)), self._avail)
+            for kind in (ResourceKind.CPU, ResourceKind.GPU)
+            if platform.count(kind)
+        }
 
     def tasks_ready(self, tasks: Sequence[Task], time: float) -> None:
+        heaps = self._heaps
         for task in tasks:  # already sorted by decreasing priority
+            best_key = None
             best_worker = None
-            best_finish = float("inf")
-            for worker, avail in self._avail.items():
-                finish = max(avail, time) + task.time_on(worker.kind)
-                if finish < best_finish - 1e-15:
-                    best_finish = finish
+            best_heap = None
+            for rank, (kind, heap) in enumerate(heaps.items()):
+                duration = (
+                    task.cpu_time if kind is ResourceKind.CPU else task.gpu_time
+                )
+                finish, index, worker = heap.best_finish(time, duration)
+                key = (finish, rank, index)
+                if best_key is None or key < best_key:
+                    best_key = key
                     best_worker = worker
-            assert best_worker is not None
+                    best_heap = heap
+            assert best_worker is not None and best_heap is not None
             self._queues[best_worker].append(task)
-            self._avail[best_worker] = best_finish
+            best_heap.commit(best_worker, best_key[0])
 
     def pick(
         self,
@@ -60,4 +87,13 @@ class HeftPolicy(OnlinePolicy):
     def task_started(self, task: Task, worker: Worker, time: float) -> None:
         # Keep the availability estimate honest: the commitment estimate
         # assumed back-to-back execution; re-anchor on the actual start.
-        self._avail[worker] = max(self._avail[worker], time + task.time_on(worker.kind))
+        duration = (
+            task.cpu_time if worker.kind is ResourceKind.CPU else task.gpu_time
+        )
+        anchored = time + duration
+        if anchored > self._avail[worker]:
+            heap = self._heaps.get(worker.kind)
+            if heap is not None:
+                heap.commit(worker, anchored)
+            else:  # pragma: no cover - subclass with scan-only state
+                self._avail[worker] = anchored

@@ -132,3 +132,96 @@ class TestLowerBoundProperty:
         res = area_bound(inst, Platform(1, 1))
         assert res.class_load(ResourceKind.CPU) == res.cpu_load
         assert res.class_load(ResourceKind.GPU) == res.gpu_load
+
+
+class TestEdgeCases:
+    """Degenerate shapes of the closed form, each pinned against the LP.
+
+    The ``k == 0`` early-exit of the threshold scan (``g(0) = 0 >= c(0)``,
+    i.e. no CPU work at all) is unreachable through the public API —
+    task times are validated strictly positive, so ``c(0) > 0`` whenever
+    the instance is non-empty and both classes exist.  Its code path
+    (``split_index is None``: no fractionally split task) is shared with
+    the exact-crossing case ``g(k) == c(k)``, which *is* constructible
+    and pinned here.
+    """
+
+    def test_single_task_balances_both_classes(self):
+        # A lone divisible task must fill both classes (Lemma 1), even
+        # when wildly GPU-preferred: x p m-normalized == (1-x) q
+        # n-normalized.
+        inst = Instance.from_times([100.0], [1.0])
+        platform = Platform(2, 2)
+        res = area_bound(inst, platform)
+        assert res.value == pytest.approx(area_bound_lp(inst, platform), abs=1e-9)
+        assert res.cpu_load == pytest.approx(platform.num_cpus * res.value)
+        assert res.gpu_load == pytest.approx(platform.num_gpus * res.value)
+        assert 0.0 < res.cpu_fractions[0] < 1.0
+
+    def test_no_cpus_forces_gpu_class(self):
+        inst = Instance.from_times([2.0, 3.0], [1.0, 5.0])
+        res = area_bound(inst, Platform(num_cpus=0, num_gpus=3))
+        assert res.value == pytest.approx(2.0)  # (1 + 5) / 3
+        assert res.threshold == float("inf")
+        assert np.all(res.cpu_fractions == 0.0)
+        assert res.cpu_load == 0.0
+        assert res.gpu_load == pytest.approx(6.0)
+        assert res.value == pytest.approx(
+            area_bound_lp(inst, Platform(0, 3)), abs=1e-9
+        )
+
+    def test_no_gpus_forces_cpu_class(self):
+        inst = Instance.from_times([2.0, 3.0], [1.0, 5.0])
+        res = area_bound(inst, Platform(num_cpus=5, num_gpus=0))
+        assert res.value == pytest.approx(1.0)  # (2 + 3) / 5
+        assert res.threshold == 0.0
+        assert np.all(res.cpu_fractions == 1.0)
+        assert res.cpu_load == pytest.approx(5.0)
+        assert res.gpu_load == 0.0
+        assert res.value == pytest.approx(
+            area_bound_lp(inst, Platform(5, 0)), abs=1e-9
+        )
+
+    def test_empty_instance_has_infinite_threshold(self):
+        res = area_bound(Instance([]), Platform(2, 3))
+        assert res.value == 0.0
+        assert res.threshold == float("inf")
+        assert res.cpu_load == 0.0 and res.gpu_load == 0.0
+        assert res.cpu_fractions.shape == (0,)
+
+    def test_exact_crossing_splits_no_task(self):
+        # p = q = [1, 1] on (1 CPU, 1 GPU): g = [0, 1, 2], c = [2, 1, 0],
+        # so the scan stops at k = 1 with g(1) == c(1) == 1 exactly —
+        # the whole-task assignment is already balanced and no task is
+        # split fractionally.
+        inst = Instance.from_times([1.0, 1.0], [1.0, 1.0])
+        res = area_bound(inst, Platform(1, 1))
+        assert res.value == 1.0
+        assert sorted(res.cpu_fractions.tolist()) == [0.0, 1.0]  # no split
+        assert res.cpu_load == 1.0 and res.gpu_load == 1.0
+        assert res.threshold == 1.0
+        assert res.value == pytest.approx(area_bound_lp(inst, Platform(1, 1)), abs=1e-9)
+
+    def test_exact_crossing_larger_instance(self):
+        # Four unit tasks, 2 + 2 machines: crossing lands exactly on a
+        # whole-task boundary again (g(2) == c(2) == 1).
+        inst = Instance.from_times([1.0] * 4, [1.0] * 4)
+        res = area_bound(inst, Platform(2, 2))
+        assert res.value == 1.0
+        assert sorted(res.cpu_fractions.tolist()) == [0.0, 0.0, 1.0, 1.0]
+        assert res.value == pytest.approx(area_bound_lp(inst, Platform(2, 2)), abs=1e-9)
+
+    @pytest.mark.parametrize("seed", range(50))
+    def test_closed_form_equals_lp_to_1e9(self, seed):
+        # Satellite property sweep: 50 seeded instances across varied
+        # platform shapes; the closed form must agree with the
+        # independent HiGHS LP to 1e-9.
+        rng = np.random.default_rng(20260805 + seed)
+        n_tasks = int(rng.integers(1, 25))
+        inst = Instance.uniform_random(n_tasks, rng)
+        platform = Platform(
+            num_cpus=int(rng.integers(1, 8)), num_gpus=int(rng.integers(1, 5))
+        )
+        closed = area_bound(inst, platform).value
+        lp = area_bound_lp(inst, platform)
+        assert closed == pytest.approx(lp, rel=1e-9, abs=1e-9)

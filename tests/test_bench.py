@@ -113,3 +113,97 @@ def test_cli_profile_smoke(capsys):
                      "--profile-top", "5"]) == 0
     captured = capsys.readouterr()
     assert "cumulative" in captured.err or "cumtime" in captured.err
+
+
+PHASE_KEYS = (
+    "build_s",
+    "priorities_s",
+    "end_to_end_s",
+    "dict_build_s",
+    "dict_priorities_s",
+    "end_to_end_speedup",
+)
+
+
+def test_dag_cases_carry_phase_breakdown(quick_report):
+    dag_payloads = {
+        case_id: payload
+        for case_id, payload in quick_report["cases"].items()
+        if case_id.startswith("fig7:")
+    }
+    assert dag_payloads  # the quick subset includes DAG cases
+    for payload in dag_payloads.values():
+        for key in PHASE_KEYS:
+            assert key in payload, key
+            assert payload[key] > 0
+        assert payload["end_to_end_s"] == pytest.approx(
+            payload["build_s"] + payload["priorities_s"] + payload["wall_s"]
+        )
+        assert payload["end_to_end_speedup"] == pytest.approx(
+            (payload["dict_build_s"] + payload["dict_priorities_s"] + payload["wall_s"])
+            / payload["end_to_end_s"]
+        )
+
+
+def test_independent_cases_have_no_phase_breakdown(quick_report):
+    for case_id, payload in quick_report["cases"].items():
+        if case_id.startswith("fig6:"):
+            for key in PHASE_KEYS:
+                assert key not in payload
+
+
+def test_full_suite_attaches_end_to_end_vs_pre_pr():
+    # One fig7 case with a recorded pre-PR wall, run through run_bench so
+    # the derived vs-pre-PR ratio is attached with its documented formula.
+    case = next(
+        c for c in bench.BENCH_CASES if c.case_id == "fig7:cholesky:n20:heteroprio"
+    )
+    report = bench.run_bench(cases=[case])
+    payload = report["cases"][case.case_id]
+    assert payload["pre_pr_wall_s"] == bench.PRE_PR_WALL_S[case.case_id]
+    assert payload["end_to_end_vs_pre_pr"] == pytest.approx(
+        (
+            payload["dict_build_s"]
+            + payload["dict_priorities_s"]
+            + payload["pre_pr_wall_s"]
+        )
+        / payload["end_to_end_s"]
+    )
+
+
+def test_render_shows_phase_columns(quick_report):
+    text = bench.render(quick_report)
+    assert "build" in text and "e2e" in text
+
+
+def test_committed_report_has_phase_breakdown():
+    # The committed BENCH_simcore.json must carry the phase columns for
+    # every fig7 case (the CI smoke job asserts the same invariant).
+    from pathlib import Path
+
+    committed = json.loads(
+        (Path(__file__).resolve().parent.parent / "BENCH_simcore.json").read_text()
+    )
+    fig7 = {k: v for k, v in committed["cases"].items() if k.startswith("fig7:")}
+    assert fig7
+    for payload in fig7.values():
+        for key in PHASE_KEYS:
+            assert key in payload
+
+
+def test_cli_baseline_skips_cases_without_pre_pr_wall(tmp_path, capsys):
+    # Satellite: a baseline whose cases lack ``pre_pr_wall_s`` (the quick
+    # smoke cases never had one) must be skipped with a note — no KeyError.
+    baseline = tmp_path / "baseline.json"
+    assert cli_main(["bench", "--quick", "--json", str(baseline)]) == 0
+    report = json.loads(baseline.read_text())
+    for payload in report["cases"].values():
+        payload.pop("pre_pr_wall_s", None)
+    baseline.write_text(json.dumps(report))
+    capsys.readouterr()
+    assert (
+        cli_main(["bench", "--quick", "--json", "-", "--baseline", str(baseline)]) == 0
+    )
+    out = capsys.readouterr().out
+    assert "no pre_pr_wall_s in baseline" in out
+    assert "skipped" in out

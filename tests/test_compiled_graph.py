@@ -1,0 +1,354 @@
+"""Differential tests: the compiled graph pipeline vs the dict-based path.
+
+The compiled pipeline (:mod:`repro.dag.compiled`) must be a pure
+performance change: same tasks, same durations (including noisy timing
+models' RNG streams), the same edge set *in the same discovery order*
+(the LP lower bound builds its rows from ``graph.edges()``), bit-identical
+priorities, and event-for-event identical schedules on every figure
+workload.  That identity is what keeps the campaign result cache valid
+without a ``CODE_VERSION`` bump.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bounds.dag_lp import dag_lower_bound
+from repro.core.platform import Platform
+from repro.dag.cholesky import cholesky_compiled, cholesky_graph, cholesky_program
+from repro.dag.compiled import CompiledGraph, ProgramBuilder, compile_program, infer_edges
+from repro.dag.dataflow import AccessMode, DataflowTracker
+from repro.dag.graph import CycleError, TaskGraph
+from repro.dag.lu import lu_compiled, lu_graph
+from repro.dag.priorities import assign_priorities, bottom_levels, node_weight
+from repro.dag.qr import qr_compiled, qr_graph
+from repro.experiments.workloads import PAPER_PLATFORM, build_compiled, build_graph
+from repro.schedulers.online import PAPER_ALGORITHMS, make_policy
+from repro.simulator.runtime import simulate
+from repro.timing.model import TimingModel
+
+PAIRS = {
+    "cholesky": (cholesky_graph, cholesky_compiled),
+    "qr": (qr_graph, qr_compiled),
+    "lu": (lu_graph, lu_compiled),
+}
+
+
+def edge_list(graph):
+    """Edges as (name, name) pairs, preserving discovery order."""
+    if isinstance(graph, CompiledGraph):
+        graph = graph.as_task_graph()
+    return [(p.name, s.name) for p, s in graph.edges()]
+
+
+# ---------------------------------------------------------------------------
+# Structure: edges, order, durations
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("kernel", sorted(PAIRS))
+@pytest.mark.parametrize("n_tiles", [1, 2, 3, 5, 8, 12])
+def test_edge_sequence_identical(kernel, n_tiles):
+    dict_builder, compiled_builder = PAIRS[kernel]
+    assert edge_list(dict_builder(n_tiles)) == edge_list(compiled_builder(n_tiles))
+
+
+@pytest.mark.parametrize("kernel", sorted(PAIRS))
+def test_tasks_and_durations_identical(kernel):
+    dict_graph = PAIRS[kernel][0](6)
+    compiled = PAIRS[kernel][1](6)
+    dict_tasks = list(dict_graph)
+    assert [t.name for t in dict_tasks] == list(compiled.labels)
+    assert [t.kind for t in dict_tasks] == list(compiled.kinds)
+    assert [t.cpu_time for t in dict_tasks] == compiled.cpu_times.tolist()
+    assert [t.gpu_time for t in dict_tasks] == compiled.gpu_times.tolist()
+
+
+def test_noisy_timing_consumes_rng_identically():
+    # The compiled path samples per kernel in submission order, so a
+    # noisy model's random stream is consumed exactly like the dict path.
+    timing_a = TimingModel.for_factorization(
+        "cholesky", noise=0.2, rng=np.random.default_rng(7)
+    )
+    timing_b = TimingModel.for_factorization(
+        "cholesky", noise=0.2, rng=np.random.default_rng(7)
+    )
+    dict_graph = cholesky_graph(5, timing_a)
+    compiled = cholesky_compiled(5, timing_b)
+    assert [t.cpu_time for t in dict_graph] == compiled.cpu_times.tolist()
+    assert [t.gpu_time for t in dict_graph] == compiled.gpu_times.tolist()
+
+
+def test_degrees_sources_and_histogram_match():
+    dict_graph = qr_graph(4)
+    compiled = qr_compiled(4)
+    by_name = {t.name: t for t in compiled}
+    for task in dict_graph:
+        twin = by_name[task.name]
+        assert compiled.in_degree(twin) == dict_graph.in_degree(task)
+        assert compiled.out_degree(twin) == dict_graph.out_degree(task)
+    assert [t.name for t in compiled.sources()] == [
+        t.name for t in dict_graph.sources()
+    ]
+    assert compiled.kind_histogram() == dict_graph.kind_histogram()
+
+
+def test_successor_map_order_matches():
+    dict_graph = lu_graph(5)
+    compiled = lu_compiled(5)
+    dict_map = {
+        t.name: [s.name for s in succs]
+        for t, succs in dict_graph.successor_map().items()
+    }
+    compiled_map = {
+        t.name: [s.name for s in succs]
+        for t, succs in compiled.successor_map().items()
+    }
+    assert dict_map == compiled_map
+
+
+# ---------------------------------------------------------------------------
+# Hazard inference unit behavior
+# ---------------------------------------------------------------------------
+
+
+def _tracker_edges(submissions):
+    from repro.core.task import Task
+
+    tracker = DataflowTracker(name="unit")
+    tasks = []
+    for accesses in submissions:
+        task = Task(cpu_time=1.0, gpu_time=1.0, name=f"t{len(tasks)}")
+        tasks.append(task)
+        tracker.submit(task, accesses)
+    index = {t: i for i, t in enumerate(tasks)}
+    return [(index[p], index[s]) for p, s in tracker.graph.edges()]
+
+
+def _compiled_edges(submissions):
+    builder = ProgramBuilder("unit")
+    for i, accesses in enumerate(submissions):
+        builder.submit("K", f"t{i}", accesses)
+    program = builder.finish()
+    succ_indptr, succ_indices, _, _ = infer_edges(
+        len(program),
+        program.acc_task,
+        program.acc_handle,
+        program.acc_reads,
+        program.acc_writes,
+    )
+    return [
+        (i, int(j))
+        for i in range(len(program))
+        for j in succ_indices[succ_indptr[i] : succ_indptr[i + 1]]
+    ]
+
+
+@pytest.mark.parametrize(
+    "submissions",
+    [
+        # RAW chain
+        [[("a", AccessMode.WRITE)], [("a", AccessMode.READ)], [("a", AccessMode.READ)]],
+        # WAR: readers feed the next writer
+        [
+            [("a", AccessMode.WRITE)],
+            [("a", AccessMode.READ)],
+            [("a", AccessMode.READ)],
+            [("a", AccessMode.WRITE)],
+        ],
+        # WAW between write-only tasks
+        [[("a", AccessMode.WRITE)], [("a", AccessMode.WRITE)]],
+        # READ_WRITE acts as both reader and writer
+        [
+            [("a", AccessMode.READ_WRITE)],
+            [("a", AccessMode.READ)],
+            [("a", AccessMode.READ_WRITE)],
+        ],
+        # Multiple handles interleaved
+        [
+            [("a", AccessMode.WRITE), ("b", AccessMode.WRITE)],
+            [("a", AccessMode.READ), ("c", AccessMode.WRITE)],
+            [("b", AccessMode.READ), ("c", AccessMode.READ_WRITE)],
+            [("a", AccessMode.WRITE)],
+        ],
+        # No hazards at all
+        [[("a", AccessMode.READ)], [("b", AccessMode.READ)]],
+    ],
+)
+def test_infer_edges_matches_tracker(submissions):
+    assert _compiled_edges(submissions) == _tracker_edges(submissions)
+
+
+def test_infer_edges_empty_program():
+    builder = ProgramBuilder("empty")
+    builder.submit("K", "t0", [])
+    program = builder.finish()
+    succ_indptr, succ_indices, pred_indptr, pred_indices = infer_edges(
+        1, program.acc_task, program.acc_handle, program.acc_reads, program.acc_writes
+    )
+    assert succ_indices.size == 0 and pred_indices.size == 0
+    assert succ_indptr.tolist() == [0, 0]
+
+
+def test_compile_rejects_self_dependency():
+    # A task that reads a handle written by itself earlier in its own
+    # access list is a self-hazard; the tracker would cycle.
+    builder = ProgramBuilder("bad")
+    builder.submit("K", "w", [("a", AccessMode.WRITE)])
+    builder.submit("K", "rw", [("a", AccessMode.READ), ("a", AccessMode.WRITE)])
+    builder.submit("K", "r", [("a", AccessMode.READ), ("a", AccessMode.WRITE)])
+    program = builder.finish()
+    # rw -> rw (reader feeding its own write) must not appear; the
+    # tracker skips self pairs, so compiled inference must too.
+    succ_indptr, succ_indices, _, _ = infer_edges(
+        3, program.acc_task, program.acc_handle, program.acc_reads, program.acc_writes
+    )
+    edges = [
+        (i, int(j))
+        for i in range(3)
+        for j in succ_indices[succ_indptr[i] : succ_indptr[i + 1]]
+    ]
+    assert (1, 1) not in edges and (2, 2) not in edges
+
+
+# ---------------------------------------------------------------------------
+# Level plan + priorities
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("kernel", sorted(PAIRS))
+@pytest.mark.parametrize("scheme", ["avg", "min", "fifo"])
+@pytest.mark.parametrize("platform", [PAPER_PLATFORM, Platform(2, 1)])
+def test_vectorized_priorities_bit_identical(kernel, scheme, platform):
+    dict_graph = PAIRS[kernel][0](8)
+    compiled = PAIRS[kernel][1](8)
+    assign_priorities(dict_graph, platform, scheme)
+    assign_priorities(compiled, platform, scheme)
+    dict_prio = [t.priority for t in dict_graph]
+    compiled_prio = [t.priority for t in compiled]
+    assert dict_prio == compiled_prio  # exact float equality, not approx
+
+
+def test_level_plan_sweep_equals_dict_bottom_levels():
+    compiled = cholesky_compiled(7)
+    view = compiled.as_task_graph()
+    weights = {t: node_weight(t, PAPER_PLATFORM, "avg") for t in view}
+    dict_levels = bottom_levels(view, weights.__getitem__)
+    assign_priorities(compiled, PAPER_PLATFORM, "avg")
+    for task in compiled:
+        assert task.priority == dict_levels[task]
+
+
+def test_level_plan_detects_cycles():
+    compiled = cholesky_compiled(3)
+    bad = CompiledGraph(
+        "cycle",
+        ["K", "K"],
+        ["a", "b"],
+        np.ones(2),
+        np.ones(2),
+        np.array([0, 1, 2]),
+        np.array([1, 0]),  # a -> b and b -> a
+        np.array([0, 1, 2]),
+        np.array([1, 0]),
+    )
+    compiled.level_plan()  # sanity: the real graph has one
+    with pytest.raises(CycleError):
+        bad.level_plan()
+
+
+# ---------------------------------------------------------------------------
+# Simulation: event-for-event identity on every figure workload
+# ---------------------------------------------------------------------------
+
+
+def schedule_events(schedule):
+    return sorted(
+        (p.task.name, p.worker.kind.name, p.worker.index, p.start, p.end, p.aborted)
+        for p in schedule.placements
+    )
+
+
+FIGURE_WORKLOADS = [("cholesky", 8), ("cholesky", 12), ("qr", 8), ("lu", 8)]
+
+
+@pytest.mark.parametrize("kernel,n_tiles", FIGURE_WORKLOADS)
+@pytest.mark.parametrize("algorithm", PAPER_ALGORITHMS)
+def test_simulation_identical_on_figure_workloads(kernel, n_tiles, algorithm):
+    scheme = algorithm.split("-", 1)[1]
+    dict_graph = build_graph(kernel, n_tiles)
+    compiled = build_compiled(kernel, n_tiles)
+    assign_priorities(dict_graph, PAPER_PLATFORM, scheme)
+    assign_priorities(compiled, PAPER_PLATFORM, scheme)
+    ref = simulate(dict_graph, PAPER_PLATFORM, make_policy(algorithm))
+    new = simulate(compiled, PAPER_PLATFORM, make_policy(algorithm))
+    assert schedule_events(new) == schedule_events(ref)
+
+
+@pytest.mark.parametrize("kernel,n_tiles", [("cholesky", 10), ("qr", 6)])
+def test_dag_lower_bound_identical(kernel, n_tiles):
+    # The LP iterates edges(); identical rows -> identical bound floats.
+    dict_graph = build_graph(kernel, n_tiles)
+    compiled = build_compiled(kernel, n_tiles)
+    assert dag_lower_bound(compiled.as_task_graph(), PAPER_PLATFORM) == dag_lower_bound(
+        dict_graph, PAPER_PLATFORM
+    )
+
+
+# ---------------------------------------------------------------------------
+# Conversions and serialization
+# ---------------------------------------------------------------------------
+
+
+def test_to_instance_matches_dict_path():
+    compiled = cholesky_compiled(5)
+    dict_inst = cholesky_graph(5).to_instance()
+    inst = compiled.to_instance()
+    assert [t.name for t in inst] == [t.name for t in dict_inst]
+    assert inst.cpu_times().tolist() == dict_inst.cpu_times().tolist()
+
+
+def test_from_task_graph_round_trip():
+    dict_graph = lu_graph(4)
+    compiled = CompiledGraph.from_task_graph(dict_graph)
+    # Shares the Task objects and lists edges identically.
+    assert list(compiled) == list(dict_graph)
+    assert edge_list(compiled) == edge_list(dict_graph)
+
+
+def test_to_arrays_from_arrays_round_trip():
+    compiled = qr_compiled(4)
+    rebuilt = CompiledGraph.from_arrays(compiled.name, compiled.to_arrays())
+    assert rebuilt.name == compiled.name
+    assert rebuilt.kinds == compiled.kinds
+    assert rebuilt.labels == compiled.labels
+    assert np.array_equal(rebuilt.cpu_times, compiled.cpu_times)
+    assert np.array_equal(rebuilt.gpu_times, compiled.gpu_times)
+    assert np.array_equal(rebuilt.succ_indices, compiled.succ_indices)
+    assert np.array_equal(rebuilt.pred_indices, compiled.pred_indices)
+    assert edge_list(rebuilt) == edge_list(compiled)
+
+
+def test_program_reuse_materializes_fresh_tasks():
+    # One program compiled twice yields graphs with independent Task
+    # objects (uids differ) but identical structure.
+    program = cholesky_program(4)
+    timing = TimingModel.for_factorization("cholesky")
+    a = compile_program(program, timing)
+    b = compile_program(program, timing)
+    assert [t.name for t in a] == [t.name for t in b]
+    assert {t.uid for t in a}.isdisjoint({t.uid for t in b})
+
+
+def test_as_task_graph_supports_topological_and_longest_path():
+    compiled = cholesky_compiled(5)
+    dict_graph = cholesky_graph(5)
+    view = compiled.as_task_graph()
+    assert isinstance(view, TaskGraph)
+    assert [t.name for t in view.topological_order()] == [
+        t.name for t in dict_graph.topological_order()
+    ]
+    assert view.longest_path(lambda t: t.min_time()) == dict_graph.longest_path(
+        lambda t: t.min_time()
+    )

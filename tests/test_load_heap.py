@@ -1,0 +1,302 @@
+"""Tests for the lazy worker heaps and the deterministic HEFT tie-break.
+
+The heaps must be *drop-in* replacements for full worker scans: every
+randomized comparison here asserts exact equality against a brute-force
+reference, including on tie-heavy integer workloads where the lazy
+restore path is exercised.  The deterministic tie-break — ``(finish
+time, CPUs before GPUs, worker index)``, platform order replacing the
+historical first-strict-improvement epsilon scan — is pinned both at
+the heap level (sub-epsilon load differences now decide) and at the
+scheduler level (offline ``heft_schedule`` and online ``HeftPolicy``
+against full-scan references on the figure workloads).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+
+import pytest
+
+from repro.core.platform import Platform, ResourceKind
+from repro.core.schedule import Schedule
+from repro.core.task import Instance
+from repro.dag.priorities import assign_priorities, node_weight
+from repro.experiments.workloads import PAPER_PLATFORM, build_graph
+from repro.schedulers.heft import heft_schedule
+from repro.schedulers.load_heap import AvailabilityHeap, LoadHeap
+from repro.schedulers.online.base import OnlinePolicy, StartTask
+from repro.schedulers.online.heft import HeftPolicy
+from repro.simulator.runtime import simulate
+
+
+def kind_duration(task, kind):
+    return task.cpu_time if kind is ResourceKind.CPU else task.gpu_time
+
+
+# ---------------------------------------------------------------------------
+# LoadHeap vs brute force
+# ---------------------------------------------------------------------------
+
+
+class TestLoadHeap:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_scan_on_random_sequences(self, seed):
+        rng = random.Random(seed)
+        workers = list(Platform(num_cpus=5, num_gpus=0).workers())
+        heap = LoadHeap(workers, lambda w: w.index)
+        loads = {w: 0.0 for w in workers}
+        # Integer-heavy durations force frequent exact finish collisions,
+        # driving the pop-while-tied restore path.
+        durations = [1.0, 2.0, 3.0, 0.5, 1.0]
+        for _ in range(300):
+            d = rng.choice(durations)
+            expect = min((loads[w] + d, w.index, w) for w in workers)
+            got = heap.best_finish(d)
+            assert got == expect
+            assert heap.peek()[0] == min(loads.values())
+            # Assign to the winner (the HEFT pattern) or, sometimes, to
+            # an arbitrary worker (stale-entry churn).
+            target = got[2] if rng.random() < 0.7 else rng.choice(workers)
+            old = heap.assign(target, d)
+            assert old == loads[target]
+            loads[target] += d
+
+    def test_sub_epsilon_load_difference_decides(self):
+        # The historical scan required a strict > 1e-15 improvement to
+        # leave the first worker; the deterministic rule takes the true
+        # minimum even when loads differ by less than one epsilon.
+        workers = list(Platform(num_cpus=2, num_gpus=0).workers())
+        heap = LoadHeap(workers, lambda w: w.index)
+        heap.assign(workers[0], 1.0)
+        heap.assign(workers[1], 0.9999999999999999)  # 1.0 - 1 ulp
+        finish, index, worker = heap.best_finish(1e-9)
+        assert worker is workers[1]  # smaller load wins despite higher index
+
+    def test_exact_tie_breaks_by_platform_order(self):
+        workers = list(Platform(num_cpus=3, num_gpus=0).workers())
+        heap = LoadHeap(workers, lambda w: w.index)
+        heap.assign(workers[0], 2.0)
+        heap.assign(workers[1], 1.0)
+        heap.assign(workers[2], 1.0)
+        # workers 1 and 2 tie exactly: index decides.
+        assert heap.best_finish(1.0)[2] is workers[1]
+
+    def test_rounding_collision_between_different_loads(self):
+        # Two different loads can round to the same finish after adding
+        # the duration; the tie-break must then decide, as a scan would.
+        workers = list(Platform(num_cpus=2, num_gpus=0).workers())
+        heap = LoadHeap(workers, lambda w: w.index)
+        heap.assign(workers[1], 1e-17)  # large duration absorbs this
+        finish0, index, worker = heap.best_finish(1.0)
+        expect = min(((heap.loads[w] + 1.0), w.index, w) for w in workers)
+        assert (finish0, index, worker) == expect
+
+
+# ---------------------------------------------------------------------------
+# AvailabilityHeap vs brute force
+# ---------------------------------------------------------------------------
+
+
+class TestAvailabilityHeap:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_scan_on_random_sequences(self, seed):
+        rng = random.Random(1000 + seed)
+        workers = list(Platform(num_cpus=4, num_gpus=0).workers())
+        heap = AvailabilityHeap(workers)
+        time = 0.0
+        for _ in range(300):
+            time += rng.choice([0.0, 0.0, 1.0, 0.5, 2.0])  # monotone clock
+            d = rng.choice([1.0, 2.0, 3.0])
+            expect = min((max(heap.avail[w], time) + d, w.index, w) for w in workers)
+            got = heap.best_finish(time, d)
+            assert got == expect
+            # Commit the winner (the HEFT pattern) or raise an arbitrary
+            # worker's availability (stale-entry churn).
+            if rng.random() < 0.7:
+                heap.commit(got[2], got[0])
+            else:
+                w = rng.choice(workers)
+                heap.commit(w, heap.avail[w] + rng.choice([0.0, 1.0, 2.5]))
+
+    def test_idle_workers_tie_by_index(self):
+        workers = list(Platform(num_cpus=3, num_gpus=0).workers())
+        heap = AvailabilityHeap(workers)
+        heap.commit(workers[0], 5.0)
+        # At t=1, workers 1 and 2 are both idle: lowest index wins.
+        assert heap.best_finish(1.0, 1.0) == (2.0, 1, workers[1])
+        # At t=10 worker 0 has become available again.
+        assert heap.best_finish(10.0, 1.0) == (11.0, 0, workers[0])
+
+    def test_busy_worker_can_tie_idle_worker(self):
+        # A busy worker whose availability exceeds the clock can still
+        # tie an idle worker's finish exactly; index must decide.
+        workers = list(Platform(num_cpus=2, num_gpus=0).workers())
+        heap = AvailabilityHeap(workers)
+        heap.commit(workers[0], 2.0)
+        # t=1, d=1: idle worker 1 finishes at 2.0... and busy worker 0
+        # at avail + d = 3.0 — no tie.  t=2, d=1: worker 0 is available
+        # exactly at the clock, so both finish at 3.0 and index 0 wins.
+        assert heap.best_finish(1.0, 1.0)[2] is workers[1]
+        assert heap.best_finish(2.0, 1.0)[2] is workers[0]
+
+    def test_shared_avail_dict(self):
+        platform = Platform(num_cpus=2, num_gpus=2)
+        avail: dict = {}
+        cpu = AvailabilityHeap(list(platform.workers(ResourceKind.CPU)), avail)
+        gpu = AvailabilityHeap(list(platform.workers(ResourceKind.GPU)), avail)
+        assert len(avail) == 4
+        cpu.commit(list(platform.workers(ResourceKind.CPU))[0], 3.0)
+        assert sorted(avail.values()) == [0.0, 0.0, 0.0, 3.0]
+        # The GPU heap is unaffected by CPU commits.
+        assert gpu.best_finish(0.0, 1.0)[0] == 1.0
+
+
+# ---------------------------------------------------------------------------
+# Offline HEFT: heap path vs full scan, and the pinned tie-break
+# ---------------------------------------------------------------------------
+
+
+def scan_heft_schedule(instance, platform, *, rank="avg"):
+    """Reference HEFT with an explicit O(m) scan per task."""
+    schedule = Schedule(platform)
+    loads = {w: 0.0 for w in platform.workers()}
+
+    def rank_key(task):
+        return (-node_weight(task, platform, rank), -task.priority, task.uid)
+
+    for task in sorted(instance, key=rank_key):
+        best_key = None
+        best_worker = None
+        for w in platform.workers():
+            d = kind_duration(task, w.kind)
+            kind_rank = 0 if w.kind is ResourceKind.CPU else 1
+            key = (loads[w] + d, kind_rank, w.index)
+            if best_key is None or key < best_key:
+                best_key, best_worker = key, w
+        schedule.add(task, best_worker, loads[best_worker])
+        loads[best_worker] += kind_duration(task, best_worker.kind)
+    return schedule
+
+
+def offline_events(schedule):
+    return sorted(
+        (p.task.uid, p.worker.kind.name, p.worker.index, p.start, p.end)
+        for p in schedule.placements
+    )
+
+
+class TestOfflineHeft:
+    @pytest.mark.parametrize("kernel,n_tiles", [("cholesky", 8), ("qr", 6), ("lu", 6)])
+    @pytest.mark.parametrize("rank", ["avg", "min"])
+    def test_heap_path_equals_scan_on_figure_instances(self, kernel, n_tiles, rank):
+        instance = build_graph(kernel, n_tiles).to_instance()
+        for task in instance:
+            task.priority = 0.0
+        heap_sched = heft_schedule(instance, PAPER_PLATFORM, rank=rank)
+        scan_sched = scan_heft_schedule(instance, PAPER_PLATFORM, rank=rank)
+        assert offline_events(heap_sched) == offline_events(scan_sched)
+        assert heap_sched.makespan == scan_sched.makespan
+
+    def test_tie_break_is_platform_order(self):
+        # Four identical tasks on Platform(2, 2) with p == q: every
+        # worker ties on finish each round, so the pinned rule (CPUs
+        # before GPUs, then index) fills workers in platform order.
+        platform = Platform(num_cpus=2, num_gpus=2)
+        instance = Instance.from_times([1.0] * 4, [1.0] * 4)
+        schedule = heft_schedule(instance, platform)
+        order = [
+            (p.worker.kind.name, p.worker.index)
+            for p in sorted(schedule.placements, key=lambda p: p.task.uid)
+        ]
+        assert order == [("CPU", 0), ("CPU", 1), ("GPU", 0), ("GPU", 1)]
+
+
+# ---------------------------------------------------------------------------
+# Online HEFT: heap path vs full scan on figure workloads
+# ---------------------------------------------------------------------------
+
+
+class ScanHeftPolicy(OnlinePolicy):
+    """Reference online HEFT committing via an explicit worker scan."""
+
+    name = "heft-scan"
+
+    def __init__(self) -> None:
+        self._queues = {}
+        self._avail = {}
+
+    def prepare(self, platform):
+        self._queues = {w: deque() for w in platform.workers()}
+        self._avail = {w: 0.0 for w in platform.workers()}
+
+    def tasks_ready(self, tasks, time):
+        for task in tasks:
+            best_key = None
+            best_worker = None
+            for w in self._avail:
+                finish = max(self._avail[w], time) + kind_duration(task, w.kind)
+                kind_rank = 0 if w.kind is ResourceKind.CPU else 1
+                key = (finish, kind_rank, w.index)
+                if best_key is None or key < best_key:
+                    best_key, best_worker = key, w
+            self._queues[best_worker].append(task)
+            self._avail[best_worker] = best_key[0]
+
+    def pick(self, worker, time, running):
+        queue = self._queues[worker]
+        if queue:
+            return StartTask(queue.popleft())
+        return None
+
+    def task_started(self, task, worker, time):
+        anchored = time + kind_duration(task, worker.kind)
+        if anchored > self._avail[worker]:
+            self._avail[worker] = anchored
+
+
+def runtime_events(schedule):
+    return sorted(
+        (p.task.name, p.worker.kind.name, p.worker.index, p.start, p.end, p.aborted)
+        for p in schedule.placements
+    )
+
+
+class TestOnlineHeft:
+    @pytest.mark.parametrize(
+        "kernel,n_tiles", [("cholesky", 8), ("cholesky", 12), ("qr", 8), ("lu", 8)]
+    )
+    @pytest.mark.parametrize("scheme", ["avg", "min"])
+    def test_heap_path_equals_scan_on_figure_workloads(self, kernel, n_tiles, scheme):
+        graph = build_graph(kernel, n_tiles)
+        assign_priorities(graph, PAPER_PLATFORM, scheme)
+        ref = simulate(graph, PAPER_PLATFORM, ScanHeftPolicy())
+        new = simulate(graph, PAPER_PLATFORM, HeftPolicy())
+        assert runtime_events(new) == runtime_events(ref)
+
+    @pytest.mark.parametrize("platform", [Platform(1, 1), Platform(3, 2), Platform(4, 0)])
+    def test_heap_path_equals_scan_on_small_platforms(self, platform):
+        graph = build_graph("cholesky", 6)
+        assign_priorities(graph, platform, "avg")
+        ref = simulate(graph, platform, ScanHeftPolicy())
+        new = simulate(graph, platform, HeftPolicy())
+        assert runtime_events(new) == runtime_events(ref)
+
+    def test_commitment_tie_break_is_platform_order(self):
+        platform = Platform(num_cpus=2, num_gpus=2)
+        policy = HeftPolicy()
+        policy.prepare(platform)
+        tasks = list(Instance.from_times([1.0] * 4, [1.0] * 4))
+        policy.tasks_ready(tasks, 0.0)
+        committed = {
+            (w.kind.name, w.index): [t.uid for t in q]
+            for w, q in policy._queues.items()
+            if q
+        }
+        uids = [t.uid for t in tasks]
+        assert committed == {
+            ("CPU", 0): [uids[0]],
+            ("CPU", 1): [uids[1]],
+            ("GPU", 0): [uids[2]],
+            ("GPU", 1): [uids[3]],
+        }
