@@ -1,0 +1,65 @@
+"""Static analysis for the repro tree: determinism lint + cache-salt gate.
+
+The package machine-checks the two conventions the repo's correctness
+story rests on:
+
+* **Bit-determinism** — every result-producing path must produce
+  identical output on identical input (the campaign
+  :class:`~repro.campaign.cache.ResultCache` and the differential tests
+  assume it).  :mod:`repro.analysis.rules` encodes the known ways this
+  codebase can lose determinism (unseeded global RNG state, wall-clock
+  reads, unordered-collection iteration, raw float equality) as lint
+  rules over the AST.
+* **Cache-salt discipline** — any semantic change to a module whose
+  behaviour feeds :class:`ResultCache`/:class:`GraphStore` keys must be
+  accompanied by a ``CODE_VERSION`` bump, or stale cached results are
+  silently served.  :mod:`repro.analysis.fingerprint` hashes the
+  normalized AST of every salted module into a committed manifest
+  (``analysis/fingerprints.json``); ``repro lint --cache-gate`` fails
+  when a fingerprint drifts without a bump.
+
+Entry point: ``repro lint`` (see :mod:`repro.analysis.cli`).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.fingerprint import (
+    MANIFEST_PATH,
+    SALTED_PACKAGES,
+    check_gate,
+    compute_fingerprints,
+    load_manifest,
+    normalized_fingerprint,
+    write_manifest,
+)
+from repro.analysis.lint import (
+    LintReport,
+    Rule,
+    Suppression,
+    Violation,
+    all_rules,
+    lint_paths,
+    register_rule,
+)
+
+__all__ = [
+    "LintReport",
+    "MANIFEST_PATH",
+    "Rule",
+    "SALTED_PACKAGES",
+    "Suppression",
+    "Violation",
+    "all_rules",
+    "check_gate",
+    "compute_fingerprints",
+    "lint_paths",
+    "load_manifest",
+    "normalized_fingerprint",
+    "register_rule",
+    "write_manifest",
+]
+
+# Importing the ruleset registers the shipped rules with the registry.
+from repro.analysis import rules as _rules  # noqa: E402  (registration import)
+
+del _rules

@@ -1,0 +1,202 @@
+"""Cache-salt fingerprint gate: normalized-AST hashes of salted modules.
+
+The campaign :class:`~repro.campaign.cache.ResultCache` and
+:class:`~repro.campaign.graph_store.GraphStore` key every entry with
+:data:`~repro.campaign.spec.CODE_VERSION`.  The contract is social: a
+semantic change to any module those keys depend on must bump the
+version, or every previously cached result is silently wrong.  This
+module makes the contract mechanical:
+
+* :func:`normalized_fingerprint` hashes one module's AST with
+  docstrings dropped and line/column attributes excluded — comment
+  edits, reformatting, docstring rewrites and moved code keep the same
+  fingerprint; any change visible to the interpreter changes it;
+* :func:`compute_fingerprints` does that for every module under the
+  salted packages (:data:`SALTED_PACKAGES`);
+* the committed manifest ``analysis/fingerprints.json`` records the
+  fingerprints the current ``CODE_VERSION`` was minted for;
+* :func:`check_gate` fails when fingerprints drift while the version
+  stands still (cache poisoning), when the version moved but the
+  manifest was not regenerated, or when modules appeared/disappeared
+  unrecorded.
+
+Regenerate with ``repro lint --write-fingerprints`` — *after* bumping
+``CODE_VERSION`` if the change is semantic.
+
+Note the gate is deliberately conservative: type-annotation changes are
+part of the AST (annotations can carry runtime semantics, e.g. in
+dataclasses), so a pure-annotation edit still requires regeneration —
+with a bump only if it changes behaviour.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List
+
+from repro.io import canonical_dumps
+
+__all__ = [
+    "SALTED_PACKAGES",
+    "MANIFEST_PATH",
+    "normalized_fingerprint",
+    "compute_fingerprints",
+    "load_manifest",
+    "write_manifest",
+    "check_gate",
+]
+
+#: Packages (under ``src/repro``) whose semantics feed cache keys.
+SALTED_PACKAGES = ("bounds", "core", "dag", "schedulers", "simulator", "timing")
+
+#: Repo-relative location of the committed manifest.
+MANIFEST_PATH = "analysis/fingerprints.json"
+
+#: Manifest layout version.
+MANIFEST_FORMAT = 1
+
+
+def _strip_docstrings(tree: ast.Module) -> ast.Module:
+    """Drop the docstring expression of the module and every def/class."""
+    for node in ast.walk(tree):
+        if not isinstance(
+            node, (ast.Module, ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue
+        body = node.body
+        if (
+            body
+            and isinstance(body[0], ast.Expr)
+            and isinstance(body[0].value, ast.Constant)
+            and isinstance(body[0].value.value, str)
+        ):
+            del body[0]
+    return tree
+
+
+def normalized_fingerprint(source: str) -> str:
+    """SHA-256 of the docstring-stripped, position-free AST of *source*.
+
+    Two sources get the same fingerprint iff they compile to the same
+    abstract syntax once docstrings are removed — whitespace, comments,
+    line numbers and string quoting style never matter.
+    """
+    tree = _strip_docstrings(ast.parse(source))
+    dump = ast.dump(tree, annotate_fields=True, include_attributes=False)
+    return hashlib.sha256(dump.encode("utf-8")).hexdigest()
+
+
+def compute_fingerprints(src_root: str | Path) -> Dict[str, str]:
+    """Fingerprints of every salted module under *src_root* (``src/``).
+
+    Keys are ``src``-relative posix paths (``repro/core/task.py``), so
+    the manifest is stable against checkout location.
+    """
+    src_root = Path(src_root)
+    fingerprints: Dict[str, str] = {}
+    for package in SALTED_PACKAGES:
+        base = src_root / "repro" / package
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*.py")):
+            if "__pycache__" in path.parts:
+                continue
+            rel = path.relative_to(src_root).as_posix()
+            fingerprints[rel] = normalized_fingerprint(
+                path.read_text(encoding="utf-8")
+            )
+    return fingerprints
+
+
+def load_manifest(path: str | Path) -> Dict[str, object] | None:
+    """The parsed manifest at *path*, or ``None`` if absent/corrupt."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+    if not isinstance(payload, dict) or "fingerprints" not in payload:
+        return None
+    return payload
+
+
+def write_manifest(
+    path: str | Path, fingerprints: Dict[str, str], *, code_version: str
+) -> Path:
+    """Write the manifest (canonical JSON, trailing newline); returns *path*."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "format": MANIFEST_FORMAT,
+        "code_version": code_version,
+        "generated_by": "repro lint --write-fingerprints",
+        "fingerprints": dict(sorted(fingerprints.items())),
+    }
+    path.write_text(canonical_dumps(payload, indent=1) + "\n", encoding="utf-8")
+    return path
+
+
+def check_gate(
+    manifest: Dict[str, object] | None,
+    current: Dict[str, str],
+    *,
+    code_version: str,
+) -> List[str]:
+    """Gate verdict: a list of failure messages (empty = pass).
+
+    Failure modes, most serious first:
+
+    * fingerprints changed while ``CODE_VERSION`` stayed — the exact
+      silent-cache-poisoning scenario the gate exists for;
+    * ``CODE_VERSION`` moved but the manifest still records the old
+      version — regeneration was forgotten;
+    * salted modules added/removed without regenerating — existing keys
+      are unaffected, but the manifest no longer describes the tree.
+    """
+    if manifest is None:
+        return [
+            f"no fingerprint manifest at {MANIFEST_PATH}; "
+            "run 'repro lint --write-fingerprints' and commit it"
+        ]
+    recorded_version = str(manifest.get("code_version", ""))
+    recorded = manifest.get("fingerprints")
+    if not isinstance(recorded, dict):
+        return [f"manifest at {MANIFEST_PATH} is malformed; regenerate it"]
+
+    failures: List[str] = []
+    changed = sorted(
+        rel
+        for rel in set(recorded) & set(current)
+        if recorded[rel] != current[rel]
+    )
+    added = sorted(set(current) - set(recorded))
+    removed = sorted(set(recorded) - set(current))
+
+    if changed and recorded_version == code_version:
+        failures.append(
+            "salted module(s) changed semantically without a CODE_VERSION "
+            f"bump: {', '.join(changed)} — cached campaign results would be "
+            "silently stale.  Bump CODE_VERSION in src/repro/campaign/spec.py "
+            "and run 'repro lint --write-fingerprints'."
+        )
+    if recorded_version != code_version:
+        failures.append(
+            f"CODE_VERSION is {code_version!r} but the manifest was generated "
+            f"for {recorded_version!r}; run 'repro lint --write-fingerprints' "
+            "to re-mint it."
+        )
+    if (added or removed) and not failures:
+        details = []
+        if added:
+            details.append(f"added: {', '.join(added)}")
+        if removed:
+            details.append(f"removed: {', '.join(removed)}")
+        failures.append(
+            "salted module set changed ("
+            + "; ".join(details)
+            + ") — run 'repro lint --write-fingerprints' to record it "
+            "(no CODE_VERSION bump needed unless behaviour changed)."
+        )
+    return failures

@@ -353,6 +353,17 @@ def main(
     if baseline:
         with open(baseline) as fh:
             base = json.load(fh)
+        # A baseline may carry case names this run did not produce (an
+        # older suite layout, a renamed case, a full report checked
+        # against a --quick run).  Those are warned about and skipped —
+        # same convention as missing pre_pr_wall_s below — never an
+        # error.
+        unknown = sorted(set(base.get("cases", {})) - set(report["cases"]))
+        if unknown:
+            print(
+                f"[bench] note: baseline has {len(unknown)} case(s) not in "
+                f"this run ({', '.join(unknown)}); skipped"
+            )
         failures = compare(report, base, threshold=threshold)
         if failures:
             for message in failures:

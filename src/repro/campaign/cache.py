@@ -96,7 +96,7 @@ class ResultCache:
             or payload.get("spec") != spec.to_dict()
         ):
             return None
-        entry = _decode_value(payload)
+        entry: dict[str, Any] = _decode_value(payload)
         entry["metrics"] = dict(entry.get("metrics", {}))
         return entry
 

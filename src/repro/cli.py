@@ -27,6 +27,11 @@ subset, ``--baseline FILE`` fails the run when events/sec regresses
 more than ``--threshold`` (default 30%) below a committed report.
 Any invocation accepts ``--profile`` to wrap the run in ``cProfile``
 and print the top cumulative-time hotspots.
+
+``lint`` runs the determinism linter (:mod:`repro.analysis`) over the
+tree; ``--cache-gate`` additionally verifies the committed
+``analysis/fingerprints.json`` salt manifest, and
+``--write-fingerprints`` regenerates it after a ``CODE_VERSION`` bump.
 """
 
 from __future__ import annotations
@@ -54,8 +59,9 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(ALL_EXPERIMENTS) + ["all", "list", "campaign", "bench"],
-        help="experiment id (paper table/figure), 'all', 'list', 'campaign', or 'bench'",
+        choices=sorted(ALL_EXPERIMENTS) + ["all", "list", "campaign", "bench", "lint"],
+        help="experiment id (paper table/figure), 'all', 'list', 'campaign', "
+        "'bench', or 'lint'",
     )
     parser.add_argument(
         "--profile",
@@ -149,6 +155,42 @@ def _build_parser() -> argparse.ArgumentParser:
         default=0.30,
         metavar="FRAC",
         help="bench: allowed events/sec drop vs baseline (default: 0.30)",
+    )
+    lint = parser.add_argument_group("lint options")
+    lint.add_argument(
+        "--cache-gate",
+        action="store_true",
+        help="lint: also verify analysis/fingerprints.json against the tree "
+        "(fails on a salted-module change without a CODE_VERSION bump)",
+    )
+    lint.add_argument(
+        "--write-fingerprints",
+        action="store_true",
+        help="lint: regenerate analysis/fingerprints.json for the current "
+        "CODE_VERSION and exit",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="lint: print the rule catalog and suppression syntax",
+    )
+    lint.add_argument(
+        "--paths",
+        metavar="PATHS",
+        default=None,
+        help="lint: comma-separated files/directories to check "
+        "(default: src,examples,benchmarks)",
+    )
+    lint.add_argument(
+        "--root",
+        metavar="DIR",
+        default=".",
+        help="lint: repository root (default: current directory)",
+    )
+    lint.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="lint: also list suppressed findings with their reasons",
     )
     return parser
 
@@ -270,6 +312,19 @@ def main_dispatch(args: argparse.Namespace) -> int:
         return _run_campaign(args)
     if args.experiment == "bench":
         return _run_bench(args)
+    if args.experiment == "lint":
+        from repro.analysis.cli import run_lint
+
+        return run_lint(
+            root=args.root,
+            paths=None if args.paths is None else [
+                p for p in args.paths.split(",") if p
+            ],
+            cache_gate=args.cache_gate,
+            write_fingerprints=args.write_fingerprints,
+            list_rules=args.list_rules,
+            show_suppressed=args.show_suppressed,
+        )
     names = sorted(ALL_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     out_dir = None
     if args.out is not None:

@@ -28,7 +28,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Literal
+from typing import Callable, Literal
 
 from repro.core.platform import Platform, ResourceKind, Worker
 from repro.core.schedule import Schedule, TIME_EPS
@@ -183,7 +183,7 @@ def heteroprio_schedule(
     )
 
 
-def _worker_service_key(order: ServiceOrder):
+def _worker_service_key(order: ServiceOrder) -> Callable[[Worker], tuple[int, int]]:
     def key(worker: Worker) -> tuple[int, int]:
         gpu_rank = 0 if worker.kind is ResourceKind.GPU else 1
         if order == "cpu_first":

@@ -98,6 +98,9 @@ def earliest_start_schedule(
     for task in instance:
         best = None
         best_heap = None
+        # repro-lint: disable=unordered-iteration -- min-reduction over a
+        # strict total key (load, tie_rank, worker); visiting order cannot
+        # change the winner, and the two-entry dict is insertion-ordered.
         for heap in heaps.values():
             if not heap:
                 continue

@@ -92,6 +92,9 @@ def spoliation_victim(
     by_priority = victim_rule == "priority"
     best_key: tuple[float, float, int] | None = None
     best_worker: Worker | None = None
+    # repro-lint: disable=unordered-iteration -- single-pass min-reduction
+    # with a strict total key ending in task.uid; no visiting order can
+    # change which victim wins.
     for view in running.values():
         if view.worker.kind is not other:
             continue

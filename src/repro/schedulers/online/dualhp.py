@@ -81,6 +81,9 @@ class DualHPPolicy(OnlinePolicy):
         )
         cpu_init = [0.0] * platform.num_cpus
         gpu_init = [0.0] * platform.num_gpus
+        # repro-lint: disable=unordered-iteration -- each Worker key occurs
+        # once, so every slot receives exactly one += and the per-queue
+        # sorts below are independent; iteration order is immaterial.
         for view in running.values():
             remaining = max(view.end - time, 0.0)
             if view.worker.kind is ResourceKind.CPU:

@@ -15,6 +15,16 @@ it surfaces.  Keys must be unique, which the ``uid`` component of the
 HeteroPrio queue key guarantees, so the index doubles as the tombstone
 filter.  All operations are O(log n); the pop order is *identical* to
 the sorted-list implementation because the key order is total.
+
+Tombstones are additionally *compacted*: when one heap carries more
+dead entries than live ones (and at least :data:`COMPACT_THRESHOLD`),
+it is rebuilt from the live index in O(live).  An adversarial
+interleaving that pops everything from one end therefore cannot pin
+the other heap at the high-water mark of all keys ever pushed — heap
+memory stays O(live), and the amortized cost per operation remains
+O(log n) because a rebuild discharges at least as many tombstones as
+the live entries it re-heapifies.  Compaction only drops entries the
+index already considers dead, so the pop order is unchanged.
 """
 
 from __future__ import annotations
@@ -22,7 +32,11 @@ from __future__ import annotations
 import heapq
 from typing import Generic, Tuple, TypeVar
 
-__all__ = ["DualEndedTaskQueue"]
+__all__ = ["DualEndedTaskQueue", "COMPACT_THRESHOLD"]
+
+#: Minimum number of dead heap entries before a compaction triggers
+#: (avoids rebuild churn on small queues where tombstones are cheap).
+COMPACT_THRESHOLD = 64
 
 T = TypeVar("T")
 
@@ -93,6 +107,8 @@ class DualEndedTaskQueue(Generic[T]):
             key = heapq.heappop(heap)
             item = live.pop(key, None)
             if item is not None:
+                self._maybe_compact_min()
+                self._maybe_compact_max()
                 return item
 
     def pop_max(self) -> T:
@@ -103,7 +119,37 @@ class DualEndedTaskQueue(Generic[T]):
             key = _neg(heapq.heappop(heap))
             item = live.pop(key, None)
             if item is not None:
+                self._maybe_compact_min()
+                self._maybe_compact_max()
                 return item
+
+    # -- tombstone compaction ------------------------------------------------
+    #
+    # Every live key is present in both heaps (pushed to both, removed
+    # from one eagerly on pop), so dead-entry counts need no bookkeeping:
+    # dead == len(heap) - len(live).  A pop from one end strands its
+    # tombstone in the *other* heap; both heaps are checked after every
+    # pop so the invariant dead <= max(live, COMPACT_THRESHOLD - 1)
+    # holds at all times.
+
+    def _maybe_compact_min(self) -> None:
+        dead = len(self._min_heap) - len(self._live)
+        if dead >= COMPACT_THRESHOLD and dead > len(self._live):
+            self._min_heap = list(self._live)
+            heapq.heapify(self._min_heap)
+
+    def _maybe_compact_max(self) -> None:
+        dead = len(self._max_heap) - len(self._live)
+        if dead >= COMPACT_THRESHOLD and dead > len(self._live):
+            self._max_heap = [_neg(key) for key in self._live]
+            heapq.heapify(self._max_heap)
+
+    def tombstones(self) -> tuple[int, int]:
+        """Current dead-entry counts ``(min_heap, max_heap)`` (diagnostic)."""
+        return (
+            len(self._min_heap) - len(self._live),
+            len(self._max_heap) - len(self._live),
+        )
 
     def peek_min_key(self) -> Key:
         """The smallest live key, without removing it."""

@@ -102,6 +102,9 @@ class RuntimeSimulator:
         forever while tasks remain), which would indicate a policy bug.
         """
         graph, platform, policy = self.graph, self.platform, self.policy
+        # repro-lint: disable=wall-clock -- SimStats.wall_s is bench
+        # instrumentation only; it never feeds the schedule, the event
+        # order, or any ResultCache-keyed metric.
         started = _time.perf_counter()
         stats = SimStats()
         self.last_stats = stats

@@ -108,6 +108,31 @@ def test_cli_bench_baseline_check(tmp_path, capsys):
     assert "REGRESSION" in capsys.readouterr().out
 
 
+def test_cli_bench_baseline_unknown_cases_warn_and_skip(tmp_path, capsys):
+    """Satellite bugfix: a baseline carrying case names this run does not
+    produce (renamed case, full report vs --quick run) is warned about
+    and skipped — exit 0, no KeyError."""
+    baseline = tmp_path / "baseline.json"
+    assert cli_main(["bench", "--quick", "--json", str(baseline)]) == 0
+    report = json.loads(baseline.read_text())
+    report["cases"]["fig7:retired:n99:heteroprio"] = {
+        "events_per_sec": 1e12,  # would fail the threshold if not skipped
+        "wall_s": 1.0,
+        "pre_pr_wall_s": 5.0,
+        "tasks": 1,
+    }
+    report["cases"]["fig6:also-unknown:n1:x"] = {"events_per_sec": 1e12}
+    baseline.write_text(json.dumps(report))
+    capsys.readouterr()
+    assert (
+        cli_main(["bench", "--quick", "--json", "-", "--baseline", str(baseline)]) == 0
+    )
+    out = capsys.readouterr().out
+    assert "2 case(s) not in this run" in out
+    assert "fig7:retired:n99:heteroprio" in out
+    assert "REGRESSION" not in out
+
+
 def test_cli_profile_smoke(capsys):
     assert cli_main(["bench", "--quick", "--json", "-", "--profile",
                      "--profile-top", "5"]) == 0

@@ -54,3 +54,53 @@ class TestCliFastVariants:
         assert main(["robustness", "--fast"]) == 0
         out = capsys.readouterr().out
         assert "best mean ratio" in out
+
+
+class TestCliLint:
+    """The `repro lint` subcommand (tentpole: repro.analysis)."""
+
+    ROOT = __import__("pathlib").Path(__file__).resolve().parent.parent
+
+    def test_lint_repo_clean(self, capsys):
+        assert main(["lint", "--root", str(self.ROOT)]) == 0
+        out = capsys.readouterr().out
+        assert "0 violation(s)" in out
+
+    def test_lint_cache_gate_passes_on_committed_manifest(self, capsys):
+        assert main(["lint", "--root", str(self.ROOT), "--cache-gate"]) == 0
+        out = capsys.readouterr().out
+        assert "[cache-gate] OK" in out
+
+    def test_lint_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("unseeded-random", "wall-clock", "unordered-iteration",
+                        "float-equality", "mutable-default"):
+            assert rule_id in out
+        assert "disable=<rule-id> -- <reason>" in out
+
+    def test_lint_explicit_paths_and_violation_exit(self, tmp_path, capsys):
+        bad = tmp_path / "src"
+        bad.mkdir()
+        (bad / "app.py").write_text("import random\nx = random.random()\n")
+        assert main(["lint", "--root", str(tmp_path), "--paths", "src"]) == 1
+        out = capsys.readouterr().out
+        assert "unseeded-random" in out
+
+    def test_lint_write_fingerprints_round_trip(self, tmp_path, capsys):
+        pkg = tmp_path / "src" / "repro" / "core"
+        pkg.mkdir(parents=True)
+        (pkg / "mod.py").write_text("X = 1\n")
+        assert main(["lint", "--root", str(tmp_path), "--write-fingerprints"]) == 0
+        assert main(["lint", "--root", str(tmp_path), "--paths", "",
+                     "--cache-gate"]) == 0
+        # A semantic edit without a bump must now fail the gate.
+        (pkg / "mod.py").write_text("X = 2\n")
+        capsys.readouterr()
+        assert main(["lint", "--root", str(tmp_path), "--paths", "",
+                     "--cache-gate"]) == 1
+
+    def test_lint_show_suppressed_lists_reasons(self, capsys):
+        assert main(["lint", "--root", str(self.ROOT), "--show-suppressed"]) == 0
+        out = capsys.readouterr().out
+        assert "suppressed [unordered-iteration]" in out

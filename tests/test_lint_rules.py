@@ -1,0 +1,325 @@
+"""Unit tests for the determinism-lint engine and every shipped rule.
+
+Each rule gets at least one positive (fires) and one negative (stays
+quiet) case, per the acceptance bar.  Rules are exercised through
+``lint_paths`` on throwaway trees so suppression handling, path
+scoping and registry wiring are covered by the same tests.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import all_rules, lint_paths
+from repro.analysis.lint import (
+    DEFAULT_LINT_PATHS,
+    ImportMap,
+    Violation,
+    parse_suppressions,
+)
+import ast
+
+
+def _lint_file(tmp_path: Path, rel: str, source: str):
+    """Write *source* at tmp_path/rel and lint exactly that file."""
+    path = tmp_path / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source)
+    return lint_paths(tmp_path, [rel])
+
+
+def _ids(report) -> list[str]:
+    return sorted({v.rule_id for v in report.violations})
+
+
+# ---------------------------------------------------------------------------
+# registry / engine
+# ---------------------------------------------------------------------------
+
+
+def test_registry_ships_expected_rules():
+    ids = [rule.rule_id for rule in all_rules()]
+    assert ids == sorted(ids)
+    for expected in (
+        "unseeded-random",
+        "wall-clock",
+        "unordered-iteration",
+        "float-equality",
+        "mutable-default",
+    ):
+        assert expected in ids
+
+
+def test_rules_carry_catalog_metadata():
+    for rule in all_rules():
+        assert rule.rule_id and rule.description and rule.fix_hint
+        assert rule.severity in ("error", "warning")
+
+
+def test_syntax_error_is_a_violation_not_a_crash(tmp_path):
+    report = _lint_file(tmp_path, "src/broken.py", "def f(:\n")
+    assert _ids(report) == ["syntax-error"]
+
+
+def test_violation_render_mentions_location_and_hint():
+    v = Violation("wall-clock", "error", "src/x.py", 3, 7, "boom", "do better")
+    text = v.render()
+    assert "src/x.py:3:7" in text and "[wall-clock]" in text and "do better" in text
+
+
+def test_import_map_resolves_aliases():
+    tree = ast.parse(
+        "import numpy as np\nimport time as _time\nfrom random import uniform\n"
+    )
+    table = ImportMap.from_tree(tree)
+    assert table.dotted(ast.parse("np.random.seed", mode="eval").body) == (
+        "numpy.random.seed"
+    )
+    assert table.dotted(ast.parse("_time.perf_counter", mode="eval").body) == (
+        "time.perf_counter"
+    )
+    assert table.dotted(ast.parse("uniform", mode="eval").body) == "random.uniform"
+
+
+def test_default_paths_exclude_tests():
+    assert "tests" not in DEFAULT_LINT_PATHS
+
+
+# ---------------------------------------------------------------------------
+# suppressions
+# ---------------------------------------------------------------------------
+
+
+def test_suppression_with_reason_silences_rule(tmp_path):
+    report = _lint_file(
+        tmp_path,
+        "src/app.py",
+        "import random\n"
+        "# repro-lint: disable=unseeded-random -- demo script, output unchecked\n"
+        "x = random.random()\n",
+    )
+    assert report.ok
+    assert len(report.suppressed) == 1
+    violation, sup = report.suppressed[0]
+    assert violation.rule_id == "unseeded-random"
+    assert sup.reason == "demo script, output unchecked"
+
+
+def test_suppression_without_reason_is_a_violation(tmp_path):
+    report = _lint_file(
+        tmp_path,
+        "src/app.py",
+        "# repro-lint: disable=unseeded-random\nx = 1\n",
+    )
+    assert _ids(report) == ["bad-suppression"]
+    assert "without a reason" in report.violations[0].message
+
+
+def test_suppression_of_unknown_rule_is_a_violation(tmp_path):
+    report = _lint_file(
+        tmp_path,
+        "src/app.py",
+        "# repro-lint: disable=no-such-rule -- whatever\nx = 1\n",
+    )
+    assert _ids(report) == ["bad-suppression"]
+    assert "no-such-rule" in report.violations[0].message
+
+
+def test_multi_rule_suppression_comment():
+    sups, problems = parse_suppressions(
+        "# repro-lint: disable=wall-clock, float-equality -- shared reason\n"
+    )
+    assert not problems
+    assert set(sups) == {"wall-clock", "float-equality"}
+    assert all(s.reason == "shared reason" for s in sups.values())
+
+
+# ---------------------------------------------------------------------------
+# unseeded-random
+# ---------------------------------------------------------------------------
+
+
+def test_unseeded_random_fires_on_global_module_calls(tmp_path):
+    report = _lint_file(
+        tmp_path,
+        "src/app.py",
+        "import random\nrandom.seed(0)\nx = random.uniform(0, 1)\n",
+    )
+    assert _ids(report) == ["unseeded-random"]
+    assert len(report.violations) == 2
+
+
+def test_unseeded_random_fires_on_from_import_and_numpy_legacy(tmp_path):
+    report = _lint_file(
+        tmp_path,
+        "src/app.py",
+        "from random import shuffle\nimport numpy as np\n"
+        "shuffle([1, 2])\nnp.random.seed(3)\ny = np.random.rand(4)\n",
+    )
+    assert len(report.violations) == 3
+    assert _ids(report) == ["unseeded-random"]
+
+
+def test_unseeded_random_allows_instances_and_generators(tmp_path):
+    report = _lint_file(
+        tmp_path,
+        "src/app.py",
+        "import random\nimport numpy as np\n"
+        "rng = random.Random(7)\nx = rng.uniform(0, 1)\n"
+        "g = np.random.default_rng(7)\ny = g.normal()\n"
+        "ss = np.random.SeedSequence(5).spawn(3)\n",
+    )
+    assert report.ok and not report.suppressed
+
+
+# ---------------------------------------------------------------------------
+# wall-clock
+# ---------------------------------------------------------------------------
+
+
+def test_wall_clock_fires_in_result_producing_modules(tmp_path):
+    source = "import time\nt = time.perf_counter()\n"
+    report = _lint_file(tmp_path, "src/repro/simulator/x.py", source)
+    assert _ids(report) == ["wall-clock"]
+
+
+def test_wall_clock_sees_through_import_aliases(tmp_path):
+    report = _lint_file(
+        tmp_path,
+        "src/repro/core/x.py",
+        "import time as _time\nt = _time.time()\n",
+    )
+    assert _ids(report) == ["wall-clock"]
+
+
+def test_wall_clock_quiet_outside_salted_modules_and_in_bench(tmp_path):
+    source = "import time\nt = time.perf_counter()\n"
+    for rel in ("src/repro/bench.py", "src/repro/campaign/telemetry.py",
+                "src/repro/experiments/fig0.py", "examples/demo.py"):
+        report = _lint_file(tmp_path, rel, source)
+        assert report.ok, rel
+
+
+# ---------------------------------------------------------------------------
+# unordered-iteration
+# ---------------------------------------------------------------------------
+
+
+def test_unordered_iteration_fires_on_set_and_dict_values(tmp_path):
+    report = _lint_file(
+        tmp_path,
+        "src/repro/schedulers/x.py",
+        "def pick(ready, running):\n"
+        "    for t in set(ready):\n"
+        "        use(t)\n"
+        "    for v in running.values():\n"
+        "        use(v)\n"
+        "    best = [w for w in {1, 2, 3}]\n",
+    )
+    assert _ids(report) == ["unordered-iteration"]
+    assert len(report.violations) == 3
+
+
+def test_unordered_iteration_allows_sorted_and_lists(tmp_path):
+    report = _lint_file(
+        tmp_path,
+        "src/repro/simulator/x.py",
+        "def pick(ready, running):\n"
+        "    for t in sorted(set(ready), key=lambda t: t.uid):\n"
+        "        use(t)\n"
+        "    for v in sorted(running.values(), key=lambda v: v.start):\n"
+        "        use(v)\n"
+        "    for w in [1, 2, 3]:\n"
+        "        use(w)\n",
+    )
+    assert report.ok
+
+
+def test_unordered_iteration_out_of_scope_elsewhere(tmp_path):
+    report = _lint_file(
+        tmp_path,
+        "src/repro/viz/x.py",
+        "for v in d.values():\n    print(v)\n",
+    )
+    assert report.ok
+
+
+# ---------------------------------------------------------------------------
+# float-equality
+# ---------------------------------------------------------------------------
+
+
+def test_float_equality_fires_on_time_like_names(tmp_path):
+    report = _lint_file(
+        tmp_path,
+        "src/repro/schedulers/x.py",
+        "if a.end == b.start:\n    pass\n"
+        "if t.cpu_time != t.gpu_time:\n    pass\n"
+        "if makespan == 0.0:\n    pass\n",
+    )
+    assert _ids(report) == ["float-equality"]
+    assert len(report.violations) == 3
+    assert all(v.severity == "warning" for v in report.violations)
+
+
+def test_float_equality_quiet_on_eps_and_non_time_names(tmp_path):
+    report = _lint_file(
+        tmp_path,
+        "src/repro/schedulers/x.py",
+        "if abs(a.end - b.start) <= TIME_EPS:\n    pass\n"
+        "if name == 'GEMM':\n    pass\n"
+        "if count != 3:\n    pass\n",
+    )
+    assert report.ok
+
+
+# ---------------------------------------------------------------------------
+# mutable-default
+# ---------------------------------------------------------------------------
+
+
+def test_mutable_default_fires_on_literals_and_constructors(tmp_path):
+    report = _lint_file(
+        tmp_path,
+        "src/app.py",
+        "def f(x, acc=[]):\n    return acc\n"
+        "def g(opts={}):\n    return opts\n"
+        "def h(*, seen=set()):\n    return seen\n"
+        "def k(buf=list()):\n    return buf\n",
+    )
+    assert _ids(report) == ["mutable-default"]
+    assert len(report.violations) == 4
+
+
+def test_mutable_default_allows_none_and_frozen(tmp_path):
+    report = _lint_file(
+        tmp_path,
+        "src/app.py",
+        "def f(x, acc=None, tag='', pair=(1, 2), n=3, flag=False):\n"
+        "    return acc\n",
+    )
+    assert report.ok
+
+
+# ---------------------------------------------------------------------------
+# the repo itself
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def repo_root() -> Path:
+    return Path(__file__).resolve().parent.parent
+
+
+def test_repo_tree_lints_clean(repo_root):
+    """Acceptance: zero unsuppressed violations on the committed tree."""
+    report = lint_paths(repo_root)
+    assert report.ok, "\n" + report.render()
+
+
+def test_repo_suppressions_all_carry_reasons(repo_root):
+    report = lint_paths(repo_root)
+    for _violation, sup in report.suppressed:
+        assert sup.reason.strip(), f"suppression without reason: {sup}"

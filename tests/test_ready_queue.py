@@ -12,7 +12,7 @@ from repro.core.platform import Platform, ResourceKind, Worker
 from repro.core.schedule import TIME_EPS
 from repro.core.task import Task
 from repro.schedulers.online.base import RunningView, Spoliate, spoliation_victim
-from repro.schedulers.online.ready_queue import DualEndedTaskQueue
+from repro.schedulers.online.ready_queue import COMPACT_THRESHOLD, DualEndedTaskQueue
 
 
 # ---------------------------------------------------------------------------
@@ -139,6 +139,128 @@ def test_heteroprio_key_round_trip():
 
 
 # ---------------------------------------------------------------------------
+# tombstone compaction (satellite: adversarial push/pop-min/pop-max mixes)
+# ---------------------------------------------------------------------------
+
+
+def _heap_sizes(queue: DualEndedTaskQueue) -> tuple[int, int]:
+    return (len(queue._min_heap), len(queue._max_heap))
+
+
+def test_one_sided_pops_cannot_pin_the_other_heap():
+    """Adversarial: pop everything via pop_max.  Without compaction the
+    min-heap would keep every tombstone; with it, dead entries stay
+    bounded by max(live, COMPACT_THRESHOLD)."""
+    n = 40 * COMPACT_THRESHOLD
+    queue: DualEndedTaskQueue[int] = DualEndedTaskQueue()
+    for i in range(n):
+        queue.push((float(i), 0.0, i), i)
+    for expected in range(n - 1, -1, -1):
+        assert queue.pop_max() == expected
+        dead_min, dead_max = queue.tombstones()
+        assert dead_max == 0  # pop_max removes eagerly from its own heap
+        assert dead_min <= max(len(queue), COMPACT_THRESHOLD), (
+            f"min-heap holds {dead_min} tombstones with {len(queue)} live"
+        )
+    assert not queue
+    # Sub-threshold tombstones may linger once empty; never more.
+    dead_min, dead_max = queue.tombstones()
+    assert dead_min < COMPACT_THRESHOLD and dead_max < COMPACT_THRESHOLD
+
+
+def test_alternating_ends_stay_compacted():
+    n = 20 * COMPACT_THRESHOLD
+    queue: DualEndedTaskQueue[int] = DualEndedTaskQueue()
+    queue.extend([((float(i), 0.0, i), i) for i in range(n)])
+    lo, hi = 0, n - 1
+    while queue:
+        assert queue.pop_min() == lo
+        lo += 1
+        if queue:
+            assert queue.pop_max() == hi
+            hi -= 1
+        dead_min, dead_max = queue.tombstones()
+        assert dead_min <= max(len(queue), COMPACT_THRESHOLD)
+        assert dead_max <= max(len(queue), COMPACT_THRESHOLD)
+
+
+def test_compaction_preserves_pop_order_under_adversarial_fuzz():
+    """Random interleavings vs a sorted-list mirror, with pressure
+    phases that drain one end to force repeated compactions."""
+    rng = random.Random(1234)
+    queue: DualEndedTaskQueue[int] = DualEndedTaskQueue()
+    mirror: list[tuple[float, float, int]] = []
+    uid = 0
+    for phase in range(6):
+        # Grow well past the compaction threshold.
+        grow = 3 * COMPACT_THRESHOLD + rng.randrange(COMPACT_THRESHOLD)
+        batch = []
+        for _ in range(grow):
+            key = (rng.uniform(0, 4), rng.uniform(-9, 9), uid)
+            uid += 1
+            batch.append((key, key[2]))
+            mirror.append(key)
+        if phase % 2:
+            queue.extend(batch)
+        else:
+            for key, item in batch:
+                queue.push(key, item)
+        mirror.sort()
+        # Drain mostly from one end (the adversarial part), with a
+        # sprinkle of the other end and fresh pushes mid-drain.
+        drain_max = phase % 2 == 0
+        drops = rng.randrange(grow // 2, grow)
+        for _ in range(drops):
+            r = rng.random()
+            if r < 0.1:
+                key = (rng.uniform(0, 4), rng.uniform(-9, 9), uid)
+                uid += 1
+                queue.push(key, key[2])
+                mirror.append(key)
+                mirror.sort()
+            elif (r < 0.8) == drain_max:
+                assert queue.pop_max() == mirror.pop()[2]
+            else:
+                assert queue.pop_min() == mirror.pop(0)[2]
+            assert len(queue) == len(mirror)
+            dead_min, dead_max = queue.tombstones()
+            assert dead_min <= max(len(queue), COMPACT_THRESHOLD)
+            assert dead_max <= max(len(queue), COMPACT_THRESHOLD)
+    while mirror:
+        assert queue.pop_min() == mirror.pop(0)[2]
+    dead_min, dead_max = queue.tombstones()
+    assert dead_min < COMPACT_THRESHOLD and dead_max < COMPACT_THRESHOLD
+
+
+def test_peeks_correct_across_compaction():
+    n = 4 * COMPACT_THRESHOLD
+    queue: DualEndedTaskQueue[int] = DualEndedTaskQueue()
+    queue.extend([((float(i), 0.0, i), i) for i in range(n)])
+    # Drain from the max end until a compaction of the min heap must
+    # have happened, then verify both peeks still agree with the index.
+    for _ in range(n - COMPACT_THRESHOLD // 2):
+        queue.pop_max()
+    remaining = len(queue)
+    assert queue.peek_min_key() == (0.0, 0.0, 0)
+    assert queue.peek_max_key() == (float(remaining - 1), 0.0, remaining - 1)
+    assert [queue.pop_min() for _ in range(remaining)] == list(range(remaining))
+
+
+def test_compaction_threshold_not_triggered_on_small_queues():
+    # Below the threshold, tombstones are tolerated (no rebuild churn):
+    # after popping half of 2*T-2 keys from one end, the other heap may
+    # retain up to T-1 dead entries — under the trigger, never above.
+    n = 2 * COMPACT_THRESHOLD - 2
+    queue: DualEndedTaskQueue[int] = DualEndedTaskQueue()
+    queue.extend([((float(i), 0.0, i), i) for i in range(n)])
+    for _ in range(n // 2):
+        queue.pop_max()
+    dead_min, _ = queue.tombstones()
+    assert dead_min == n // 2  # nothing compacted yet
+    assert dead_min < COMPACT_THRESHOLD
+
+
+# ---------------------------------------------------------------------------
 # spoliation_victim (satellite: shared candidate scan, both victim rules)
 # ---------------------------------------------------------------------------
 
@@ -199,6 +321,62 @@ def test_unknown_victim_rule_rejected():
     cpu = Worker(ResourceKind.CPU, 0)
     with pytest.raises(ValueError, match="victim_rule"):
         spoliation_victim(cpu, 0.0, {}, victim_rule="nope")
+
+
+def test_victim_priority_rule_tie_breaks_on_later_end_then_uid():
+    cpu = Worker(ResourceKind.CPU, 0)
+    # Equal priorities: the later-finishing victim must win.
+    a = Task(name="a", cpu_time=1.0, gpu_time=10.0, priority=3.0)
+    b = Task(name="b", cpu_time=1.0, gpu_time=10.0, priority=3.0)
+    running = _gpu_running([(a, 10.0), (b, 50.0)])
+    action = spoliation_victim(cpu, 0.0, running, victim_rule="priority")
+    assert running[action.victim].task is b
+    # Equal priority AND end: the smaller uid wins (Task uids increase
+    # with construction order, so `a` was minted first).
+    assert a.uid < b.uid
+    running = _gpu_running([(b, 50.0), (a, 50.0)])  # b scanned first
+    action = spoliation_victim(cpu, 0.0, running, victim_rule="priority")
+    assert running[action.victim].task is a
+
+
+def test_victim_completion_rule_tie_breaks_on_priority_then_uid():
+    cpu = Worker(ResourceKind.CPU, 0)
+    low = Task(name="low", cpu_time=1.0, gpu_time=10.0, priority=1.0)
+    high = Task(name="high", cpu_time=1.0, gpu_time=10.0, priority=5.0)
+    # Equal ends: the higher-priority victim must win.
+    running = _gpu_running([(low, 50.0), (high, 50.0)])
+    action = spoliation_victim(cpu, 0.0, running, victim_rule="completion")
+    assert running[action.victim].task is high
+    # Equal end and priority: smaller uid.
+    c = Task(name="c", cpu_time=1.0, gpu_time=10.0, priority=2.0)
+    d = Task(name="d", cpu_time=1.0, gpu_time=10.0, priority=2.0)
+    assert c.uid < d.uid
+    running = _gpu_running([(d, 50.0), (c, 50.0)])
+    action = spoliation_victim(cpu, 0.0, running, victim_rule="completion")
+    assert running[action.victim].task is c
+
+
+def test_victim_tie_break_independent_of_scan_order():
+    """The reduction must pick the same victim for every dict insertion
+    order (the suppressed `.values()` iteration is justified by this)."""
+    cpu = Worker(ResourceKind.CPU, 0)
+    tasks = [
+        Task(name=f"v{i}", cpu_time=1.0, gpu_time=10.0, priority=float(i % 3))
+        for i in range(6)
+    ]
+    ends = [30.0, 40.0, 30.0, 40.0, 30.0, 40.0]
+    pairs = list(zip(tasks, ends))
+    for rule in ("priority", "completion"):
+        winners = set()
+        for rotation in range(len(pairs)):
+            rotated = pairs[rotation:] + pairs[:rotation]
+            running = {
+                Worker(ResourceKind.GPU, i): _view(t, Worker(ResourceKind.GPU, i), 0.0, e)
+                for i, (t, e) in enumerate(rotated)
+            }
+            action = spoliation_victim(cpu, 0.0, running, victim_rule=rule)
+            winners.add(running[action.victim].task.name)
+        assert len(winners) == 1, f"{rule}: victim depends on scan order"
 
 
 def test_near_finished_victim_protected_by_eps():
