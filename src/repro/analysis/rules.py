@@ -75,7 +75,10 @@ _WALL_CLOCK_CALLS = frozenset(
 
 #: Packages whose semantics feed ResultCache/GraphStore keys (the
 #: cache-salt set; kept in sync with
-#: :data:`repro.analysis.fingerprint.SALTED_PACKAGES`).
+#: :data:`repro.analysis.fingerprint.SALTED_PACKAGES`) plus the service
+#: layer, which hands clients cached results and must never let wall
+#: clocks leak into them — its telemetry-only reads carry per-file
+#: suppressions with reasons.
 _RESULT_PRODUCING_PREFIXES = (
     "src/repro/core/",
     "src/repro/simulator/",
@@ -83,6 +86,7 @@ _RESULT_PRODUCING_PREFIXES = (
     "src/repro/dag/",
     "src/repro/bounds/",
     "src/repro/timing/",
+    "src/repro/service/",
 )
 
 #: Files where wall-clock reads are the whole point.

@@ -21,12 +21,13 @@ this engine; ``python -m repro campaign`` is the CLI front end.
 """
 
 from repro.campaign.spec import CODE_VERSION, InstanceSpec
-from repro.campaign.cache import ResultCache
+from repro.campaign.cache import ResultCache, decode_value, encode_value
 from repro.campaign.executor import (
     CampaignOutcome,
     CampaignRecord,
     derive_seeds,
     execute_spec,
+    execute_spec_cached,
     metrics_to_run_metrics,
     run_campaign,
 )
@@ -47,8 +48,11 @@ __all__ = [
     "CampaignStats",
     "run_campaign",
     "execute_spec",
+    "execute_spec_cached",
     "derive_seeds",
     "metrics_to_run_metrics",
     "campaign_id",
     "write_manifest",
+    "encode_value",
+    "decode_value",
 ]

@@ -27,7 +27,7 @@ from typing import Any, Iterator
 from repro.campaign.spec import CODE_VERSION, InstanceSpec
 from repro.io import canonical_dumps
 
-__all__ = ["ResultCache", "CACHE_FORMAT_VERSION"]
+__all__ = ["ResultCache", "CACHE_FORMAT_VERSION", "encode_value", "decode_value"]
 
 CACHE_FORMAT_VERSION = 1
 
@@ -55,6 +55,14 @@ def _decode_value(value: Any) -> Any:
     if isinstance(value, list):
         return [_decode_value(v) for v in value]
     return value
+
+
+#: Public names for the NaN/inf tunnelling codec: metrics payloads that
+#: must cross a JSON boundary (cache files, the service's NDJSON wire
+#: format) encode with :func:`encode_value` and restore with
+#: :func:`decode_value`.
+encode_value = _encode_value
+decode_value = _decode_value
 
 
 class ResultCache:

@@ -63,6 +63,7 @@ __all__ = [
     "CampaignOutcome",
     "run_campaign",
     "execute_spec",
+    "execute_spec_cached",
     "derive_seeds",
     "metrics_to_run_metrics",
     "set_graph_store",
@@ -311,6 +312,30 @@ def _timed_execute(spec: InstanceSpec) -> tuple[dict, float]:
     return metrics, time.perf_counter() - started
 
 
+def execute_spec_cached(
+    spec: InstanceSpec, cache: ResultCache | None = None
+) -> tuple[dict, bool, float]:
+    """Serve *spec* from *cache*, or execute it and store the result.
+
+    The single-spec counterpart of :func:`run_campaign` — the public
+    entry point for callers that handle one request at a time (the
+    :mod:`repro.service` dispatcher).  Returns
+    ``(metrics, cached, elapsed_s)`` where *cached* says whether the
+    payload came from the cache and *elapsed_s* is the simulation cost
+    (recorded cost for a hit, cost just paid for a miss).  Safe to call
+    from worker processes: the cache write is atomic, so concurrent
+    executors sharing a cache directory only ever race benignly.
+    """
+    if cache is not None:
+        entry = cache.get(spec)
+        if entry is not None:
+            return entry["metrics"], True, float(entry.get("elapsed_s", 0.0))
+    metrics, elapsed = _timed_execute(spec)
+    if cache is not None:
+        cache.put(spec, metrics, elapsed_s=elapsed)
+    return metrics, False, elapsed
+
+
 # -- the campaign loop --------------------------------------------------------
 
 
@@ -426,8 +451,23 @@ def run_campaign(
                 "fork" if "fork" in methods else None
             )
             chunk = chunksize or max(1, len(miss_specs) // (4 * effective_jobs))
-            with ctx.Pool(processes=effective_jobs) as pool:
+            # Teardown discipline: ``close()`` + ``join()`` on success
+            # drains the pool cleanly; *any* error — including a
+            # KeyboardInterrupt landing mid-campaign, or a progress
+            # callback raising — terminates the workers before the
+            # exception propagates, so an interrupted campaign never
+            # leaves orphaned processes behind (a long-lived server owns
+            # this pool transitively via execute_spec_cached callers).
+            pool = ctx.Pool(processes=effective_jobs)
+            try:
                 consume(pool.imap(_timed_execute, miss_specs, chunksize=chunk))
+            except BaseException:
+                pool.terminate()
+                raise
+            else:
+                pool.close()
+            finally:
+                pool.join()
 
     stats.wall_s = time.perf_counter() - started_wall
     if cache is not None and manifest:

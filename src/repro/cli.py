@@ -59,9 +59,10 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(ALL_EXPERIMENTS) + ["all", "list", "campaign", "bench", "lint"],
+        choices=sorted(ALL_EXPERIMENTS)
+        + ["all", "list", "campaign", "bench", "lint", "serve", "submit"],
         help="experiment id (paper table/figure), 'all', 'list', 'campaign', "
-        "'bench', or 'lint'",
+        "'bench', 'lint', 'serve', or 'submit'",
     )
     parser.add_argument(
         "--profile",
@@ -129,6 +130,51 @@ def _build_parser() -> argparse.ArgumentParser:
         default=",".join(_CAMPAIGN_DEFAULT_TARGETS),
         help="comma-separated campaign experiments "
         f"(subset of {sorted(_CAMPAIGN_EXPERIMENTS)}; default: fig6,fig7)",
+    )
+    service = parser.add_argument_group("service options (serve/submit/campaign)")
+    service.add_argument(
+        "--spec",
+        metavar="FILE",
+        default=None,
+        help="campaign/submit: a serialized ScheduleRequest or BatchRequest "
+        "JSON file (validated via repro.service.models — the same code "
+        "path the server uses)",
+    )
+    service.add_argument(
+        "--host",
+        metavar="ADDR",
+        default="127.0.0.1",
+        help="serve: bind address; submit: server address (default: 127.0.0.1)",
+    )
+    service.add_argument(
+        "--port",
+        type=int,
+        default=8080,
+        metavar="N",
+        help="serve: listen port (0 = ephemeral); submit: server port "
+        "(default: 8080)",
+    )
+    service.add_argument(
+        "--queue-capacity",
+        type=int,
+        default=64,
+        metavar="N",
+        help="serve: max live jobs before submits get 429 (default: 64)",
+    )
+    service.add_argument(
+        "--concurrency",
+        type=int,
+        default=4,
+        metavar="N",
+        help="serve: concurrent jobs drained from the queue (default: 4)",
+    )
+    service.add_argument(
+        "--pool-workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="serve: multiprocessing pool size for simulations "
+        "(default: 0 = run inline in the server process)",
     )
     bench = parser.add_argument_group("bench options")
     bench.add_argument(
@@ -221,6 +267,44 @@ def _run_one(name: str, args: argparse.Namespace, *, cache=None) -> list:
     return [module.run()]
 
 
+def _run_campaign_spec(args: argparse.Namespace, cache) -> int:
+    """``repro campaign --spec``: run a serialized service request.
+
+    The file is validated through :mod:`repro.service.models` — the
+    exact code path the server uses — so a spec that passes here is a
+    spec the service will accept, and vice versa.  Results land in the
+    same per-tenant cache namespaces the server reads.
+    """
+    from repro.campaign import encode_value, run_campaign
+    from repro.io import canonical_dumps
+    from repro.service.dispatch import namespaced_cache
+    from repro.service.models import BatchRequest, ValidationError, load_request_file
+
+    try:
+        request = load_request_file(args.spec)
+    except ValidationError as exc:
+        for problem in exc.errors:
+            print(f"[campaign] invalid spec: {problem}", file=sys.stderr)
+        return 2
+    requests = (
+        request.requests if isinstance(request, BatchRequest) else (request,)
+    )
+    groups: dict[str, list] = {}
+    for item in requests:
+        groups.setdefault(item.tenant, []).append(item.to_instance_spec())
+    for tenant in sorted(groups):
+        tenant_cache = None if cache is None else namespaced_cache(cache, tenant)
+        outcome = run_campaign(groups[tenant], jobs=args.jobs, cache=tenant_cache)
+        label = f" [tenant {tenant}]" if tenant else ""
+        for record in outcome.records:
+            print(
+                f"{record.spec.label()}{label}: "
+                + canonical_dumps(encode_value(record.metrics))
+            )
+        print(f"[campaign]{label} {outcome.stats.summary()}", file=sys.stderr)
+    return 0
+
+
 def _run_campaign(args: argparse.Namespace) -> int:
     """The ``repro campaign`` subcommand: cached, parallel figure sweeps."""
     from repro.campaign import ResultCache
@@ -245,6 +329,9 @@ def _run_campaign(args: argparse.Namespace) -> int:
     # The in-process sweep memo would mask the cache for repeated panels;
     # campaign runs report true hit/miss counts instead.
     clear_cache()
+
+    if args.spec is not None:
+        return _run_campaign_spec(args, cache)
 
     started = time.perf_counter()
     totals = {"total": 0, "hits": 0, "executed": 0, "exec_s": 0.0}
@@ -312,6 +399,24 @@ def main_dispatch(args: argparse.Namespace) -> int:
         return _run_campaign(args)
     if args.experiment == "bench":
         return _run_bench(args)
+    if args.experiment == "serve":
+        from repro.service.cli import run_serve
+
+        return run_serve(
+            host=args.host,
+            port=args.port,
+            cache_dir=None if args.no_cache else args.cache_dir,
+            capacity=args.queue_capacity,
+            concurrency=args.concurrency,
+            workers=args.pool_workers,
+        )
+    if args.experiment == "submit":
+        if args.spec is None:
+            print("repro submit requires --spec FILE", file=sys.stderr)
+            return 2
+        from repro.service.cli import run_submit
+
+        return run_submit(spec=args.spec, host=args.host, port=args.port)
     if args.experiment == "lint":
         from repro.analysis.cli import run_lint
 

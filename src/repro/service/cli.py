@@ -1,0 +1,123 @@
+"""Bodies of the ``repro serve`` and ``repro submit`` subcommands.
+
+Kept separate from :mod:`repro.cli` (argument plumbing) so the service
+pipeline is importable and unit-testable without a parser::
+
+    repro serve --port 8080 --cache-dir .repro-cache
+    repro submit --spec request.json --port 8080
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+from typing import TextIO
+
+from repro.campaign.cache import encode_value
+from repro.io import canonical_dumps
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.models import (
+    BatchRequest,
+    ScheduleRequest,
+    ValidationError,
+    load_request_file,
+)
+from repro.service.server import ScheduleServer
+
+__all__ = ["run_serve", "run_submit"]
+
+
+def run_serve(
+    *,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    cache_dir: str | None = ".repro-cache",
+    capacity: int = 64,
+    concurrency: int = 4,
+    workers: int = 0,
+    stderr: TextIO | None = None,
+) -> int:
+    """Run the scheduling server until interrupted; returns an exit code."""
+    err = stderr if stderr is not None else sys.stderr
+
+    async def _serve() -> None:
+        server = ScheduleServer(
+            host=host,
+            port=port,
+            cache_dir=cache_dir,
+            capacity=capacity,
+            concurrency=concurrency,
+            workers=workers,
+        )
+        await server.start()
+        mode = f"{workers} pool worker(s)" if workers > 0 else "inline execution"
+        print(
+            f"[serve] listening on http://{server.host}:{server.port} "
+            f"({mode}, queue capacity {capacity}, concurrency {concurrency}, "
+            f"cache: {cache_dir if cache_dir else 'disabled'})",
+            file=err,
+            flush=True,
+        )
+        try:
+            await server.serve_forever()
+        finally:
+            await server.close()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("[serve] interrupted; shut down cleanly", file=err)
+    return 0
+
+
+def run_submit(
+    *,
+    spec: str,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    stdout: TextIO | None = None,
+    stderr: TextIO | None = None,
+) -> int:
+    """Submit a request file to a running server, streaming its events.
+
+    Prints each NDJSON event to stdout as it arrives; exits 0 only if
+    every submitted item succeeded.
+    """
+    out = stdout if stdout is not None else sys.stdout
+    err = stderr if stderr is not None else sys.stderr
+    try:
+        request = load_request_file(spec)
+    except ValidationError as exc:
+        for problem in exc.errors:
+            print(f"[submit] invalid spec: {problem}", file=err)
+        return 2
+
+    async def _submit() -> int:
+        client = ServiceClient(host, port)
+        if isinstance(request, BatchRequest):
+            events = await client.submit_batch(request)
+        else:
+            assert isinstance(request, ScheduleRequest)
+            events = await client.submit(request)
+        ok = True
+        for event in events:
+            print(canonical_dumps(encode_value(event)), file=out)
+            if event.get("event") in ("error", "cancelled"):
+                ok = False
+        return 0 if ok else 1
+
+    try:
+        return asyncio.run(_submit())
+    except ServiceError as exc:
+        retry = (
+            f" (retry after {exc.retry_after_s:.0f}s)"
+            if exc.retry_after_s is not None
+            else ""
+        )
+        print(f"[submit] server refused: HTTP {exc.status}{retry}", file=err)
+        print(json.dumps(exc.payload), file=err)
+        return 1
+    except (ConnectionError, OSError) as exc:
+        print(f"[submit] cannot reach http://{host}:{port}: {exc}", file=err)
+        return 1

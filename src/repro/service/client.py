@@ -1,0 +1,201 @@
+"""A minimal asyncio HTTP client for the scheduling service.
+
+Speaks exactly the dialect :mod:`repro.service.server` serves — one
+request per connection, ``Connection: close``, NDJSON streams delimited
+by EOF — using only the standard library.  Used by the test suite, the
+``repro submit`` CLI and anyone scripting against a running server.
+
+Metrics in ``result`` events are decoded back through the campaign
+cache codec (:func:`repro.campaign.cache.decode_value`), so NaN and
+infinite values round-trip the wire intact.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, AsyncIterator
+
+from repro.campaign.cache import decode_value
+from repro.service.models import BatchRequest, ScheduleRequest
+
+__all__ = ["ServiceClient", "ServiceError", "HttpResponse"]
+
+
+class ServiceError(Exception):
+    """A non-2xx response; carries the status and parsed body."""
+
+    def __init__(self, status: int, payload: Any, headers: dict[str, str]):
+        self.status = status
+        self.payload = payload
+        self.headers = headers
+        self.retry_after_s = _to_float(headers.get("retry-after"))
+        super().__init__(f"HTTP {status}: {payload}")
+
+
+def _to_float(value: str | None) -> float | None:
+    if value is None:
+        return None
+    try:
+        return float(value)
+    except ValueError:
+        return None
+
+
+class HttpResponse:
+    """One fully-read response."""
+
+    def __init__(self, status: int, headers: dict[str, str], body: bytes):
+        self.status = status
+        self.headers = headers
+        self.body = body
+
+    def json(self) -> Any:
+        return json.loads(self.body.decode("utf-8"))
+
+
+class ServiceClient:
+    """Client for one server address."""
+
+    def __init__(self, host: str, port: int):
+        self.host = host
+        self.port = port
+
+    # -- low-level HTTP ------------------------------------------------------
+
+    async def _open(
+        self, method: str, path: str, payload: Any = None
+    ) -> tuple[int, dict[str, str], asyncio.StreamReader, asyncio.StreamWriter]:
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        body = b"" if payload is None else json.dumps(payload).encode("utf-8")
+        head_lines = [
+            f"{method} {path} HTTP/1.1",
+            f"host: {self.host}:{self.port}",
+            "connection: close",
+        ]
+        if body:
+            head_lines.append("content-type: application/json")
+        head_lines.append(f"content-length: {len(body)}")
+        writer.write(("\r\n".join(head_lines) + "\r\n\r\n").encode("latin-1") + body)
+        await writer.drain()
+
+        status_line = (await reader.readline()).decode("latin-1").rstrip("\r\n")
+        parts = status_line.split(" ", 2)
+        if len(parts) < 2 or not parts[0].startswith("HTTP/1."):
+            writer.close()
+            raise ServiceError(0, f"malformed status line {status_line!r}", {})
+        status = int(parts[1])
+        headers: dict[str, str] = {}
+        while True:
+            line = (await reader.readline()).decode("latin-1").rstrip("\r\n")
+            if not line:
+                break
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        return status, headers, reader, writer
+
+    async def request(self, method: str, path: str, payload: Any = None) -> HttpResponse:
+        """One buffered request/response exchange."""
+        status, headers, reader, writer = await self._open(method, path, payload)
+        try:
+            if "content-length" in headers:
+                body = await reader.readexactly(int(headers["content-length"]))
+            else:
+                body = await reader.read()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        return HttpResponse(status, headers, body)
+
+    async def stream(
+        self, method: str, path: str, payload: Any = None
+    ) -> AsyncIterator[dict[str, Any]]:
+        """Issue a request and yield its NDJSON events one by one.
+
+        A non-2xx status raises :class:`ServiceError` (with the decoded
+        body) before anything is yielded.
+        """
+        status, headers, reader, writer = await self._open(method, path, payload)
+        try:
+            if status >= 300:
+                body = await reader.read()
+                raise ServiceError(status, _parse_maybe_json(body), headers)
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                text = line.decode("utf-8").strip()
+                if text:
+                    yield json.loads(text)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    # -- service verbs -------------------------------------------------------
+
+    async def health(self) -> dict[str, Any]:
+        return self._expect_ok(await self.request("GET", "/healthz"))
+
+    async def stats(self) -> dict[str, Any]:
+        return self._expect_ok(await self.request("GET", "/v1/stats"))
+
+    async def job(self, job_id: str) -> dict[str, Any]:
+        return self._expect_ok(await self.request("GET", f"/v1/jobs/{job_id}"))
+
+    async def cancel(self, job_id: str) -> dict[str, Any]:
+        return self._expect_ok(await self.request("DELETE", f"/v1/jobs/{job_id}"))
+
+    async def submit(
+        self, request: ScheduleRequest | dict[str, Any]
+    ) -> list[dict[str, Any]]:
+        """Submit one request, wait for it, return the decoded events.
+
+        The final element is the terminal event; ``result`` events carry
+        their metrics decoded (NaN/inf restored).
+        """
+        payload = (
+            request.to_dict() if isinstance(request, ScheduleRequest) else request
+        )
+        return [
+            _decode_event(event)
+            async for event in self.stream("POST", "/v1/schedule", payload)
+        ]
+
+    async def submit_batch(
+        self, batch: BatchRequest | dict[str, Any]
+    ) -> list[dict[str, Any]]:
+        """Submit a batch and collect its decoded event stream."""
+        payload = batch.to_dict() if isinstance(batch, BatchRequest) else batch
+        return [
+            _decode_event(event)
+            async for event in self.stream("POST", "/v1/batch", payload)
+        ]
+
+    @staticmethod
+    def _expect_ok(response: HttpResponse) -> dict[str, Any]:
+        payload = _parse_maybe_json(response.body)
+        if response.status >= 300:
+            raise ServiceError(response.status, payload, response.headers)
+        if not isinstance(payload, dict):
+            raise ServiceError(response.status, payload, response.headers)
+        return payload
+
+
+def _parse_maybe_json(body: bytes) -> Any:
+    text = body.decode("utf-8", errors="replace").strip()
+    try:
+        return json.loads(text)
+    except ValueError:
+        return text
+
+
+def _decode_event(event: dict[str, Any]) -> dict[str, Any]:
+    if "metrics" in event and event["metrics"] is not None:
+        event = {**event, "metrics": decode_value(event["metrics"])}
+    return event

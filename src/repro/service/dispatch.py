@@ -1,0 +1,230 @@
+# repro-lint: disable=wall-clock -- time.monotonic here times executor round
+# trips for the stats endpoint only; metrics payloads are computed by
+# execute_spec, which is deterministic in the spec and never sees the clock.
+"""The bridge between the async service and the campaign engine.
+
+One :class:`Dispatcher` owns the compute resources of a server:
+
+* **warm path** — a request whose spec is already in the tenant's
+  :class:`~repro.campaign.cache.ResultCache` is answered from disk
+  without touching an executor (counted in ``cache_hits``);
+* **single-flight** — concurrent requests for the same (tenant, spec
+  hash) coalesce onto one in-flight execution; followers await the
+  leader's future instead of recomputing (counted in ``coalesced``);
+* **cold path** — misses run :func:`repro.campaign.execute_spec_cached`
+  on a ``multiprocessing`` pool via ``loop.run_in_executor`` (the pool
+  blocks a default-executor thread, the simulation runs in a forked
+  worker), so CPU-bound scheduling work never stalls the event loop;
+* **tenant namespaces** — each tenant's results live under
+  ``<cache root>/tenants/<tenant>/``; the tenant is folded into the
+  cache *directory*, never into the content hash, so identical specs
+  share a key across namespaces while their entries stay isolated.
+  Compiled graphs are tenant-independent content and stay shared in
+  ``<cache root>/graphs`` via the campaign
+  :class:`~repro.campaign.graph_store.GraphStore`.
+
+``workers=0`` runs simulations inline on the default thread executor,
+serialised by a lock (the per-process graph memos are mutable shared
+state) — the deterministic mode the tests and CI smoke runs use.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import time
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.campaign.cache import ResultCache
+from repro.campaign.executor import execute_spec_cached, set_graph_store
+from repro.campaign.graph_store import GraphStore
+from repro.campaign.spec import CODE_VERSION, InstanceSpec
+
+__all__ = ["DispatchResult", "Dispatcher", "namespaced_cache"]
+
+
+def namespaced_cache(cache: ResultCache, tenant: str) -> ResultCache:
+    """The per-tenant view of *cache*: same salt, tenant-scoped directory.
+
+    The empty tenant is the root namespace (the cache itself), so
+    anonymous requests and the ``repro campaign`` CLI share entries.
+    """
+    if not tenant:
+        return cache
+    return ResultCache(cache.root / "tenants" / tenant, salt=cache.salt)
+
+
+@dataclass(frozen=True)
+class DispatchResult:
+    """What one dispatched request produced."""
+
+    metrics: dict[str, Any]
+    cached: bool
+    coalesced: bool
+    elapsed_s: float
+    key: str
+
+
+class Dispatcher:
+    """Cache-aware, deduplicating executor front end (one per server)."""
+
+    def __init__(
+        self,
+        cache_root: str | Path | None,
+        *,
+        salt: str = CODE_VERSION,
+        workers: int = 0,
+        execute_fn: Callable[[InstanceSpec], dict[str, Any]] | None = None,
+    ):
+        self.salt = salt
+        self._root_cache = (
+            None if cache_root is None else ResultCache(cache_root, salt=salt)
+        )
+        self._tenant_caches: dict[str, ResultCache] = {}
+        self._inflight: dict[
+            tuple[str, str], "asyncio.Future[tuple[str, Any]]"
+        ] = {}
+        self._execute_fn = execute_fn
+        self._inline_lock = asyncio.Lock()
+        self._pool: Any = None
+        if workers > 0 and execute_fn is None:
+            methods = multiprocessing.get_all_start_methods()
+            ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
+            self._pool = ctx.Pool(processes=workers)
+        self.workers = workers if self._pool is not None else 0
+        if self._root_cache is not None:
+            # Forked pool workers inherit the process-global graph store,
+            # so every process of the service shares one on-disk set of
+            # compiled graphs (graph content is tenant-independent).
+            set_graph_store(GraphStore(self._root_cache.root / "graphs", salt=salt))
+        self.counters = {
+            "requests": 0,
+            "cache_hits": 0,
+            "executed": 0,
+            "coalesced": 0,
+            "errors": 0,
+        }
+
+    # -- caches --------------------------------------------------------------
+
+    def cache_for(self, tenant: str) -> ResultCache | None:
+        """The tenant's namespace cache (memoised), or ``None`` uncached."""
+        if self._root_cache is None:
+            return None
+        cache = self._tenant_caches.get(tenant)
+        if cache is None:
+            cache = namespaced_cache(self._root_cache, tenant)
+            self._tenant_caches[tenant] = cache
+        return cache
+
+    # -- execution -----------------------------------------------------------
+
+    async def run(self, spec: InstanceSpec, *, tenant: str = "") -> DispatchResult:
+        """Resolve one spec: warm hit, coalesced follow, or cold execute."""
+        self.counters["requests"] += 1
+        key = spec.spec_hash(salt=self.salt)
+        cache = self.cache_for(tenant)
+        if cache is not None:
+            entry = cache.get(spec)
+            if entry is not None:
+                self.counters["cache_hits"] += 1
+                return DispatchResult(
+                    metrics=entry["metrics"],
+                    cached=True,
+                    coalesced=False,
+                    elapsed_s=float(entry.get("elapsed_s", 0.0)),
+                    key=key,
+                )
+
+        flight = (tenant, key)
+        leader_future = self._inflight.get(flight)
+        if leader_future is not None:
+            self.counters["coalesced"] += 1
+            outcome, value = await leader_future
+            if outcome == "err":
+                raise value
+            return replace(value, coalesced=True)
+
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future[tuple[str, Any]]" = loop.create_future()
+        self._inflight[flight] = future
+        try:
+            result = await self._execute(spec, cache, key)
+        except BaseException as exc:
+            self.counters["errors"] += 1
+            # Settle followers with the same failure; a plain tuple (not
+            # set_exception) so an unobserved future never warns.
+            future.set_result(("err", exc))
+            raise
+        else:
+            future.set_result(("ok", result))
+            return result
+        finally:
+            self._inflight.pop(flight, None)
+
+    async def _execute(
+        self, spec: InstanceSpec, cache: ResultCache | None, key: str
+    ) -> DispatchResult:
+        loop = asyncio.get_running_loop()
+        started = time.monotonic()
+        if self._execute_fn is not None:
+            # Test seam: run the injected callable inline (serialised —
+            # stubs may share state just like the real graph memos).
+            fn = self._execute_fn
+            async with self._inline_lock:
+                metrics = await loop.run_in_executor(None, fn, spec)
+            cached = False
+            elapsed_s = time.monotonic() - started
+            if cache is not None:
+                cache.put(spec, metrics, elapsed_s=elapsed_s)
+        elif self._pool is not None:
+            # The blocking pool round trip parks on a default-executor
+            # thread; the simulation itself runs in a forked worker.
+            # Workers check and feed the tenant cache themselves (atomic
+            # writes), so a result is durable the moment it returns.
+            pool = self._pool
+            metrics, cached, elapsed_s = await loop.run_in_executor(
+                None, pool.apply, execute_spec_cached, (spec, cache)
+            )
+        else:
+            # Inline mode: the per-process graph memos are shared mutable
+            # state, so simulations are serialised by the lock.
+            async with self._inline_lock:
+                metrics, cached, elapsed_s = await loop.run_in_executor(
+                    None, execute_spec_cached, spec, cache
+                )
+        if not cached:
+            self.counters["executed"] += 1
+        else:
+            self.counters["cache_hits"] += 1
+        return DispatchResult(
+            metrics=metrics,
+            cached=cached,
+            coalesced=False,
+            elapsed_s=elapsed_s,
+            key=key,
+        )
+
+    # -- observation / lifecycle ---------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            **self.counters,
+            "mode": "pool" if self._pool is not None else "inline",
+            "workers": self.workers,
+            "inflight": len(self._inflight),
+            "tenants": sorted(self._tenant_caches),
+            "cache_root": (
+                None if self._root_cache is None else str(self._root_cache.root)
+            ),
+            "salt": self.salt,
+        }
+
+    def close(self) -> None:
+        """Terminate the worker pool (idempotent; safe on error paths)."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.terminate()
+            pool.join()

@@ -353,3 +353,63 @@ class TestCampaignCli:
 
         assert main(["fig6", "--kernel", "qr", "--fast", "--jobs", "1"]) == 0
         assert "heteroprio" in capsys.readouterr().out
+
+
+def _boom_timed_execute(spec):
+    """Module-level so the worker pool can pickle it (fork or spawn)."""
+    raise ValueError(f"injected child failure for {spec.label()}")
+
+
+class TestExecuteSpecCached:
+    def test_miss_then_hit(self, tmp_path):
+        from repro.campaign import execute_spec_cached
+
+        spec = InstanceSpec(workload="cholesky", size=4, algorithm="heteroprio-min")
+        cache = ResultCache(tmp_path)
+        metrics, cached, elapsed = execute_spec_cached(spec, cache)
+        assert not cached and elapsed > 0
+        assert canon(metrics) == canon(execute_spec(spec))
+        warm, warm_cached, warm_elapsed = execute_spec_cached(spec, cache)
+        assert warm_cached
+        assert canon(warm) == canon(metrics)
+        assert warm_elapsed == pytest.approx(elapsed)
+
+    def test_without_cache_always_executes(self):
+        from repro.campaign import execute_spec_cached
+
+        spec = InstanceSpec(workload="cholesky", size=4, algorithm="heft-avg")
+        metrics, cached, _ = execute_spec_cached(spec)
+        again, again_cached, _ = execute_spec_cached(spec)
+        assert not cached and not again_cached
+        assert canon(metrics) == canon(again)
+
+    def test_entries_interchangeable_with_run_campaign(self, tmp_path):
+        from repro.campaign import execute_spec_cached
+
+        spec = InstanceSpec(workload="cholesky", size=4, algorithm="dualhp-min")
+        cache = ResultCache(tmp_path)
+        execute_spec_cached(spec, cache)
+        warm = run_campaign([spec], jobs=1, cache=cache)
+        assert warm.stats.hits == 1 and warm.stats.executed == 0
+
+
+class TestPoolTeardown:
+    """An interrupted or failing campaign never leaves orphaned workers."""
+
+    def test_child_error_propagates_and_pool_is_reaped(self, monkeypatch):
+        import multiprocessing
+
+        monkeypatch.setattr(executor_mod, "_timed_execute", _boom_timed_execute)
+        with pytest.raises(ValueError, match="injected child failure"):
+            run_campaign(small_specs()[:4], jobs=2)
+        assert multiprocessing.active_children() == []
+
+    def test_keyboard_interrupt_in_progress_callback_reaps_the_pool(self):
+        import multiprocessing
+
+        def interrupt(event):
+            raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            run_campaign(small_specs()[:4], jobs=2, progress=interrupt)
+        assert multiprocessing.active_children() == []

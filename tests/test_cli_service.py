@@ -1,0 +1,168 @@
+"""CLI tests for the service layer: campaign --spec, serve and submit."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+
+from repro.cli import main
+from repro.service.models import PolicySpec, ScheduleRequest, WorkloadSpec
+from repro.service.server import ScheduleServer
+
+
+def write_spec(tmp_path, payload, name="request.json"):
+    path = tmp_path / name
+    path.write_text(json.dumps(payload), encoding="utf-8")
+    return str(path)
+
+
+SINGLE = {
+    "workload": {"family": "cholesky", "size": 4},
+    "policy": {"algorithm": "heteroprio-min"},
+}
+
+BATCH = {
+    "kind": "batch",
+    "requests": [
+        {
+            "workload": {"family": "cholesky", "size": 4},
+            "policy": {"algorithm": "heteroprio-min"},
+            "tenant": "team-a",
+        },
+        {
+            "workload": {"family": "cholesky", "size": 4},
+            "policy": {"algorithm": "heft-avg"},
+            "tenant": "team-b",
+        },
+        {
+            "workload": {"family": "cholesky", "size": 4},
+            "policy": {"algorithm": "heteroprio-min"},
+        },
+    ],
+}
+
+
+class TestCampaignSpec:
+    def test_single_request_cold_then_warm(self, tmp_path, capsys):
+        spec_file = write_spec(tmp_path, SINGLE)
+        cache_dir = str(tmp_path / "cache")
+        argv = [
+            "campaign", "--spec", spec_file, "--jobs", "1",
+            "--cache-dir", cache_dir,
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr()
+        assert "cholesky" in out.out and "makespan" in out.out
+        assert "0 cache hits" in out.err
+        assert main(argv) == 0
+        assert "(100%)" in capsys.readouterr().err  # warm: all hits
+
+    def test_batch_groups_by_tenant_namespace(self, tmp_path, capsys):
+        spec_file = write_spec(tmp_path, BATCH)
+        cache_dir = tmp_path / "cache"
+        argv = [
+            "campaign", "--spec", spec_file, "--jobs", "1",
+            "--cache-dir", str(cache_dir),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr()
+        assert "[tenant team-a]" in out.out
+        assert "[tenant team-b]" in out.out
+        assert (cache_dir / "tenants" / "team-a").is_dir()
+        assert (cache_dir / "tenants" / "team-b").is_dir()
+        # The anonymous request lands in the root namespace.
+        assert any((cache_dir).glob("*/*.json"))
+
+    def test_cache_entries_are_shared_with_the_server_path(self, tmp_path, capsys):
+        """CLI-warmed entries are exactly what the dispatcher would read."""
+        from repro.service.dispatch import Dispatcher
+
+        spec_file = write_spec(
+            tmp_path, {**SINGLE, "tenant": "team-a"}
+        )
+        cache_dir = str(tmp_path / "cache")
+        assert main(
+            ["campaign", "--spec", spec_file, "--jobs", "1", "--cache-dir", cache_dir]
+        ) == 0
+        capsys.readouterr()
+
+        async def body():
+            dispatcher = Dispatcher(cache_dir)
+            request = ScheduleRequest(
+                workload=WorkloadSpec(family="cholesky", size=4),
+                policy=PolicySpec(algorithm="heteroprio-min"),
+                tenant="team-a",
+            )
+            result = await dispatcher.run(
+                request.to_instance_spec(), tenant=request.tenant
+            )
+            dispatcher.close()
+            return result
+
+        result = asyncio.run(body())
+        assert result.cached
+
+    def test_invalid_spec_file_is_exit_2(self, tmp_path, capsys):
+        bad = write_spec(
+            tmp_path,
+            {"workload": {"family": "svd", "size": 4},
+             "policy": {"algorithm": "heteroprio-min"}},
+        )
+        assert main(["campaign", "--spec", bad, "--no-cache"]) == 2
+        assert "invalid spec" in capsys.readouterr().err
+        assert main(["campaign", "--spec", str(tmp_path / "missing.json")]) == 2
+        assert "cannot read spec file" in capsys.readouterr().err
+
+
+class TestSubmitCli:
+    def test_submit_requires_a_spec(self, capsys):
+        assert main(["submit"]) == 2
+        assert "--spec" in capsys.readouterr().err
+
+    def test_submit_against_no_server_fails_cleanly(self, tmp_path, capsys):
+        spec_file = write_spec(tmp_path, SINGLE)
+        # Port 1 is never listening; the client should fail, not hang.
+        assert main(["submit", "--spec", spec_file, "--port", "1"]) == 1
+        assert "cannot reach" in capsys.readouterr().err
+
+    def test_submit_round_trip_against_a_live_server(self, tmp_path, capsys):
+        """repro submit → repro serve → engine → NDJSON back out."""
+        spec_file = write_spec(tmp_path, SINGLE)
+        ready = threading.Event()
+        handle: dict = {}
+
+        def serve() -> None:
+            async def body():
+                server = ScheduleServer(
+                    host="127.0.0.1", port=0,
+                    cache_dir=str(tmp_path / "cache"), workers=0,
+                )
+                await server.start()
+                handle["port"] = server.port
+                handle["loop"] = asyncio.get_running_loop()
+                handle["stop"] = handle["loop"].create_future()
+                ready.set()
+                await handle["stop"]
+                await server.close()
+
+            asyncio.run(body())
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        assert ready.wait(timeout=30)
+        try:
+            code = main(
+                ["submit", "--spec", spec_file, "--port", str(handle["port"])]
+            )
+            out = capsys.readouterr().out
+            assert code == 0
+            lines = [json.loads(line) for line in out.splitlines() if line]
+            assert [e["event"] for e in lines] == ["accepted", "result"]
+            assert lines[-1]["state"] == "succeeded"
+            assert "makespan" in lines[-1]["metrics"]
+        finally:
+            handle["loop"].call_soon_threadsafe(
+                handle["stop"].set_result, None
+            )
+            thread.join(timeout=30)

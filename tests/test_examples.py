@@ -33,3 +33,15 @@ def test_examples_exist():
     names = {p.name for p in EXAMPLES}
     assert "quickstart.py" in names
     assert len(names) >= 3
+
+
+def test_example_request_files_validate():
+    """Every shipped request spec parses through the service models."""
+    from repro.service.models import load_request_file
+
+    requests = sorted(
+        (Path(__file__).parent.parent / "examples" / "requests").glob("*.json")
+    )
+    assert requests, "no example request files found"
+    for path in requests:
+        load_request_file(path)

@@ -1,0 +1,230 @@
+"""Tests for the dispatcher bridge (repro.service.dispatch)."""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro import io
+from repro.campaign import InstanceSpec, ResultCache, execute_spec
+from repro.campaign.cache import encode_value
+from repro.service.dispatch import Dispatcher, namespaced_cache
+
+
+def canon(metrics: dict) -> str:
+    """NaN/inf-tolerant canonical form for exact metric comparison."""
+    return io.canonical_dumps(encode_value(metrics))
+
+
+SPEC = InstanceSpec(workload="cholesky", size=4, algorithm="heteroprio-min")
+OTHER = InstanceSpec(workload="cholesky", size=4, algorithm="heft-avg")
+
+
+class TestNamespacedCache:
+    def test_empty_tenant_is_the_root_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert namespaced_cache(cache, "") is cache
+
+    def test_tenant_gets_its_own_directory_same_salt(self, tmp_path):
+        cache = ResultCache(tmp_path, salt="s1")
+        scoped = namespaced_cache(cache, "team-a")
+        assert scoped.root == cache.root / "tenants" / "team-a"
+        assert scoped.salt == cache.salt
+
+    def test_tenants_share_keys_but_not_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        a = namespaced_cache(cache, "team-a")
+        b = namespaced_cache(cache, "team-b")
+        a.put(SPEC, {"makespan": 1.0})
+        assert a.get(SPEC) is not None
+        assert b.get(SPEC) is None
+        assert cache.get(SPEC) is None
+
+
+class TestDispatcher:
+    def test_warm_hit_skips_execution(self, tmp_path):
+        async def body():
+            calls = {"n": 0}
+
+            def fake_execute(spec):
+                calls["n"] += 1
+                return {"makespan": 7.0}
+
+            dispatcher = Dispatcher(tmp_path, execute_fn=fake_execute)
+            cold = await dispatcher.run(SPEC)
+            warm = await dispatcher.run(SPEC)
+            dispatcher.close()
+            assert calls["n"] == 1
+            assert not cold.cached and warm.cached
+            assert warm.metrics == cold.metrics == {"makespan": 7.0}
+            assert cold.key == warm.key == SPEC.spec_hash(salt=dispatcher.salt)
+            assert dispatcher.counters["cache_hits"] == 1
+            assert dispatcher.counters["executed"] == 1
+
+        asyncio.run(body())
+
+    def test_tenant_isolation_recomputes_per_namespace(self, tmp_path):
+        async def body():
+            calls = {"n": 0}
+
+            def fake_execute(spec):
+                calls["n"] += 1
+                return {"makespan": float(calls["n"])}
+
+            dispatcher = Dispatcher(tmp_path, execute_fn=fake_execute)
+            first = await dispatcher.run(SPEC, tenant="team-a")
+            other = await dispatcher.run(SPEC, tenant="team-b")
+            again = await dispatcher.run(SPEC, tenant="team-a")
+            dispatcher.close()
+            assert calls["n"] == 2  # one per namespace, not three
+            assert not first.cached and not other.cached and again.cached
+            assert again.metrics == first.metrics
+            assert sorted(dispatcher.stats()["tenants"]) == ["team-a", "team-b"]
+
+        asyncio.run(body())
+
+    def test_single_flight_coalesces_concurrent_duplicates(self, tmp_path):
+        async def body():
+            release = asyncio.Event()
+            calls = {"n": 0}
+
+            def slow_execute(spec):
+                calls["n"] += 1
+                return {"makespan": 3.0}
+
+            dispatcher = Dispatcher(tmp_path, execute_fn=slow_execute)
+
+            # Hold the inline lock so the leader parks inside _execute and
+            # the followers find the in-flight future.
+            await dispatcher._inline_lock.acquire()
+            tasks = [
+                asyncio.ensure_future(dispatcher.run(SPEC)) for _ in range(3)
+            ]
+            await asyncio.sleep(0.01)
+            dispatcher._inline_lock.release()
+            release.set()
+            results = await asyncio.gather(*tasks)
+            dispatcher.close()
+
+            assert calls["n"] == 1
+            assert sum(1 for r in results if r.coalesced) == 2
+            assert all(r.metrics == {"makespan": 3.0} for r in results)
+            assert dispatcher.counters["coalesced"] == 2
+            assert dispatcher.counters["executed"] == 1
+
+        asyncio.run(body())
+
+    def test_single_flight_keys_include_the_tenant(self, tmp_path):
+        async def body():
+            calls = {"n": 0}
+
+            def fake_execute(spec):
+                calls["n"] += 1
+                return {"makespan": 1.0}
+
+            dispatcher = Dispatcher(tmp_path, execute_fn=fake_execute)
+            await dispatcher._inline_lock.acquire()
+            tasks = [
+                asyncio.ensure_future(dispatcher.run(SPEC, tenant="a")),
+                asyncio.ensure_future(dispatcher.run(SPEC, tenant="b")),
+            ]
+            await asyncio.sleep(0.01)
+            assert len(dispatcher._inflight) == 2  # distinct flights
+            dispatcher._inline_lock.release()
+            results = await asyncio.gather(*tasks)
+            dispatcher.close()
+            assert calls["n"] == 2
+            assert not any(r.coalesced for r in results)
+
+        asyncio.run(body())
+
+    def test_errors_propagate_to_leader_and_followers(self, tmp_path):
+        async def body():
+            def broken_execute(spec):
+                raise RuntimeError("engine exploded")
+
+            dispatcher = Dispatcher(tmp_path, execute_fn=broken_execute)
+            await dispatcher._inline_lock.acquire()
+            tasks = [
+                asyncio.ensure_future(dispatcher.run(SPEC)) for _ in range(2)
+            ]
+            await asyncio.sleep(0.01)
+            dispatcher._inline_lock.release()
+            results = await asyncio.gather(*tasks, return_exceptions=True)
+            dispatcher.close()
+            assert all(isinstance(r, RuntimeError) for r in results)
+            assert dispatcher.counters["errors"] == 1  # one real failure
+            assert not dispatcher._inflight  # flight cleaned up
+
+        asyncio.run(body())
+
+    def test_inline_mode_runs_the_real_engine(self, tmp_path):
+        async def body():
+            dispatcher = Dispatcher(tmp_path, workers=0)
+            first = await dispatcher.run(SPEC)
+            second = await dispatcher.run(SPEC)
+            dispatcher.close()
+            assert canon(first.metrics) == canon(execute_spec(SPEC))
+            assert not first.cached and second.cached
+            assert canon(second.metrics) == canon(first.metrics)
+
+        asyncio.run(body())
+
+    def test_uncached_dispatcher_always_executes(self):
+        async def body():
+            calls = {"n": 0}
+
+            def fake_execute(spec):
+                calls["n"] += 1
+                return {"makespan": 1.0}
+
+            dispatcher = Dispatcher(None, execute_fn=fake_execute)
+            await dispatcher.run(SPEC)
+            await dispatcher.run(SPEC)
+            dispatcher.close()
+            assert calls["n"] == 2
+            assert dispatcher.cache_for("anyone") is None
+            assert dispatcher.stats()["cache_root"] is None
+
+        asyncio.run(body())
+
+    def test_distinct_specs_do_not_coalesce(self, tmp_path):
+        async def body():
+            calls = {"n": 0}
+
+            def fake_execute(spec):
+                calls["n"] += 1
+                return {"makespan": float(calls["n"])}
+
+            dispatcher = Dispatcher(tmp_path, execute_fn=fake_execute)
+            a, b = await asyncio.gather(
+                dispatcher.run(SPEC), dispatcher.run(OTHER)
+            )
+            dispatcher.close()
+            assert calls["n"] == 2
+            assert a.key != b.key
+
+        asyncio.run(body())
+
+    def test_close_is_idempotent(self, tmp_path):
+        dispatcher = Dispatcher(tmp_path, workers=0)
+        dispatcher.close()
+        dispatcher.close()
+
+
+class TestPoolMode:
+    def test_pool_execution_matches_inline(self, tmp_path):
+        async def body():
+            dispatcher = Dispatcher(tmp_path / "pool", workers=1)
+            try:
+                assert dispatcher.stats()["mode"] == "pool"
+                result = await dispatcher.run(SPEC)
+            finally:
+                dispatcher.close()
+            assert canon(result.metrics) == canon(execute_spec(SPEC))
+            assert not result.cached
+            # The forked worker wrote through to the tenant cache.
+            warm = ResultCache(tmp_path / "pool").get(SPEC)
+            assert warm is not None
+            assert canon(warm["metrics"]) == canon(result.metrics)
+
+        asyncio.run(body())

@@ -1,0 +1,221 @@
+"""Tests for the service request models (repro.service.models)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign import CODE_VERSION, InstanceSpec
+from repro.service.models import (
+    MAX_BATCH_SIZE,
+    BatchRequest,
+    PlatformSpec,
+    PolicySpec,
+    RetryPolicy,
+    ScheduleRequest,
+    ValidationError,
+    WorkloadSpec,
+    load_request,
+    load_request_file,
+    load_request_text,
+)
+
+
+def make_request(**overrides) -> ScheduleRequest:
+    fields = dict(
+        workload=WorkloadSpec(family="cholesky", size=4),
+        policy=PolicySpec(algorithm="heteroprio-min"),
+    )
+    fields.update(overrides)
+    return ScheduleRequest(**fields)
+
+
+class TestValidation:
+    def test_unknown_keys_rejected_with_path(self):
+        with pytest.raises(ValidationError, match="request: unknown field"):
+            ScheduleRequest.from_dict(
+                {
+                    "workload": {"family": "cholesky", "size": 4},
+                    "policy": {"algorithm": "heteroprio-min"},
+                    "wrokload": {},
+                }
+            )
+        with pytest.raises(ValidationError, match="request.workload: unknown"):
+            ScheduleRequest.from_dict(
+                {
+                    "workload": {"family": "cholesky", "size": 4, "sizes": 4},
+                    "policy": {"algorithm": "heteroprio-min"},
+                }
+            )
+
+    def test_required_fields(self):
+        with pytest.raises(ValidationError, match="workload: required"):
+            ScheduleRequest.from_dict({"policy": {"algorithm": "heft-avg"}})
+        with pytest.raises(ValidationError, match="policy: required"):
+            ScheduleRequest.from_dict(
+                {"workload": {"family": "cholesky", "size": 4}}
+            )
+        with pytest.raises(ValidationError, match="workload.family: required"):
+            WorkloadSpec.from_dict({"size": 4})
+
+    def test_mode_algorithm_bound_consistency(self):
+        # dag mode: unknown family / ranking / bound.
+        with pytest.raises(ValidationError, match="algorithm family"):
+            PolicySpec(algorithm="svd-min")
+        with pytest.raises(ValidationError, match="unknown ranking"):
+            PolicySpec(algorithm="heteroprio-median")
+        with pytest.raises(ValidationError, match="policy.bound"):
+            PolicySpec(algorithm="heteroprio-min", bound="area")
+        # independent mode: dag-only spellings rejected.
+        with pytest.raises(ValidationError, match="independent-mode"):
+            PolicySpec(algorithm="buckets", mode="independent")
+        with pytest.raises(ValidationError, match="area bound"):
+            PolicySpec(algorithm="heteroprio", mode="independent", bound="lp")
+
+    def test_seeded_workload_requires_seed(self):
+        with pytest.raises(ValidationError, match="requires an explicit seed"):
+            WorkloadSpec(family="layered", size=3)
+        WorkloadSpec(family="layered", size=3, seed=7)  # fine with a seed
+
+    def test_type_coercion_accepts_numeric_strings_and_integral_floats(self):
+        workload = WorkloadSpec.from_dict(
+            {"family": "cholesky", "size": "6", "seed": 3.0}
+        )
+        assert workload.size == 6 and workload.seed == 3
+        with pytest.raises(ValidationError, match="workload.size"):
+            WorkloadSpec.from_dict({"family": "cholesky", "size": 4.5})
+        with pytest.raises(ValidationError, match="expected an integer"):
+            WorkloadSpec.from_dict({"family": "cholesky", "size": True})
+
+    def test_empty_values_coerce_to_defaults(self):
+        request = ScheduleRequest.from_dict(
+            {
+                "workload": {"family": "cholesky", "size": 4, "params": {}},
+                "policy": {"algorithm": "heteroprio-min", "mode": "", "bound": None},
+                "platform": {},
+                "tenant": "",
+                "retry": None,
+            }
+        )
+        assert request.policy.mode == "dag"
+        assert request.policy.bound == "auto"
+        assert request.platform == PlatformSpec()
+        assert request.retry == RetryPolicy()
+
+    def test_tenant_validation(self):
+        make_request(tenant="team-a.prod_7")  # filesystem-safe id is fine
+        with pytest.raises(ValidationError, match="tenant"):
+            make_request(tenant="../escape")
+        with pytest.raises(ValidationError, match="tenant"):
+            make_request(tenant="..")
+        with pytest.raises(ValidationError, match="tenant"):
+            make_request(tenant="a" * 65)
+
+    def test_platform_needs_a_resource(self):
+        with pytest.raises(ValidationError, match="at least one"):
+            PlatformSpec(num_cpus=0, num_gpus=0)
+
+    def test_retry_policy_bounds(self):
+        with pytest.raises(ValidationError, match="retry.limit"):
+            RetryPolicy(limit=-1)
+        with pytest.raises(ValidationError, match="retry.jitter"):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ValidationError, match="retry.backoff"):
+            RetryPolicy(backoff=0.5)
+
+
+class TestRetryDelays:
+    def test_exponential_backoff_with_cap(self):
+        policy = RetryPolicy(limit=5, interval_s=1.0, backoff=2.0, max_interval_s=3.0)
+        assert [policy.delay_for(a) for a in (1, 2, 3, 4)] == [1.0, 2.0, 3.0, 3.0]
+
+    def test_jitter_is_deterministic_per_token_and_bounded(self):
+        policy = RetryPolicy(limit=3, interval_s=1.0, backoff=1.0, jitter=0.5)
+        d1 = policy.delay_for(1, token="j000001")
+        assert d1 == policy.delay_for(1, token="j000001")
+        assert 1.0 <= d1 <= 1.5
+        assert d1 != policy.delay_for(2, token="j000001")
+
+
+class TestCanonicalRoundTrip:
+    def test_to_dict_from_dict_inverse(self):
+        request = make_request(
+            workload=WorkloadSpec(
+                family="layered", size=5, seed=11, params=(("width", 3.0),)
+            ),
+            platform=PlatformSpec(num_cpus=8, num_gpus=2),
+            tenant="team-a",
+            retry=RetryPolicy(limit=2, jitter=0.25),
+        )
+        assert ScheduleRequest.from_dict(request.to_dict()) == request
+        assert request.canonical_json() == (
+            ScheduleRequest.from_dict(request.to_dict()).canonical_json()
+        )
+
+    def test_request_key_is_the_spec_hash_and_tenant_free(self):
+        request = make_request()
+        spec = InstanceSpec(workload="cholesky", size=4, algorithm="heteroprio-min")
+        assert request.request_key() == spec.spec_hash(salt=CODE_VERSION)
+        assert make_request(tenant="team-b").request_key() == request.request_key()
+
+    def test_key_ignores_field_order_and_empty_spellings(self):
+        a = load_request(
+            {
+                "policy": {"algorithm": "heteroprio-min"},
+                "workload": {"size": 4, "family": "cholesky"},
+            }
+        )
+        b = load_request(
+            {
+                "workload": {"family": "cholesky", "size": 4, "seed": None},
+                "policy": {"bound": "", "algorithm": "heteroprio-min"},
+                "platform": {},
+            }
+        )
+        assert isinstance(a, ScheduleRequest) and isinstance(b, ScheduleRequest)
+        assert a.request_key() == b.request_key()
+
+    def test_params_order_never_affects_key(self):
+        a = make_request(
+            workload=WorkloadSpec(
+                family="cholesky", size=4, params=(("a", 1.0), ("b", 2.0))
+            )
+        )
+        b = make_request(
+            workload=WorkloadSpec(
+                family="cholesky", size=4, params=(("b", 2.0), ("a", 1.0))
+            )
+        )
+        assert a.request_key() == b.request_key()
+
+
+class TestBatchAndLoaders:
+    def test_batch_round_trip_and_kind_dispatch(self):
+        batch = BatchRequest(
+            requests=(make_request(), make_request(tenant="t1")),
+            continue_on_error=False,
+        )
+        parsed = load_request(batch.to_dict())
+        assert parsed == batch
+        # "requests" alone also dispatches to a batch.
+        no_kind = {k: v for k, v in batch.to_dict().items() if k != "kind"}
+        assert load_request(no_kind) == batch
+
+    def test_batch_limits(self):
+        with pytest.raises(ValidationError, match="must not be empty"):
+            BatchRequest(requests=())
+        too_many = {
+            "requests": [make_request().to_dict()] * (MAX_BATCH_SIZE + 1)
+        }
+        with pytest.raises(ValidationError, match="at most"):
+            load_request(too_many)
+
+    def test_load_request_text_rejects_bad_json(self):
+        with pytest.raises(ValidationError, match="not valid JSON"):
+            load_request_text("{nope")
+
+    def test_load_request_file(self, tmp_path):
+        path = tmp_path / "req.json"
+        path.write_text(make_request().canonical_json(), encoding="utf-8")
+        assert load_request_file(path) == make_request()
+        with pytest.raises(ValidationError, match="cannot read spec file"):
+            load_request_file(tmp_path / "missing.json")
