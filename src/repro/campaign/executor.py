@@ -33,6 +33,7 @@ import os
 import time
 from dataclasses import dataclass
 from functools import lru_cache
+from pathlib import Path
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
@@ -45,6 +46,7 @@ from repro.campaign.spec import InstanceSpec
 from repro.campaign.telemetry import CampaignEvent, CampaignStats, write_manifest
 from repro.core.heteroprio import heteroprio_schedule
 from repro.core.platform import Platform
+from repro.core.task import Instance
 from repro.dag.compiled import CompiledGraph
 from repro.dag.graph import TaskGraph
 from repro.dag.cholesky import cholesky_compiled, cholesky_graph
@@ -56,6 +58,7 @@ from repro.schedulers.dualhp import dualhp_schedule
 from repro.schedulers.heft import heft_schedule
 from repro.schedulers.online import make_policy
 from repro.simulator import compute_metrics, simulate
+from repro.simulator.batch import batch_heteroprio_schedule, batch_simulate_dag
 from repro.simulator.metrics import RunMetrics
 
 __all__ = [
@@ -63,9 +66,12 @@ __all__ = [
     "CampaignOutcome",
     "run_campaign",
     "execute_spec",
+    "execute_spec_batch",
     "execute_spec_cached",
     "derive_seeds",
+    "ensure_graph_store",
     "metrics_to_run_metrics",
+    "plan_batches",
     "set_graph_store",
 ]
 
@@ -152,6 +158,18 @@ def set_graph_store(store: GraphStore | None) -> None:
     global _graph_store
     _graph_store = store
     _compiled_workload.cache_clear()
+
+
+def ensure_graph_store(root: Path | str, *, salt: str) -> None:
+    """Idempotently point the process-global graph store at *root*.
+
+    Keeps the current store — and the in-memory graph memo — when it
+    already matches, so back-to-back campaigns (or a long-lived service
+    next to a CLI run) rebuild nothing.
+    """
+    root = Path(root)
+    if _graph_store is None or _graph_store.root != root or _graph_store.salt != salt:
+        set_graph_store(GraphStore(root, salt=salt))
 
 
 @lru_cache(maxsize=8)
@@ -306,6 +324,166 @@ def metrics_to_run_metrics(metrics: dict) -> RunMetrics:
     return RunMetrics(**{name: metrics[name] for name in RUN_METRIC_FIELDS})
 
 
+# -- lockstep batch execution -------------------------------------------------
+
+#: Smallest miss group worth routing through the lockstep batch engine;
+#: below this the per-batch numpy setup outweighs the vectorization win.
+MIN_BATCH = 4
+
+
+def _batch_key(spec: InstanceSpec) -> tuple | None:
+    """Lockstep grouping key of *spec*, or ``None`` when not batchable.
+
+    Specs sharing a key can advance together in
+    :mod:`repro.simulator.batch`: HeteroPrio only (the engine implements
+    exactly that policy family), and in ``dag`` mode only the compiled
+    factorizations — all rows of a DAG batch share one
+    :class:`CompiledGraph`, so workload, size, seed and params must
+    match while the ranking scheme (priorities) varies per row.
+    ``independent`` rows need only the same *task count*, so the seed
+    stays out of the key: a seed sweep is one batch.
+    """
+    platform_shape = (spec.num_cpus, spec.num_gpus)
+    if spec.mode == "independent":
+        if spec.algorithm != "heteroprio" or spec.bound not in ("area", "auto"):
+            return None
+        return ("independent", spec.workload, spec.size, spec.params, platform_shape)
+    if spec.algorithm.split("-", 1)[0] != "heteroprio":
+        return None
+    if spec.workload not in COMPILED_FACTORIZATIONS:
+        return None
+    return (
+        "dag",
+        spec.workload,
+        spec.size,
+        spec.seed,
+        spec.params,
+        spec.bound,
+        platform_shape,
+    )
+
+
+def plan_batches(
+    specs: Sequence[InstanceSpec], *, min_batch: int = MIN_BATCH
+) -> list[list[int]]:
+    """Group indices of *specs* into lockstep-executable batches.
+
+    Returns index lists (into *specs*) in first-appearance order, each
+    of size >= *min_batch*; specs left out of every group take the
+    scalar :func:`execute_spec` path unchanged.
+    """
+    groups: dict[tuple, list[int]] = {}
+    for i, spec in enumerate(specs):
+        key = _batch_key(spec)
+        if key is not None:
+            groups.setdefault(key, []).append(i)
+    return [members for members in groups.values() if len(members) >= min_batch]
+
+
+def _execute_independent_batch(specs: Sequence[InstanceSpec]) -> list[dict] | None:
+    """Figure 6 pipeline over a whole seed sweep in one lockstep run."""
+    instances = []
+    for spec in specs:
+        graph = _campaign_graph(spec.workload, spec.size, spec.seed, spec.params)
+        tasks = tuple(graph.to_instance())
+        # Same reset as execute_spec: priorities break acceleration ties.
+        for task in tasks:
+            task.priority = 0.0
+        instances.append(tasks)
+    n = len(instances[0])
+    if any(len(tasks) != n for tasks in instances):
+        return None  # ragged task counts: fall back to the scalar path
+    cpu = np.array([[t.cpu_time for t in tasks] for tasks in instances])
+    gpu = np.array([[t.gpu_time for t in tasks] for tasks in instances])
+    result = batch_heteroprio_schedule(cpu, gpu, [s.platform for s in specs])
+    payloads = []
+    for i, spec in enumerate(specs):
+        bound = area_bound(Instance(instances[i]), spec.platform).value
+        makespan = float(result.makespans[i])
+        payloads.append(
+            {
+                "makespan": makespan,
+                "lower_bound": bound,
+                "ratio": makespan / bound if bound > 0 else float("inf"),
+            }
+        )
+    return payloads
+
+
+def _execute_dag_batch(specs: Sequence[InstanceSpec]) -> list[dict] | None:
+    """Figure 7-9 pipeline over rows sharing one compiled graph."""
+    first = specs[0]
+    graph = _campaign_graph(first.workload, first.size, first.seed, first.params)
+    if not isinstance(graph, CompiledGraph):
+        return None
+    priorities = np.empty((len(specs), len(graph)))
+    for i, spec in enumerate(specs):
+        scheme = spec.algorithm.split("-", 1)[1] if "-" in spec.algorithm else "avg"
+        levels = assign_priorities(graph, spec.platform, scheme)
+        priorities[i] = [levels[task] for task in graph.tasks]
+    result = batch_simulate_dag(graph, [s.platform for s in specs], priorities)
+    payloads = []
+    for i, spec in enumerate(specs):
+        lower = _dag_bound(
+            spec.workload,
+            spec.size,
+            spec.seed,
+            spec.params,
+            spec.num_cpus,
+            spec.num_gpus,
+            spec.bound,
+        )
+        run = compute_metrics(result.schedule(i), spec.platform, lower_bound=lower)
+        metrics = dataclasses.asdict(run)
+        metrics["ratio"] = run.ratio
+        payloads.append(metrics)
+    return payloads
+
+
+def execute_spec_batch(specs: Sequence[InstanceSpec]) -> list[dict] | None:
+    """Run one :func:`plan_batches` group through the lockstep engine.
+
+    Returns the per-spec metrics payloads in *specs* order — each
+    bit-identical to what :func:`execute_spec` would produce (the batch
+    engine is pinned event-for-event to the scalar loops by
+    ``tests/test_batch_differential.py``) — or ``None`` when the group
+    turns out not to be batchable after all (ragged task counts, a
+    non-compiled graph); callers then fall back to the scalar path.
+    """
+    if not specs:
+        return []
+    if specs[0].mode == "independent":
+        return _execute_independent_batch(specs)
+    return _execute_dag_batch(specs)
+
+
+def _execute_batches(
+    spec_list: Sequence[InstanceSpec],
+    indices: Sequence[int],
+    *,
+    min_batch: int,
+) -> dict[int, tuple[dict, float]]:
+    """Lockstep-execute the batchable subset of *indices*.
+
+    Returns ``{spec index: (metrics, elapsed_s)}`` for every spec that
+    ran in a batch; the per-spec elapsed time is the batch wall clock
+    amortised over its rows (telemetry only — payloads are exact).
+    """
+    resolved: dict[int, tuple[dict, float]] = {}
+    groups = plan_batches([spec_list[i] for i in indices], min_batch=min_batch)
+    for group in groups:
+        members = [indices[g] for g in group]
+        batch_specs = [spec_list[i] for i in members]
+        started = time.perf_counter()
+        payloads = execute_spec_batch(batch_specs)
+        if payloads is None:
+            continue
+        elapsed = (time.perf_counter() - started) / len(members)
+        for i, metrics in zip(members, payloads):
+            resolved[i] = (metrics, elapsed)
+    return resolved
+
+
 def _timed_execute(spec: InstanceSpec) -> tuple[dict, float]:
     started = time.perf_counter()
     metrics = execute_spec(spec)
@@ -347,6 +525,8 @@ def run_campaign(
     progress: ProgressCallback | None = None,
     chunksize: int | None = None,
     manifest: bool = True,
+    batch: bool = True,
+    min_batch: int = MIN_BATCH,
 ) -> CampaignOutcome:
     """Execute a spec set, reading and feeding the result cache.
 
@@ -370,19 +550,20 @@ def run_campaign(
     manifest:
         When a cache is attached, also write a run manifest under
         ``<cache root>/manifests/``.
+    batch:
+        Route cache-miss groups that share a lockstep key (see
+        :func:`plan_batches`) through the vectorized batch engine, in
+        the parent process, before the remaining misses hit the scalar
+        path.  Payloads are bit-identical either way — batching only
+        changes wall clock (and amortises ``elapsed_s`` telemetry over
+        each batch).
+    min_batch:
+        Smallest group the batch engine will take on.
     """
     spec_list = list(specs)
     if cache is not None:
-        # Persist compiled graphs next to the results; keep the current
-        # store (and the in-memory graph memo) when it already points
-        # there, so back-to-back campaigns rebuild nothing.
-        graphs_root = cache.root / "graphs"
-        if (
-            _graph_store is None
-            or _graph_store.root != graphs_root
-            or _graph_store.salt != cache.salt
-        ):
-            set_graph_store(GraphStore(graphs_root, salt=cache.salt))
+        # Persist compiled graphs next to the results.
+        ensure_graph_store(cache.root / "graphs", salt=cache.salt)
     started_wall = time.perf_counter()
     started_at = time.time()
     requested_jobs = os.cpu_count() or 1 if jobs is None else max(1, int(jobs))
@@ -421,13 +602,15 @@ def run_campaign(
         done += 1
         emit(i, records[i], done)
 
-    # Phase 2: execute the misses, serially or over a worker pool.
+    # Phase 2: execute the misses — lockstep batches first (in the
+    # parent, vectorized), then the rest serially or over a worker pool.
     stats.misses = len(miss_indices)
-    effective_jobs = max(1, min(requested_jobs, len(miss_indices)))
 
-    def consume(timed: Iterable[tuple[dict, float]]) -> None:
+    def consume(
+        indices: Sequence[int], timed: Iterable[tuple[dict, float]]
+    ) -> None:
         nonlocal done
-        for i, (metrics, elapsed) in zip(miss_indices, timed):
+        for i, (metrics, elapsed) in zip(indices, timed):
             stats.executed += 1
             stats.exec_s += elapsed
             if cache is not None:
@@ -441,10 +624,18 @@ def run_campaign(
             done += 1
             emit(i, records[i], done)
 
+    if batch and len(miss_indices) >= min_batch:
+        resolved = _execute_batches(spec_list, miss_indices, min_batch=min_batch)
+        if resolved:
+            stats.batched = len(resolved)
+            consume(list(resolved), resolved.values())
+            miss_indices = [i for i in miss_indices if i not in resolved]
+
+    effective_jobs = max(1, min(requested_jobs, len(miss_indices)))
     if miss_indices:
         miss_specs = [spec_list[i] for i in miss_indices]
         if effective_jobs == 1:
-            consume(map(_timed_execute, miss_specs))
+            consume(miss_indices, map(_timed_execute, miss_specs))
         else:
             methods = multiprocessing.get_all_start_methods()
             ctx = multiprocessing.get_context(
@@ -460,7 +651,10 @@ def run_campaign(
             # this pool transitively via execute_spec_cached callers).
             pool = ctx.Pool(processes=effective_jobs)
             try:
-                consume(pool.imap(_timed_execute, miss_specs, chunksize=chunk))
+                consume(
+                    miss_indices,
+                    pool.imap(_timed_execute, miss_specs, chunksize=chunk),
+                )
             except BaseException:
                 pool.terminate()
                 raise

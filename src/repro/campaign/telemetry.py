@@ -37,13 +37,15 @@ class CampaignStats:
     run), ``cached_s`` the recorded cost of the instances served from
     cache (CPU cost *avoided*), and ``wall_s`` the end-to-end wall clock
     — with ``jobs > 1``, ``exec_s`` exceeding ``wall_s`` is the speedup
-    made visible.
+    made visible.  ``batched`` counts the executed instances that went
+    through the lockstep batch engine rather than the scalar path.
     """
 
     total: int = 0
     hits: int = 0
     misses: int = 0
     executed: int = 0
+    batched: int = 0
     jobs: int = 1
     exec_s: float = 0.0
     cached_s: float = 0.0
@@ -60,6 +62,7 @@ class CampaignStats:
             "hits": self.hits,
             "misses": self.misses,
             "executed": self.executed,
+            "batched": self.batched,
             "jobs": self.jobs,
             "exec_s": round(self.exec_s, 6),
             "cached_s": round(self.cached_s, 6),
@@ -71,7 +74,8 @@ class CampaignStats:
         return (
             f"{self.total} instances: {self.hits} cache hits "
             f"({100.0 * self.hit_rate:.0f}%), {self.executed} executed "
-            f"on {self.jobs} worker(s); "
+            + (f"({self.batched} batched) " if self.batched else "")
+            + f"on {self.jobs} worker(s); "
             f"sim {self.exec_s:.2f}s, wall {self.wall_s:.2f}s"
             + (f", saved ~{self.cached_s:.2f}s" if self.cached_s > 0 else "")
         )

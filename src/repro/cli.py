@@ -183,6 +183,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="bench: run the small CI smoke subset instead of the full suite",
     )
     bench.add_argument(
+        "--batch",
+        action="store_true",
+        help="bench: also run the lockstep batch-engine cases (batch vs "
+        "scalar throughput per fig6/fig7 grid)",
+    )
+    bench.add_argument(
         "--json",
         metavar="FILE",
         default="BENCH_simcore.json",
@@ -363,6 +369,7 @@ def _run_bench(args: argparse.Namespace) -> int:
 
     return bench.main(
         quick=args.quick,
+        batch=args.batch,
         out=None if args.json == "-" else args.json,
         baseline=args.baseline,
         threshold=args.threshold,

@@ -30,11 +30,19 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Literal
 
+import numpy as np
+
 from repro.core.platform import Platform, ResourceKind, Worker
 from repro.core.schedule import Schedule, TIME_EPS
 from repro.core.task import Instance, Task
 
-__all__ = ["SpoliationEvent", "HeteroPrioResult", "heteroprio_schedule", "sorted_queue"]
+__all__ = [
+    "SpoliationEvent",
+    "HeteroPrioResult",
+    "heteroprio_schedule",
+    "sorted_queue",
+    "batch_queue_order",
+]
 
 ServiceOrder = Literal["gpu_first", "cpu_first"]
 
@@ -101,6 +109,31 @@ def _queue_key(task: Task) -> tuple[float, float, int]:
 def sorted_queue(instance: Instance) -> list[Task]:
     """The initial HeteroPrio queue, CPU end at index 0, GPU end at -1."""
     return sorted(instance, key=_queue_key)
+
+
+def batch_queue_order(
+    cpu_times: np.ndarray,
+    gpu_times: np.ndarray,
+    priorities: np.ndarray,
+) -> np.ndarray:
+    """Vectorized ``_queue_key`` over a ``(B, n)`` batch of instances.
+
+    Returns an int64 ``(B, n)`` array of task indices per row, sorted so
+    that position 0 is the CPU end (smallest acceleration factor) and
+    position ``n - 1`` the GPU end — exactly the order produced by
+    sorting a row's tasks with ``_queue_key``.  Tasks with equal rho
+    fall in the same branch of the key, so the branch-dependent
+    secondary/tertiary components compare consistently; task index
+    stands in for ``uid`` (tasks are materialized in index order, so
+    uid comparisons within a row coincide with index comparisons).
+    """
+    rho = cpu_times / gpu_times
+    n = rho.shape[-1]
+    idx = np.broadcast_to(np.arange(n, dtype=np.int64), rho.shape)
+    gpu_favored = rho >= 1.0
+    secondary = np.where(gpu_favored, priorities, -priorities)
+    tertiary = np.where(gpu_favored, idx, -idx)
+    return np.lexsort((tertiary, secondary, rho), axis=-1)
 
 
 @dataclass

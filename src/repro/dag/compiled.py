@@ -437,6 +437,33 @@ class CompiledGraph:
         """Drop the edges: the node set as an independent-task instance."""
         return Instance(self.tasks)
 
+    def with_durations(
+        self, cpu_times: np.ndarray, gpu_times: np.ndarray
+    ) -> "CompiledGraph":
+        """A sibling graph with the same structure but new durations.
+
+        The CSR adjacency arrays are passed through unchanged —
+        ``__init__``'s ``ascontiguousarray`` leaves contiguous int64
+        input aliased, so the clone shares them — and the cached level
+        plan (duration-independent) is carried over.  Tasks materialize
+        fresh on demand because their times differ.  This is the cheap
+        path for batched sweeps over noisy duration samples of one
+        structural graph.
+        """
+        clone = CompiledGraph(
+            self.name,
+            self.kinds,
+            self.labels,
+            np.asarray(cpu_times, dtype=np.float64),
+            np.asarray(gpu_times, dtype=np.float64),
+            self.succ_indptr,
+            self.succ_indices,
+            self.pred_indptr,
+            self.pred_indices,
+        )
+        clone._level_plan = self._level_plan
+        return clone
+
     def as_task_graph(self) -> TaskGraph:
         """Materialize (once) a dict-backed :class:`TaskGraph` view.
 

@@ -346,6 +346,15 @@ class ScheduleServer:
                 "continue_on_error": model.continue_on_error,
             },
         )
+        # Warm each tenant's cache through the lockstep batch engine
+        # before draining the per-job results.  Best-effort: jobs the
+        # queue already started simply recompute the same (bit-exact)
+        # payload instead of hitting the warm entry.
+        by_tenant: dict[str, list[Any]] = {}
+        for item in model.requests:
+            by_tenant.setdefault(item.tenant, []).append(item.to_instance_spec())
+        for tenant, tenant_specs in by_tenant.items():
+            await self.dispatcher.prefetch(tenant_specs, tenant=tenant)
         failed = False
         for job in jobs:
             if failed:

@@ -5,9 +5,27 @@ executes a :class:`~repro.dag.graph.TaskGraph` on a
 :class:`~repro.core.platform.Platform` under a pluggable online policy
 (:mod:`repro.schedulers.online`), maintaining the ready set as
 dependencies resolve and honouring spoliation requests.
+
+:mod:`repro.simulator.batch` is the lockstep sibling: it advances a
+whole batch of instances at once over shared compiled-graph arrays,
+event-for-event identical to the scalar loops here.
 """
 
-from repro.simulator.runtime import RuntimeSimulator, simulate
+from repro.simulator.runtime import RuntimeSimulator, SimStats, simulate
+from repro.simulator.batch import (
+    BatchResult,
+    batch_heteroprio_schedule,
+    batch_simulate_dag,
+)
 from repro.simulator.metrics import RunMetrics, compute_metrics
 
-__all__ = ["RuntimeSimulator", "simulate", "RunMetrics", "compute_metrics"]
+__all__ = [
+    "BatchResult",
+    "RuntimeSimulator",
+    "SimStats",
+    "batch_heteroprio_schedule",
+    "batch_simulate_dag",
+    "simulate",
+    "RunMetrics",
+    "compute_metrics",
+]

@@ -1,0 +1,808 @@
+# repro-lint: disable=wall-clock -- SimStats.wall_s is bench telemetry
+# only; no simulated time or cached metric is derived from it.
+"""Lockstep batch execution of the HeteroPrio simulation kernel.
+
+One interpreted Python event loop per instance is the binding constraint
+on campaign throughput (ROADMAP item 2).  This module advances a whole
+*batch* of instances — rows of ``(seed, platform, policy)`` points that
+share one :class:`~repro.dag.compiled.CompiledGraph` structure or one
+independent-task recipe — in lockstep over numpy arrays:
+
+* every piece of per-instance simulator state (worker end times, queue
+  positions, in-degrees) lives in a ``(B, ...)`` array with the batch
+  axis first;
+* each main-loop iteration advances *every* row to its own next event
+  window and retires all completions across the batch with a handful of
+  vectorized operations;
+* per-row divergence — spoliation aborts, stale completion events, rows
+  whose queue runs dry — is handled by masked sub-stepping: rows that
+  take a given branch are selected with boolean masks and updated
+  together, rows that don't are untouched.
+
+Semantics are **event-for-event identical** to the scalar loops
+(:mod:`repro.simulator.runtime` for DAGs,
+:func:`repro.core.heteroprio.heteroprio_schedule` for independent
+tasks), which remain the authoritative differential references — see
+``tests/test_batch_differential.py``.  Bit-identity matters beyond
+testing hygiene: campaign results are content-addressed under
+``CODE_VERSION``, so the batch engine must reproduce the scalar floats
+exactly for the cache to stay valid.  The two properties that make this
+achievable:
+
+* both scalar loops process completions in ``(end, seq)`` heap order
+  and anchor each completion window at the first popped event; the
+  batch engine reproduces the exact pop order with a lexsort and the
+  exact anchor with per-row *phantom* events (see below);
+* every arithmetic operation on times (``end = now + duration``, the
+  spoliation improvement test) is the same IEEE-754 float64 operation
+  in numpy as in CPython, applied to the same operands in the same
+  association, so results match bit-for-bit.
+
+**Phantom events.**  The scalar DAG loop pops its event heap *before*
+checking staleness, so a spoliated (stale) completion still anchors the
+next window even though it retires nothing.  The batch engine keeps a
+tiny per-row heap of these stale times and anchors each row's window at
+``min(live completions, phantom events)`` — without it, batch and
+scalar windows drift apart after the first spoliation.  The scalar
+*independent* loop skips stale events at the pop instead, so the
+independent wrapper runs with phantoms disabled.
+
+Queues are the static HeteroPrio affinity order
+(:func:`repro.core.heteroprio.batch_queue_order`): independent rows pop
+from the two ends of a fixed window (O(1) pointers — tasks are never
+re-inserted), DAG rows keep a boolean membership mask in sorted-position
+space (ready tasks arrive over time) and locate the ends with masked
+argmax.
+
+Placements are recorded append-only into flat preallocated arrays in
+global chronological order; because each row's records land in its own
+chronological order too, one *stable* argsort by row recovers the scalar
+loop's exact per-row placement-append order.  The sort is lazy — batch
+consumers that only need makespans (order-free maxima) never pay for it.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time as _time
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.heteroprio import SpoliationEvent, batch_queue_order
+from repro.core.platform import Platform, ResourceKind, Worker
+from repro.core.schedule import Schedule, TIME_EPS
+from repro.core.task import Task
+from repro.dag.compiled import CompiledGraph, _ragged_gather
+from repro.simulator.runtime import SimStats
+
+__all__ = ["BatchResult", "batch_heteroprio_schedule", "batch_simulate_dag"]
+
+
+def _service_workers(platform: Platform) -> tuple[Worker, ...]:
+    """Workers in service order: GPUs first by index, then CPUs by index."""
+    return tuple(
+        sorted(
+            platform.workers(),
+            key=lambda w: (0 if w.kind is ResourceKind.GPU else 1, w.index),
+        )
+    )
+
+
+class _Records:
+    """Append-only struct-of-arrays placement log for the whole batch.
+
+    Rows are appended in global chronological order; aborted and
+    completed placements share the log so a stable per-row selection
+    reproduces the scalar append order exactly.
+    """
+
+    def __init__(self, capacity: int):
+        capacity = max(capacity, 16)
+        self.rows = np.empty(capacity, dtype=np.int64)
+        self.slots = np.empty(capacity, dtype=np.int64)
+        self.tasks = np.empty(capacity, dtype=np.int64)
+        self.starts = np.empty(capacity)
+        self.ends = np.empty(capacity)
+        self.flags = np.empty(capacity, dtype=bool)
+        self.size = 0
+
+    def _grow(self, needed: int) -> None:
+        capacity = max(needed, self.rows.size + (self.rows.size >> 1))
+        for name in ("rows", "slots", "tasks", "starts", "ends", "flags"):
+            old = getattr(self, name)
+            new = np.empty(capacity, dtype=old.dtype)
+            new[: self.size] = old[: self.size]
+            setattr(self, name, new)
+
+    def append(
+        self,
+        rows: np.ndarray,
+        slots: np.ndarray,
+        tasks: np.ndarray,
+        starts: np.ndarray,
+        ends: np.ndarray,
+        aborted: bool,
+    ) -> None:
+        lo = self.size
+        hi = lo + rows.size
+        if hi > self.rows.size:
+            self._grow(hi)
+        self.rows[lo:hi] = rows
+        self.slots[lo:hi] = slots
+        self.tasks[lo:hi] = tasks
+        self.starts[lo:hi] = starts
+        self.ends[lo:hi] = ends
+        self.flags[lo:hi] = aborted
+        self.size = hi
+
+
+class BatchResult:
+    """Outcome of one lockstep batch run.
+
+    Scalar-valued summaries (``makespans``, ``t_first_idle``,
+    ``abort_counts``, aggregate ``stats``) are available immediately;
+    :meth:`schedule` materializes one row's :class:`Schedule` on demand,
+    in the scalar loop's exact placement-append order, with values
+    converted to Python floats so downstream JSON caching never sees
+    ``np.float64``.
+    """
+
+    def __init__(
+        self,
+        *,
+        platforms: tuple[Platform, ...],
+        workers: tuple[tuple[Worker, ...], ...],
+        n_tasks: int,
+        makespans: np.ndarray,
+        t_first_idle: np.ndarray,
+        abort_counts: np.ndarray,
+        stats: SimStats,
+        records: _Records,
+        sp_chunks: dict[str, list[np.ndarray]],
+        default_tasks: tuple[Task, ...] | None,
+    ):
+        self.platforms = platforms
+        self.workers = workers
+        self.n_tasks = n_tasks
+        #: (B,) float64 makespans, completed placements only.
+        self.makespans = makespans
+        #: (B,) float64 first instants any worker went idle.
+        self.t_first_idle = t_first_idle
+        #: (B,) int64 spoliation-abort counts.
+        self.abort_counts = abort_counts
+        #: Aggregate hot-loop counters (scalar conventions, summed).
+        self.stats = stats
+        self._records = records
+        self._sp_chunks = sp_chunks
+        self._default_tasks = default_tasks
+        self._offsets: np.ndarray | None = None
+
+    def __len__(self) -> int:
+        return len(self.platforms)
+
+    def _sorted_records(self) -> tuple[_Records, np.ndarray]:
+        """Records grouped by row (stable, preserving append order)."""
+        if self._offsets is None:
+            rec = self._records
+            n = rec.size
+            order = np.argsort(rec.rows[:n], kind="stable")
+            grouped = _Records(n)
+            grouped.rows = rec.rows[:n][order]
+            grouped.slots = rec.slots[:n][order]
+            grouped.tasks = rec.tasks[:n][order]
+            grouped.starts = rec.starts[:n][order]
+            grouped.ends = rec.ends[:n][order]
+            grouped.flags = rec.flags[:n][order]
+            grouped.size = n
+            self._records = grouped
+            self._offsets = np.searchsorted(
+                grouped.rows, np.arange(len(self.platforms) + 1)
+            )
+        return self._records, self._offsets
+
+    def _task_objects(self, tasks: Sequence[Task] | None) -> Sequence[Task]:
+        objs = self._default_tasks if tasks is None else tasks
+        if objs is None:
+            raise ValueError(
+                "this batch recorded no shared Task objects; pass tasks=..."
+            )
+        return objs
+
+    def schedule(self, i: int, tasks: Sequence[Task] | None = None) -> Schedule:
+        """Materialize row *i* as a :class:`Schedule`.
+
+        ``tasks`` maps task indices to :class:`Task` objects (defaults
+        to the tasks the batch was built from, when shared).  Placement
+        order is the scalar loop's append order, so list-order-sensitive
+        consumers (metric sums, ``Schedule.tasks()``) see identical
+        output.
+        """
+        task_objs = self._task_objects(tasks)
+        rec, offsets = self._sorted_records()
+        lo, hi = int(offsets[i]), int(offsets[i + 1])
+        row_workers = self.workers[i]
+        schedule = Schedule(self.platforms[i])
+        add = schedule.add
+        for t, s, start, end, aborted in zip(
+            rec.tasks[lo:hi].tolist(),
+            rec.slots[lo:hi].tolist(),
+            rec.starts[lo:hi].tolist(),
+            rec.ends[lo:hi].tolist(),
+            rec.flags[lo:hi].tolist(),
+        ):
+            add(task_objs[t], row_workers[s], start, end=end, aborted=aborted)
+        return schedule
+
+    def spoliations(
+        self, i: int, tasks: Sequence[Task] | None = None
+    ) -> list[SpoliationEvent]:
+        """Row *i*'s spoliation events, in chronological order."""
+        task_objs = self._task_objects(tasks)
+        chunks = self._sp_chunks
+        if not chunks["rows"]:
+            return []
+        rows = np.concatenate(chunks["rows"])
+        keep = np.flatnonzero(rows == i)
+        if keep.size == 0:
+            return []
+        cat = {k: np.concatenate(v)[keep] for k, v in chunks.items()}
+        row_workers = self.workers[i]
+        return [
+            SpoliationEvent(
+                task=task_objs[int(t)],
+                victim_worker=row_workers[int(v)],
+                new_worker=row_workers[int(w)],
+                abort_time=float(at),
+                old_completion=float(old),
+                new_completion=float(new),
+            )
+            for t, v, w, at, old, new in zip(
+                cat["tasks"], cat["vslots"], cat["nslots"],
+                cat["times"], cat["olds"], cat["news"],
+            )
+        ]
+
+
+class _LockstepEngine:
+    """The shared lockstep core; see the module docstring for the model."""
+
+    def __init__(
+        self,
+        *,
+        cpu: np.ndarray,
+        gpu: np.ndarray,
+        priority: np.ndarray,
+        platforms: Sequence[Platform],
+        succ_indptr: np.ndarray | None = None,
+        succ_indices: np.ndarray | None = None,
+        indegree: np.ndarray | None = None,
+        migrate: bool = True,
+        victim_rule: str = "priority",
+        anchor_stale: bool = False,
+    ):
+        B, n = cpu.shape
+        self.B, self.n = B, n
+        self.cpu = np.ascontiguousarray(cpu, dtype=np.float64)
+        self.gpu = np.ascontiguousarray(gpu, dtype=np.float64)
+        self.prio = np.ascontiguousarray(priority, dtype=np.float64)
+        self.platforms = tuple(platforms)
+        self.worker_tuples = tuple(_service_workers(p) for p in self.platforms)
+        W = max(len(ws) for ws in self.worker_tuples)
+        self.W = W
+        self.exists = np.zeros((B, W), dtype=bool)
+        self.is_gpu = np.zeros((B, W), dtype=bool)
+        for b, ws in enumerate(self.worker_tuples):
+            self.exists[b, : len(ws)] = True
+            for s, w in enumerate(ws):
+                if w.kind is ResourceKind.GPU:
+                    self.is_gpu[b, s] = True
+        self.migrate = migrate
+        self.victim_rule = victim_rule
+        self.anchor_stale = anchor_stale
+
+        # Affinity queue in sorted-position space; position 0 = CPU end.
+        self.order = batch_queue_order(self.cpu, self.gpu, self.prio)
+        self.static_queue = succ_indptr is None
+        if self.static_queue:
+            # Independent tasks: the queue only ever shrinks from its two
+            # ends, so a [front, back] window is enough.
+            self.front = np.zeros(B, dtype=np.int64)
+            self.back = np.full(B, n - 1, dtype=np.int64)
+        else:
+            self.succ_indptr = succ_indptr
+            self.succ_indices = succ_indices
+            self.pos = np.empty((B, n), dtype=np.int64)
+            np.put_along_axis(
+                self.pos,
+                self.order,
+                np.broadcast_to(np.arange(n, dtype=np.int64), (B, n)),
+                axis=1,
+            )
+            self.indeg = np.ascontiguousarray(
+                np.broadcast_to(indegree, (B, n)), dtype=np.int64
+            )
+            self.indeg_flat = self.indeg.reshape(-1)
+            self.qmask = np.zeros((B, n), dtype=bool)
+            rr, tt = np.nonzero(self.indeg == 0)
+            pp = self.pos[rr, tt]
+            self.qmask[rr, pp] = True
+            self.qcount = self.qmask.sum(axis=1).astype(np.int64)
+            # Live-band hints: every queued position of row b lies in
+            # [qlo[b], qhi[b]].  The band tightens as the two ends are
+            # popped and re-widens on insertion, so the end-of-queue
+            # argmax scans only the active band instead of all n slots.
+            self.qlo = np.full(B, n, dtype=np.int64)
+            self.qhi = np.full(B, -1, dtype=np.int64)
+            np.minimum.at(self.qlo, rr, pp)
+            np.maximum.at(self.qhi, rr, pp)
+
+        # Worker slot state; an idle slot has w_end == +inf.
+        self.w_task = np.full((B, W), -1, dtype=np.int64)
+        self.w_end = np.full((B, W), np.inf)
+        self.w_start = np.zeros((B, W))
+        self.w_seq = np.zeros((B, W), dtype=np.int64)
+        self.seq_counter = np.zeros(B, dtype=np.int64)  # heap tiebreak order
+        self.remaining = np.full(B, n, dtype=np.int64)
+        self.first_idle = np.full(B, np.nan)
+        #: per-row heaps of stale completion times (DAG anchor semantics)
+        self.phantoms: dict[int, list[float]] = {}
+        self.stats = SimStats()
+        self._cols = np.arange(W, dtype=np.int64)
+        self.records = _Records(B * n + B)
+        self._sp_chunks: dict[str, list[np.ndarray]] = {
+            "rows": [], "tasks": [], "vslots": [], "nslots": [],
+            "times": [], "olds": [], "news": [],
+        }
+
+    # -- primitive steps ---------------------------------------------------
+
+    def _start(
+        self,
+        rows: np.ndarray,
+        slots: np.ndarray,
+        tasks: np.ndarray,
+        now: np.ndarray,
+        durations: np.ndarray,
+    ) -> None:
+        """Begin executions; rows are unique within one call."""
+        self.w_task[rows, slots] = tasks
+        self.w_start[rows, slots] = now
+        self.w_end[rows, slots] = now + durations
+        self.w_seq[rows, slots] = self.seq_counter[rows]
+        self.seq_counter[rows] += 1
+
+    def _pop_queue(
+        self, rows: np.ndarray, gpu_side: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Pop each row's queue from the CPU or GPU end; returns task ids."""
+        if self.static_queue:
+            posv = np.where(gpu_side, self.back[rows], self.front[rows])
+            tasks = self.order[rows, posv]
+            self.back[rows[gpu_side]] -= 1
+            self.front[rows[~gpu_side]] += 1
+        else:
+            lo = int(self.qlo[rows].min())
+            hi = int(self.qhi[rows].max()) + 1
+            sub = self.qmask[rows, lo:hi]  # (K, band) — argmax both ends
+            fpos = sub.argmax(axis=1) + lo
+            bpos = (hi - 1) - sub[:, ::-1].argmax(axis=1)
+            posv = np.where(gpu_side, bpos, fpos)
+            tasks = self.order[rows, posv]
+            self.qmask[rows, posv] = False
+            self.qcount[rows] -= 1
+            # Rows in one call are distinct, so each hint moves once.
+            self.qlo[rows[~gpu_side]] = fpos[~gpu_side] + 1
+            self.qhi[rows[gpu_side]] = bpos[gpu_side] - 1
+        durations = np.where(
+            gpu_side, self.gpu[rows, tasks], self.cpu[rows, tasks]
+        )
+        return tasks, durations
+
+    def _queue_nonempty(self, rows: np.ndarray) -> np.ndarray:
+        if self.static_queue:
+            return self.front[rows] <= self.back[rows]
+        return self.qcount[rows] > 0
+
+    # -- spoliation --------------------------------------------------------
+
+    def _try_spoliate(
+        self,
+        rows: np.ndarray,
+        slots: np.ndarray,
+        gpu_side: np.ndarray,
+        t: np.ndarray,
+        progress: np.ndarray,
+    ) -> np.ndarray:
+        """Poll rows whose queue ran dry for a spoliation victim.
+
+        Returns a boolean array over *rows* marking which polls
+        spoliated (the rest changed no state).
+
+        Victim choice mirrors the scalar rules exactly: among running
+        executions on the *other* resource class that the polling worker
+        would finish strictly earlier (``now + new_time < end -
+        TIME_EPS``), pick by maximal priority then latest completion
+        (``victim_rule="priority"``, the DAG policy) or latest
+        completion then maximal priority (``"completion"``, the
+        independent loop), tie-broken by smallest task index.  The
+        successive masked-max filters below implement that lexicographic
+        choice; the exact float ``==`` against the column max selects
+        ties, not approximate equality, which is why no epsilon belongs
+        there.
+        """
+        sub_end = self.w_end[rows]  # (K, W)
+        sub_task = self.w_task[rows]
+        running = self.exists[rows] & np.isfinite(sub_end)
+        other = running & (self.is_gpu[rows] != gpu_side[:, None])
+        if not other.any():
+            return np.zeros(rows.size, dtype=bool)
+        safe_task = np.where(other, sub_task, 0)
+        rows_col = rows[:, None]
+        new_time = np.where(
+            gpu_side[:, None],
+            self.gpu[rows_col, safe_task],
+            self.cpu[rows_col, safe_task],
+        )
+        improving = other & (t[rows][:, None] + new_time < sub_end - TIME_EPS)
+        found = improving.any(axis=1)
+        if not found.any():
+            return found
+        fr = np.flatnonzero(found)
+        imp = improving[fr]
+        stc = safe_task[fr]
+        k_prio = np.where(imp, self.prio[rows[fr][:, None], stc], -np.inf)
+        k_end = np.where(imp, sub_end[fr], -np.inf)
+        if self.victim_rule == "priority":
+            k1, k2 = k_prio, k_end
+        else:
+            k1, k2 = k_end, k_prio
+        m1 = k1.max(axis=1)
+        tie1 = imp & (k1 == m1[:, None])
+        k2m = np.where(tie1, k2, -np.inf)
+        m2 = k2m.max(axis=1)
+        tie2 = tie1 & (k2m == m2[:, None])
+        cand_idx = np.where(tie2, stc, self.n)
+        vtask = cand_idx.min(axis=1)
+        vcol = (tie2 & (stc == vtask[:, None])).argmax(axis=1)
+
+        rr = rows[fr]
+        ss = slots[fr]
+        ar = np.arange(fr.size)
+        vend = sub_end[fr][ar, vcol]
+        vstart = self.w_start[rr, vcol]
+        ndur = new_time[fr][ar, vcol]
+        now = t[rr]
+
+        self.records.append(rr, vcol, vtask, vstart, now, True)
+        sp = self._sp_chunks
+        sp["rows"].append(rr)
+        sp["tasks"].append(vtask)
+        sp["vslots"].append(vcol)
+        sp["nslots"].append(ss)
+        sp["times"].append(now)
+        sp["olds"].append(vend)
+        sp["news"].append(now + ndur)
+
+        self.w_end[rr, vcol] = np.inf
+        self.w_task[rr, vcol] = -1
+        self.stats.aborts += int(rr.size)
+        if self.anchor_stale:
+            # The scalar DAG loop leaves the victim's old completion in
+            # its heap and lets it anchor a (possibly empty) window.
+            for b, e in zip(rr.tolist(), vend.tolist()):
+                heapq.heappush(self.phantoms.setdefault(b, []), e)
+        self._start(rr, ss, vtask, now, ndur)
+        progress[rr] = True
+        return found
+
+    # -- settle ------------------------------------------------------------
+
+    def _settle(self, t: np.ndarray, rows_mask: np.ndarray) -> None:
+        """Serve idle workers until no row makes progress.
+
+        Mirrors the scalar settle structure: each *pass* snapshots a
+        row's idle slots and serves each exactly once, in service order
+        (GPUs first); slots freed mid-pass by spoliation wait for the
+        next pass.  Each *sub-iteration* serves at most one slot per
+        row — rows at different service positions advance together.
+
+        A failed empty-queue poll is stateless, and the queue cannot
+        refill mid-settle, so once a row's poll of one resource class
+        comes up empty every later poll of that class in the same pass
+        must fail too: those slots are bulk-skipped (the class is marked
+        *dead* for the rest of the pass), charging their ``pick()``
+        calls to the stats in one add.  This collapses the
+        empty-queue tail — per pass each row performs at most one
+        meaningful poll per class plus its queue pops.
+        """
+        cols = self._cols
+        is_gpu = self.is_gpu
+        active = rows_mask
+        while active.any():
+            snapshot = active[:, None] & self.exists & ~np.isfinite(self.w_end)
+            progress = np.zeros(self.B, dtype=bool)
+            ptr = np.zeros(self.B, dtype=np.int64)
+            dead_cpu = np.zeros(self.B, dtype=bool)
+            dead_gpu = np.zeros(self.B, dtype=bool)
+            any_dead = False
+            while True:
+                eligible = snapshot & (cols >= ptr[:, None])
+                if any_dead:
+                    eligible &= ~(is_gpu & dead_gpu[:, None])
+                    eligible &= is_gpu | ~dead_cpu[:, None]
+                serving = eligible.any(axis=1)
+                if not serving.any():
+                    break
+                slot_of = eligible.argmax(axis=1)
+                rset = np.flatnonzero(serving)
+                svec = slot_of[rset]
+                self.stats.picks += rset.size
+                gpu_side = is_gpu[rset, svec]
+                has_queue = self._queue_nonempty(rset)
+                if has_queue.any():
+                    sel = np.flatnonzero(has_queue)
+                    pr, ps, pg = rset[sel], svec[sel], gpu_side[sel]
+                    tasks, durations = self._pop_queue(pr, pg)
+                    self._start(pr, ps, tasks, t[pr], durations)
+                    progress[pr] = True
+                if not has_queue.all():
+                    sel = np.flatnonzero(~has_queue)
+                    er, es, eg = rset[sel], svec[sel], gpu_side[sel]
+                    unset = np.isnan(self.first_idle[er])
+                    if unset.any():
+                        self.first_idle[er[unset]] = t[er[unset]]
+                    if self.migrate:
+                        spoliated = self._try_spoliate(er, es, eg, t, progress)
+                    else:
+                        spoliated = np.zeros(er.size, dtype=bool)
+                    failed = ~spoliated
+                    if failed.any():
+                        fr, fs, fg = er[failed], es[failed], eg[failed]
+                        dead_gpu[fr[fg]] = True
+                        dead_cpu[fr[~fg]] = True
+                        any_dead = True
+                        # Charge the skipped same-class polls of this pass.
+                        same = is_gpu[fr] == fg[:, None]
+                        skipped = snapshot[fr] & (cols > fs[:, None]) & same
+                        self.stats.picks += int(skipped.sum())
+                ptr[rset] = svec + 1
+            active = progress
+
+    # -- main loop ---------------------------------------------------------
+
+    def run(self) -> None:
+        started = _time.perf_counter()
+        B, n = self.B, self.n
+        stats = self.stats
+        t = np.zeros(B)
+        if n > 0:
+            self._settle(t, self.remaining > 0)
+        while True:
+            act = self.remaining > 0
+            if not act.any():
+                break
+            # Each row's window anchors at its earliest event — a live
+            # completion or (DAG mode) a phantom stale event.
+            t = self.w_end.min(axis=1)
+            if self.phantoms:
+                for b in list(self.phantoms):
+                    if act[b] and self.phantoms[b][0] < t[b]:
+                        t[b] = self.phantoms[b][0]
+            stalled = act & ~np.isfinite(t)
+            if stalled.any():
+                raise RuntimeError(
+                    f"policy stalled in batch run: {int(stalled.sum())} "
+                    "row(s) left tasks unfinished with no executions in flight"
+                )
+            window = t + TIME_EPS
+            if self.phantoms:
+                for b in list(self.phantoms):
+                    if not act[b]:
+                        continue
+                    heap = self.phantoms[b]
+                    dropped = 0
+                    while heap and heap[0] <= window[b]:
+                        heapq.heappop(heap)
+                        dropped += 1
+                    if dropped:
+                        stats.events += dropped
+                        stats.stale_events += dropped
+                    if not heap:
+                        del self.phantoms[b]
+            done = act[:, None] & (self.w_end <= window[:, None])
+            rows, slots = np.nonzero(done)
+            if rows.size == 0:
+                continue  # a window anchored by phantoms alone
+            ends = self.w_end[rows, slots]
+            seqs = self.w_seq[rows, slots]
+            # Per-row (end, seq) order — exactly the scalar heap-pop order.
+            pop_order = np.lexsort((seqs, ends, rows))
+            rows, slots = rows[pop_order], slots[pop_order]
+            ends = ends[pop_order]
+            tasks = self.w_task[rows, slots]
+            starts = self.w_start[rows, slots]
+            # Group boundaries: rows is sorted, groups are contiguous.
+            change = np.empty(rows.size, dtype=bool)
+            change[0] = True
+            np.not_equal(rows[1:], rows[:-1], out=change[1:])
+            first_ix = np.flatnonzero(change)
+            urows = rows[first_ix]
+            counts = np.diff(np.append(first_ix, rows.size))
+            self.records.append(rows, slots, tasks, starts, ends, False)
+            stats.events += rows.size
+            stats.tasks += rows.size
+            self.w_end[rows, slots] = np.inf
+            self.w_task[rows, slots] = -1
+            self.remaining[urows] -= counts
+            if not self.static_queue:
+                s0 = self.succ_indptr[tasks]
+                cnt = self.succ_indptr[tasks + 1] - s0
+                if cnt.sum():
+                    succ_t = self.succ_indices[_ragged_gather(s0, cnt)]
+                    succ_r = np.repeat(rows, cnt)
+                    flat = succ_r * n + succ_t
+                    np.subtract.at(self.indeg_flat, flat, 1)
+                    # A successor reaching indegree 0 matches for every
+                    # one of its just-resolved edges, so dedupe only the
+                    # (small) ready candidate set, not all of `flat`.
+                    ready = np.unique(flat[self.indeg_flat[flat] == 0])
+                    if ready.size:
+                        ready_r = ready // n
+                        ready_t = ready - ready_r * n
+                        ready_p = self.pos[ready_r, ready_t]
+                        self.qmask[ready_r, ready_p] = True
+                        np.add.at(self.qcount, ready_r, 1)
+                        np.minimum.at(self.qlo, ready_r, ready_p)
+                        np.maximum.at(self.qhi, ready_r, ready_p)
+            settle_rows = np.zeros(B, dtype=bool)
+            settle_rows[urows] = True
+            settle_rows &= self.remaining > 0
+            if settle_rows.any():
+                self._settle(t, settle_rows)
+        stats.events = int(stats.events)
+        stats.tasks = int(stats.tasks)
+        stats.picks = int(stats.picks)
+        stats.wall_s = _time.perf_counter() - started
+
+    # -- result ------------------------------------------------------------
+
+    def finalize(self, default_tasks: tuple[Task, ...] | None) -> BatchResult:
+        B, W = self.B, self.W
+        rec = self.records
+        size = rec.size
+        rows = rec.rows[:size]
+        ends = rec.ends[:size]
+        flags = rec.flags[:size]
+
+        makespans = np.zeros(B)
+        completed = ~flags
+        np.maximum.at(makespans, rows[completed], ends[completed])
+
+        first_idle = self.first_idle.copy()
+        need = np.isnan(first_idle)
+        if need.any():
+            # Scalar fallback: min over all workers of their last busy
+            # instant (0.0 for a never-used worker), aborted included.
+            worker_max = np.zeros((B, W))
+            np.maximum.at(worker_max, (rows, rec.slots[:size]), ends)
+            fallback = np.where(self.exists, worker_max, np.inf).min(axis=1)
+            first_idle[need] = fallback[need]
+
+        abort_counts = np.bincount(rows[flags], minlength=B).astype(np.int64)
+
+        return BatchResult(
+            platforms=self.platforms,
+            workers=self.worker_tuples,
+            n_tasks=self.n,
+            makespans=makespans,
+            t_first_idle=first_idle,
+            abort_counts=abort_counts,
+            stats=self.stats,
+            records=rec,
+            sp_chunks=self._sp_chunks,
+            default_tasks=default_tasks,
+        )
+
+
+def _as_platforms(
+    platforms: Platform | Sequence[Platform], batch: int
+) -> tuple[Platform, ...]:
+    if isinstance(platforms, Platform):
+        return (platforms,) * batch
+    out = tuple(platforms)
+    if len(out) != batch:
+        raise ValueError(f"expected {batch} platforms, got {len(out)}")
+    return out
+
+
+def batch_heteroprio_schedule(
+    cpu_times: np.ndarray,
+    gpu_times: np.ndarray,
+    platforms: Platform | Sequence[Platform],
+    *,
+    priorities: np.ndarray | None = None,
+    spoliation: bool = True,
+    migration: str = "spoliation",
+) -> BatchResult:
+    """Run HeteroPrio on a ``(B, n)`` batch of independent-task instances.
+
+    Bit-identical to per-row
+    :func:`repro.core.heteroprio.heteroprio_schedule`
+    (``compute_ns=False``) with the same migration mode.  The
+    ``"preemption"`` migration mode keeps partial progress per victim
+    and is inherently sequential — callers fall back to the scalar loop.
+    """
+    cpu = np.ascontiguousarray(cpu_times, dtype=np.float64)
+    gpu = np.ascontiguousarray(gpu_times, dtype=np.float64)
+    if cpu.ndim != 2 or cpu.shape != gpu.shape:
+        raise ValueError("cpu_times/gpu_times must be matching (B, n) arrays")
+    mode = migration if spoliation else "none"
+    if mode == "preemption":
+        raise NotImplementedError(
+            "preemption migration is sequential per instance; use the scalar loop"
+        )
+    B, _ = cpu.shape
+    prio = (
+        np.zeros_like(cpu)
+        if priorities is None
+        else np.ascontiguousarray(np.broadcast_to(priorities, cpu.shape))
+    )
+    engine = _LockstepEngine(
+        cpu=cpu,
+        gpu=gpu,
+        priority=prio,
+        platforms=_as_platforms(platforms, B),
+        migrate=mode == "spoliation",
+        victim_rule="completion",
+        anchor_stale=False,
+    )
+    engine.run()
+    # Rows are distinct instances with distinct Task objects; callers
+    # pass their own task list to BatchResult.schedule(i, tasks=...).
+    return engine.finalize(None)
+
+
+def batch_simulate_dag(
+    graph: CompiledGraph,
+    platforms: Platform | Sequence[Platform],
+    priorities: np.ndarray,
+    *,
+    cpu_times: np.ndarray | None = None,
+    gpu_times: np.ndarray | None = None,
+    spoliation: bool = True,
+    victim_rule: str = "priority",
+) -> BatchResult:
+    """Run the HeteroPrio DAG policy on a batch sharing one graph structure.
+
+    ``priorities`` is ``(B, n)`` (one priority vector per row — e.g. one
+    ranking scheme per row); ``cpu_times``/``gpu_times`` default to the
+    graph's own durations broadcast across the batch, or may be
+    ``(B, n)`` per-row samples (noise sweeps over one structure).
+    Bit-identical to :func:`repro.simulator.simulate` with
+    :class:`~repro.schedulers.online.heteroprio.HeteroPrioPolicy` per
+    row.
+    """
+    prio = np.atleast_2d(np.asarray(priorities, dtype=np.float64))
+    B, n = prio.shape
+    if n != len(graph):
+        raise ValueError("priorities second axis must match graph size")
+    cpu = graph.cpu_times if cpu_times is None else np.asarray(cpu_times)
+    gpu = graph.gpu_times if gpu_times is None else np.asarray(gpu_times)
+    cpu = np.ascontiguousarray(np.broadcast_to(cpu, (B, n)), dtype=np.float64)
+    gpu = np.ascontiguousarray(np.broadcast_to(gpu, (B, n)), dtype=np.float64)
+    engine = _LockstepEngine(
+        cpu=cpu,
+        gpu=gpu,
+        priority=prio,
+        platforms=_as_platforms(platforms, B),
+        succ_indptr=graph.succ_indptr,
+        succ_indices=graph.succ_indices,
+        indegree=np.diff(graph.pred_indptr),
+        migrate=spoliation,
+        victim_rule=victim_rule,
+        anchor_stale=True,
+    )
+    engine.run()
+    default = graph.tasks if cpu_times is None and gpu_times is None else None
+    return engine.finalize(default)

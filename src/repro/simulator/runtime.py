@@ -42,6 +42,7 @@ import itertools
 import time as _time
 from dataclasses import asdict, dataclass
 from types import MappingProxyType
+from typing import Iterable
 
 from repro.core.platform import Platform, ResourceKind, Worker
 from repro.core.schedule import Schedule, TIME_EPS
@@ -61,6 +62,11 @@ class SimStats:
     stamps; ``picks`` the ``policy.pick()`` calls; ``tasks`` completed
     tasks; ``aborts`` spoliated executions.  ``wall_s`` is the wall
     clock of the whole :meth:`RuntimeSimulator.run` call.
+
+    The lockstep batch engine (:mod:`repro.simulator.batch`) emits one
+    aggregate ``SimStats`` per batch with the same counting conventions,
+    so scalar and batch runs are directly comparable; use
+    :meth:`merge` / :meth:`aggregate` to sum counters across runs.
     """
 
     events: int = 0
@@ -69,6 +75,23 @@ class SimStats:
     tasks: int = 0
     aborts: int = 0
     wall_s: float = 0.0
+
+    def merge(self, other: "SimStats") -> None:
+        """Accumulate *other*'s counters (and wall clock) into this one."""
+        self.events += other.events
+        self.stale_events += other.stale_events
+        self.picks += other.picks
+        self.tasks += other.tasks
+        self.aborts += other.aborts
+        self.wall_s += other.wall_s
+
+    @classmethod
+    def aggregate(cls, runs: Iterable["SimStats"]) -> "SimStats":
+        """Sum a sequence of per-run stats into one aggregate record."""
+        total = cls()
+        for stats in runs:
+            total.merge(stats)
+        return total
 
     @property
     def events_per_sec(self) -> float:
