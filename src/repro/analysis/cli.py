@@ -89,6 +89,12 @@ def run_lint(
         failures = check_gate(
             load_manifest(manifest_path), current, code_version=CODE_VERSION
         )
+        # Per-module salt validation: the curated closure-root tables in
+        # repro.campaign.salts must keep naming real modules, or
+        # selectivity silently widens to the all-modules fallback.
+        from repro.campaign.salts import check_salt_coverage
+
+        failures.extend(check_salt_coverage())
         if failures:
             for message in failures:
                 print(f"[cache-gate] FAIL: {message}", file=err)
@@ -96,7 +102,8 @@ def run_lint(
         else:
             print(
                 f"[cache-gate] OK: {len(current)} salted module(s) match "
-                f"{MANIFEST_PATH} under CODE_VERSION {CODE_VERSION}",
+                f"{MANIFEST_PATH} under CODE_VERSION {CODE_VERSION}; "
+                "per-module salt roots cover the tree",
                 file=out,
             )
     return exit_code

@@ -45,6 +45,12 @@ the runner asserts bitwise-equal to the batch result), plus the derived
 with the same calibration-normalized threshold; a baseline key absent
 from the current run is skipped with a note naming that key.
 
+The **cache case** times the tiered result cache itself: one lookup
+sweep over warm entries per tier, reported as
+``cache_hit_memory_per_sec`` and ``cache_hit_disk_per_sec`` (both
+gated) plus their ratio ``memory_over_disk`` — the speedup the
+in-process LRU tier buys over re-reading the disk tier.
+
 For CI regression checks, absolute events/sec is useless across
 runners of different speeds.  Every report therefore includes a
 *calibration* measurement (a fixed pure-Python heap workload timed at
@@ -398,6 +404,92 @@ def _batch_payload(
     return payload
 
 
+def _cache_case(n_specs: int, repeats: int = 3) -> BenchCase:
+    """Result-cache hit throughput, per tier, on *n_specs* warm entries.
+
+    Seeds a throwaway on-disk cache with synthetic payloads (the cache
+    never looks inside ``metrics``), then times two full lookup sweeps:
+    one on a fresh :class:`ResultCache` object (every hit is a disk
+    read that feeds the memory tier) and one on an already-warm object
+    (every hit is served from the in-process LRU).  The seeding pass
+    warms the spec-hash memo, so both sweeps time tier access rather
+    than hashing.  ``memory_over_disk`` is the headline number: how
+    much the memory tier buys over re-reading the disk tier.
+    """
+    case_id = f"cache:result:n{n_specs}:tiers"
+
+    def runner(reps: int) -> dict:
+        import tempfile
+
+        from repro.campaign.cache import ResultCache
+        from repro.campaign.spec import InstanceSpec
+
+        specs = [
+            InstanceSpec(
+                workload="cholesky",
+                size=4 + i,
+                algorithm="heteroprio",
+                mode="dag",
+                num_cpus=20,
+                num_gpus=4,
+                bound="auto",
+            )
+            for i in range(n_specs)
+        ]
+        metrics = {"ratio": 1.0, "makespan": 123.456, "lower_bound": 100.0}
+        with tempfile.TemporaryDirectory() as tmp:
+            seed = ResultCache(tmp)
+            for spec in specs:
+                seed.put(spec, metrics, elapsed_s=0.001)
+            disk_wall = float("inf")
+            for _ in range(reps):
+                cold = ResultCache(tmp)  # fresh object: empty memory tier
+                started = time.perf_counter()
+                for spec in specs:
+                    assert cold.get(spec) is not None
+                disk_wall = min(disk_wall, time.perf_counter() - started)
+                assert cold.stats.disk_hits == n_specs
+            warm = ResultCache(tmp)
+            for spec in specs:
+                warm.get(spec)  # feed the memory tier
+            # A single memory sweep is ~1 ms — below timer noise — so
+            # each timed measurement runs several full passes.
+            mem_passes = 8
+            mem_wall = float("inf")
+            for _ in range(reps):
+                before = warm.stats.memory_hits
+                started = time.perf_counter()
+                for _ in range(mem_passes):
+                    for spec in specs:
+                        assert warm.get(spec) is not None
+                mem_wall = min(mem_wall, time.perf_counter() - started)
+                assert warm.stats.memory_hits - before == n_specs * mem_passes
+            # Sanity: the memory tier hands back the payload bit-exactly.
+            entry = warm.get(specs[0])
+            assert entry is not None and entry["metrics"] == metrics
+            makespan = float(entry["metrics"]["makespan"])
+        mem_rate = (
+            n_specs * mem_passes / mem_wall if mem_wall > 0 else float("inf")
+        )
+        disk_rate = n_specs / disk_wall if disk_wall > 0 else float("inf")
+        return {
+            "events": n_specs,
+            "stale_events": 0,
+            "picks": 0,
+            "tasks": n_specs,
+            "aborts": 0,
+            "wall_s": mem_wall,
+            "events_per_sec": mem_rate,
+            "picks_per_sec": 0.0,
+            "makespan": makespan,
+            "cache_hit_memory_per_sec": mem_rate,
+            "cache_hit_disk_per_sec": disk_rate,
+            "memory_over_disk": mem_rate / disk_rate,
+        }
+
+    return BenchCase(case_id, runner, repeats)
+
+
 #: The full ``repro bench`` suite: the fig7 sweeps at n >= 1000 tasks,
 #: plus the ``--quick`` smoke cases so the committed report doubles as
 #: the CI regression baseline for ``repro bench --quick``.
@@ -415,6 +507,7 @@ BENCH_CASES: tuple[BenchCase, ...] = (
     _dag_case("lu", 14, "buckets"),
     _dag_case("lu", 14, "heft"),
     _independent_case(2000),
+    _cache_case(256),
 )
 
 #: The ``--quick`` CI smoke subset (a few seconds total).
@@ -422,6 +515,7 @@ QUICK_CASES: tuple[BenchCase, ...] = (
     _dag_case("cholesky", 12, "heteroprio", repeats=2),
     _dag_case("cholesky", 12, "buckets", repeats=2),
     _independent_case(500, repeats=2),
+    _cache_case(256, repeats=2),
 )
 
 #: The lockstep batch-engine grids (``--batch``): the fig7 sweep and
@@ -497,7 +591,12 @@ def run_bench(
 
 
 #: Throughput keys the baseline gate covers, in report order.
-GATED_KEYS = ("events_per_sec", "batch_events_per_sec")
+GATED_KEYS = (
+    "events_per_sec",
+    "batch_events_per_sec",
+    "cache_hit_memory_per_sec",
+    "cache_hit_disk_per_sec",
+)
 
 
 def compare(

@@ -21,7 +21,13 @@ this engine; ``python -m repro campaign`` is the CLI front end.
 """
 
 from repro.campaign.spec import CODE_VERSION, InstanceSpec
-from repro.campaign.cache import ResultCache, decode_value, encode_value
+from repro.campaign.backends import BACKEND_NAMES, resolve_backend
+from repro.campaign.cache import (
+    CacheStats,
+    ResultCache,
+    decode_value,
+    encode_value,
+)
 from repro.campaign.executor import (
     CampaignOutcome,
     CampaignRecord,
@@ -39,14 +45,17 @@ from repro.campaign.telemetry import (
 )
 
 __all__ = [
+    "BACKEND_NAMES",
     "CODE_VERSION",
     "InstanceSpec",
+    "CacheStats",
     "ResultCache",
     "CampaignOutcome",
     "CampaignRecord",
     "CampaignEvent",
     "CampaignStats",
     "run_campaign",
+    "resolve_backend",
     "execute_spec",
     "execute_spec_cached",
     "derive_seeds",

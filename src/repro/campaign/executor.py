@@ -40,6 +40,12 @@ import numpy as np
 
 from repro.bounds.area import area_bound
 from repro.bounds.dag_lp import dag_lower_bound
+from repro.campaign.backends import (
+    UnitResult,
+    WorkUnit,
+    resolve_backend,
+    run_work_stealing,
+)
 from repro.campaign.cache import ResultCache
 from repro.campaign.graph_store import GraphStore
 from repro.campaign.spec import InstanceSpec
@@ -68,10 +74,12 @@ __all__ = [
     "execute_spec",
     "execute_spec_batch",
     "execute_spec_cached",
+    "execute_unit",
     "derive_seeds",
     "ensure_graph_store",
     "metrics_to_run_metrics",
     "plan_batches",
+    "plan_units",
     "set_graph_store",
 ]
 
@@ -160,7 +168,9 @@ def set_graph_store(store: GraphStore | None) -> None:
     _compiled_workload.cache_clear()
 
 
-def ensure_graph_store(root: Path | str, *, salt: str) -> None:
+def ensure_graph_store(
+    root: Path | str, *, salt: str, selective: bool = True
+) -> None:
     """Idempotently point the process-global graph store at *root*.
 
     Keeps the current store — and the in-memory graph memo — when it
@@ -168,8 +178,13 @@ def ensure_graph_store(root: Path | str, *, salt: str) -> None:
     next to a CLI run) rebuild nothing.
     """
     root = Path(root)
-    if _graph_store is None or _graph_store.root != root or _graph_store.salt != salt:
-        set_graph_store(GraphStore(root, salt=salt))
+    if (
+        _graph_store is None
+        or _graph_store.root != root
+        or _graph_store.salt != salt
+        or _graph_store.selective != selective
+    ):
+        set_graph_store(GraphStore(root, salt=salt, selective=selective))
 
 
 @lru_cache(maxsize=8)
@@ -457,31 +472,95 @@ def execute_spec_batch(specs: Sequence[InstanceSpec]) -> list[dict] | None:
     return _execute_dag_batch(specs)
 
 
-def _execute_batches(
-    spec_list: Sequence[InstanceSpec],
-    indices: Sequence[int],
+def plan_units(
+    specs: Sequence[InstanceSpec],
     *,
-    min_batch: int,
-) -> dict[int, tuple[dict, float]]:
-    """Lockstep-execute the batchable subset of *indices*.
+    batch: bool = True,
+    min_batch: int = MIN_BATCH,
+) -> tuple[list[WorkUnit], int, int]:
+    """Plan *specs* (a miss list) into backend work units.
 
-    Returns ``{spec index: (metrics, elapsed_s)}`` for every spec that
-    ran in a batch; the per-spec elapsed time is the batch wall clock
-    amortised over its rows (telemetry only — payloads are exact).
+    Lockstep groups of >= *min_batch* specs become single batch units
+    (kept whole — they are the steal granularity); everything else
+    becomes one scalar unit per spec, in ascending index order.
+    Returns ``(units, fallback_policy, fallback_small)`` — the counts
+    of specs that fell back to the scalar path because their policy has
+    no batch implementation vs. because their group was too small (both
+    0 when *batch* is off: no fallback happened, batching was never
+    requested).
     """
-    resolved: dict[int, tuple[dict, float]] = {}
-    groups = plan_batches([spec_list[i] for i in indices], min_batch=min_batch)
-    for group in groups:
-        members = [indices[g] for g in group]
-        batch_specs = [spec_list[i] for i in members]
+    units: list[WorkUnit] = []
+    fallback_policy = 0
+    fallback_small = 0
+    scalar: list[int] = []
+    if batch:
+        groups: dict[tuple, list[int]] = {}
+        for i, spec in enumerate(specs):
+            key = _batch_key(spec)
+            if key is None:
+                fallback_policy += 1
+                scalar.append(i)
+            else:
+                groups.setdefault(key, []).append(i)
+        for members in groups.values():
+            if len(members) >= min_batch:
+                units.append(
+                    WorkUnit(
+                        unit_id=len(units),
+                        indices=tuple(members),
+                        specs=tuple(specs[i] for i in members),
+                        batched=True,
+                    )
+                )
+            else:
+                fallback_small += len(members)
+                scalar.extend(members)
+    else:
+        scalar = list(range(len(specs)))
+    for i in sorted(scalar):
+        units.append(
+            WorkUnit(
+                unit_id=len(units),
+                indices=(i,),
+                specs=(specs[i],),
+                batched=False,
+            )
+        )
+    return units, fallback_policy, fallback_small
+
+
+def execute_unit(unit: WorkUnit) -> UnitResult:
+    """Run one work unit to completion (parent or worker alike).
+
+    Batch units go through the lockstep engine with the per-spec
+    elapsed time amortised over the rows; when the engine declines at
+    run time (ragged task counts, a non-compiled graph) the unit's
+    specs take the scalar path and the result is flagged
+    ``batched=False`` so telemetry can count the runtime fallback.
+    """
+    if unit.batched:
         started = time.perf_counter()
-        payloads = execute_spec_batch(batch_specs)
-        if payloads is None:
-            continue
-        elapsed = (time.perf_counter() - started) / len(members)
-        for i, metrics in zip(members, payloads):
-            resolved[i] = (metrics, elapsed)
-    return resolved
+        payloads = execute_spec_batch(list(unit.specs))
+        if payloads is not None:
+            elapsed = (time.perf_counter() - started) / len(unit.specs)
+            return UnitResult(
+                unit_id=unit.unit_id,
+                payloads=payloads,
+                elapsed=[elapsed] * len(unit.specs),
+                batched=True,
+            )
+    payloads = []
+    elapsed_list: list[float] = []
+    for spec in unit.specs:
+        metrics, spent = _timed_execute(spec)
+        payloads.append(metrics)
+        elapsed_list.append(spent)
+    return UnitResult(
+        unit_id=unit.unit_id,
+        payloads=payloads,
+        elapsed=elapsed_list,
+        batched=False,
+    )
 
 
 def _timed_execute(spec: InstanceSpec) -> tuple[dict, float]:
@@ -527,6 +606,7 @@ def run_campaign(
     manifest: bool = True,
     batch: bool = True,
     min_batch: int = MIN_BATCH,
+    backend: str | None = None,
 ) -> CampaignOutcome:
     """Execute a spec set, reading and feeding the result cache.
 
@@ -544,30 +624,43 @@ def run_campaign(
         :class:`CampaignEvent` (cache hits first, then executions in
         completion order).
     chunksize:
-        Dispatch granularity for the worker pool; defaults to a value
-        that gives each worker a few chunks for load balance while
-        amortising per-task IPC.
+        Dispatch granularity for the ``mp-pool`` backend; defaults to a
+        value that gives each worker a few chunks for load balance
+        while amortising per-task IPC.
     manifest:
         When a cache is attached, also write a run manifest under
         ``<cache root>/manifests/``.
     batch:
         Route cache-miss groups that share a lockstep key (see
-        :func:`plan_batches`) through the vectorized batch engine, in
-        the parent process, before the remaining misses hit the scalar
-        path.  Payloads are bit-identical either way — batching only
-        changes wall clock (and amortises ``elapsed_s`` telemetry over
-        each batch).
+        :func:`plan_batches`) through the vectorized batch engine.
+        Payloads are bit-identical either way — batching only changes
+        wall clock (and amortises ``elapsed_s`` telemetry over each
+        batch).
     min_batch:
         Smallest group the batch engine will take on.
+    backend:
+        Executor backend for the misses — one of
+        :data:`repro.campaign.backends.BACKEND_NAMES`.  ``None``/
+        ``"auto"`` keeps the historical behaviour (``serial`` at one
+        job, ``mp-pool`` otherwise); ``"work-stealing"`` routes every
+        unit through the deque fabric.  Results are bit-identical
+        across backends — only wall clock changes.
     """
     spec_list = list(specs)
     if cache is not None:
-        # Persist compiled graphs next to the results.
-        ensure_graph_store(cache.root / "graphs", salt=cache.salt)
+        # Persist compiled graphs next to the results, keyed with the
+        # same (selective) salting discipline.
+        ensure_graph_store(
+            cache.root / "graphs", salt=cache.salt, selective=cache.selective
+        )
     started_wall = time.perf_counter()
     started_at = time.time()
     requested_jobs = os.cpu_count() or 1 if jobs is None else max(1, int(jobs))
-    stats = CampaignStats(total=len(spec_list), jobs=requested_jobs)
+    resolved_backend = resolve_backend(backend, requested_jobs)
+    stats = CampaignStats(
+        total=len(spec_list), jobs=requested_jobs, backend=resolved_backend
+    )
+    tier_before = cache.stats.snapshot() if cache is not None else None
     records: list[CampaignRecord | None] = [None] * len(spec_list)
 
     def emit(index: int, record: CampaignRecord, done: int) -> None:
@@ -602,8 +695,15 @@ def run_campaign(
         done += 1
         emit(i, records[i], done)
 
-    # Phase 2: execute the misses — lockstep batches first (in the
-    # parent, vectorized), then the rest serially or over a worker pool.
+    # Tier split of the hits just served (cache counters are cumulative
+    # per cache object; the delta is this campaign's share).
+    if cache is not None and tier_before is not None:
+        stats.memory_hits = cache.stats.memory_hits - tier_before.memory_hits
+        stats.disk_hits = cache.stats.disk_hits - tier_before.disk_hits
+        stats.migrated = cache.stats.migrated - tier_before.migrated
+
+    # Phase 2: plan the misses into work units (lockstep batch groups +
+    # scalar remainder) and run them on the selected backend.
     stats.misses = len(miss_indices)
 
     def consume(
@@ -624,44 +724,81 @@ def run_campaign(
             done += 1
             emit(i, records[i], done)
 
-    if batch and len(miss_indices) >= min_batch:
-        resolved = _execute_batches(spec_list, miss_indices, min_batch=min_batch)
-        if resolved:
-            stats.batched = len(resolved)
-            consume(list(resolved), resolved.values())
-            miss_indices = [i for i in miss_indices if i not in resolved]
+    def consume_unit(unit: WorkUnit, result: UnitResult) -> None:
+        if result.batched:
+            stats.batched += len(unit.indices)
+        elif unit.batched:
+            stats.fallback_runtime += len(unit.indices)
+        consume(
+            [miss_indices[j] for j in unit.indices],
+            zip(result.payloads, result.elapsed),
+        )
 
-    effective_jobs = max(1, min(requested_jobs, len(miss_indices)))
     if miss_indices:
         miss_specs = [spec_list[i] for i in miss_indices]
-        if effective_jobs == 1:
-            consume(miss_indices, map(_timed_execute, miss_specs))
-        else:
-            methods = multiprocessing.get_all_start_methods()
-            ctx = multiprocessing.get_context(
-                "fork" if "fork" in methods else None
+        units, stats.fallback_policy, stats.fallback_small = plan_units(
+            miss_specs, batch=batch, min_batch=min_batch
+        )
+        if resolved_backend == "work-stealing":
+            unit_by_id = {unit.unit_id: unit for unit in units}
+            counters: dict[str, int] = {}
+            results = run_work_stealing(
+                units,
+                jobs=requested_jobs,
+                store_root=None if cache is None else str(cache.root / "graphs"),
+                store_salt="" if cache is None else cache.salt,
+                store_selective=True if cache is None else cache.selective,
+                counters=counters,
             )
-            chunk = chunksize or max(1, len(miss_specs) // (4 * effective_jobs))
-            # Teardown discipline: ``close()`` + ``join()`` on success
-            # drains the pool cleanly; *any* error — including a
-            # KeyboardInterrupt landing mid-campaign, or a progress
-            # callback raising — terminates the workers before the
-            # exception propagates, so an interrupted campaign never
-            # leaves orphaned processes behind (a long-lived server owns
-            # this pool transitively via execute_spec_cached callers).
-            pool = ctx.Pool(processes=effective_jobs)
             try:
-                consume(
-                    miss_indices,
-                    pool.imap(_timed_execute, miss_specs, chunksize=chunk),
-                )
-            except BaseException:
-                pool.terminate()
-                raise
-            else:
-                pool.close()
+                for result in results:
+                    consume_unit(unit_by_id[result.unit_id], result)
             finally:
-                pool.join()
+                stats.steals = counters.get("steals", 0)
+        elif resolved_backend == "serial":
+            for unit in units:
+                consume_unit(unit, execute_unit(unit))
+        else:  # mp-pool: batches in the parent, scalars over the pool
+            scalar_units = []
+            for unit in units:
+                if unit.batched:
+                    consume_unit(unit, execute_unit(unit))
+                else:
+                    scalar_units.append(unit)
+            effective_jobs = max(1, min(requested_jobs, len(scalar_units)))
+            if scalar_units and effective_jobs == 1:
+                for unit in scalar_units:
+                    consume_unit(unit, execute_unit(unit))
+            elif scalar_units:
+                scalar_specs = [unit.specs[0] for unit in scalar_units]
+                methods = multiprocessing.get_all_start_methods()
+                ctx = multiprocessing.get_context(
+                    "fork" if "fork" in methods else None
+                )
+                chunk = chunksize or max(
+                    1, len(scalar_specs) // (4 * effective_jobs)
+                )
+                # Teardown discipline: ``close()`` + ``join()`` on
+                # success drains the pool cleanly; *any* error —
+                # including a KeyboardInterrupt landing mid-campaign, or
+                # a progress callback raising — terminates the workers
+                # before the exception propagates, so an interrupted
+                # campaign never leaves orphaned processes behind (a
+                # long-lived server owns this pool transitively via
+                # execute_spec_cached callers).
+                pool = ctx.Pool(processes=effective_jobs)
+                try:
+                    consume(
+                        [miss_indices[unit.indices[0]] for unit in scalar_units],
+                        pool.imap(_timed_execute, scalar_specs, chunksize=chunk),
+                    )
+                except BaseException:
+                    pool.terminate()
+                    raise
+                else:
+                    pool.close()
+                finally:
+                    pool.join()
 
     stats.wall_s = time.perf_counter() - started_wall
     if cache is not None and manifest:

@@ -31,6 +31,7 @@ from typing import Iterator
 
 import numpy as np
 
+from repro.campaign.salts import workload_salt
 from repro.campaign.spec import CODE_VERSION
 from repro.dag.compiled import CompiledGraph
 from repro.io import canonical_dumps
@@ -46,19 +47,40 @@ REFERENCE_TIMING = "reference"
 
 
 class GraphStore:
-    """Sharded, content-addressed store of compiled workload graphs."""
+    """Sharded, content-addressed store of compiled workload graphs.
 
-    def __init__(self, root: str | Path, *, salt: str = CODE_VERSION):
+    With ``selective=True`` (the default, matching the result cache) a
+    graph's key mixes in the closure salt of its workload *generator*
+    module (:func:`repro.campaign.salts.workload_salt`): editing
+    ``dag/cholesky.py`` re-keys the cholesky graphs even while the base
+    ``CODE_VERSION`` stands still — without this, selective result
+    recomputes would rebuild from a stale compiled graph and cache
+    wrong metrics under fresh keys.
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        *,
+        salt: str = CODE_VERSION,
+        selective: bool = True,
+    ):
         self.root = Path(root)
         self.salt = salt
+        self.selective = bool(selective)
         self.root.mkdir(parents=True, exist_ok=True)
 
     # -- addressing ----------------------------------------------------------
 
+    def _effective_salt(self, workload: str) -> str:
+        if not self.selective:
+            return self.salt
+        return workload_salt(workload, base=self.salt)
+
     def _meta(self, workload: str, size: int, timing: str) -> dict:
         return {
             "format": GRAPH_FORMAT_VERSION,
-            "salt": self.salt,
+            "salt": self._effective_salt(workload),
             "size": int(size),
             "timing": timing,
             "workload": workload,

@@ -37,8 +37,18 @@ class CampaignStats:
     run), ``cached_s`` the recorded cost of the instances served from
     cache (CPU cost *avoided*), and ``wall_s`` the end-to-end wall clock
     — with ``jobs > 1``, ``exec_s`` exceeding ``wall_s`` is the speedup
-    made visible.  ``batched`` counts the executed instances that went
-    through the lockstep batch engine rather than the scalar path.
+    made visible.
+
+    Cache hits split by tier: ``memory_hits`` + ``disk_hits`` = ``hits``
+    (``migrated`` counts the disk hits served by the legacy-salt
+    migration shim).  ``batched`` counts the executed instances that
+    went through the lockstep batch engine; the scalar remainder is
+    broken out by *why* it fell back — ``fallback_policy`` (the policy
+    has no batch implementation: HEFT/DualHP rows), ``fallback_small``
+    (the lockstep group was smaller than ``MIN_BATCH``) and
+    ``fallback_runtime`` (the engine declined at run time, e.g. ragged
+    task counts).  ``backend`` names the executor backend that ran the
+    misses and ``steals`` counts work-stealing transfers (0 elsewhere).
     """
 
     total: int = 0
@@ -50,6 +60,14 @@ class CampaignStats:
     exec_s: float = 0.0
     cached_s: float = 0.0
     wall_s: float = 0.0
+    memory_hits: int = 0
+    disk_hits: int = 0
+    migrated: int = 0
+    fallback_policy: int = 0
+    fallback_small: int = 0
+    fallback_runtime: int = 0
+    steals: int = 0
+    backend: str = "serial"
 
     @property
     def hit_rate(self) -> float:
@@ -67,15 +85,50 @@ class CampaignStats:
             "exec_s": round(self.exec_s, 6),
             "cached_s": round(self.cached_s, 6),
             "wall_s": round(self.wall_s, 6),
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "migrated": self.migrated,
+            "fallback_policy": self.fallback_policy,
+            "fallback_small": self.fallback_small,
+            "fallback_runtime": self.fallback_runtime,
+            "steals": self.steals,
+            "backend": self.backend,
         }
+
+    def _hits_detail(self) -> str:
+        if not self.hits:
+            return ""
+        parts = [f"{self.memory_hits} mem", f"{self.disk_hits} disk"]
+        if self.migrated:
+            parts.append(f"{self.migrated} migrated")
+        return "; " + ", ".join(parts)
+
+    def _executed_detail(self) -> str:
+        parts = []
+        if self.batched:
+            parts.append(f"{self.batched} batched")
+        fallbacks = []
+        if self.fallback_policy:
+            fallbacks.append(f"{self.fallback_policy} policy-unsupported")
+        if self.fallback_small:
+            fallbacks.append(f"{self.fallback_small} small-group")
+        if self.fallback_runtime:
+            fallbacks.append(f"{self.fallback_runtime} runtime")
+        if fallbacks:
+            parts.append("scalar: " + ", ".join(fallbacks))
+        return f"({'; '.join(parts)}) " if parts else ""
 
     def summary(self) -> str:
         """One-line human-readable digest for CLI output."""
+        backend = f" [{self.backend}" + (
+            f", {self.steals} steals]" if self.steals else "]"
+        )
         return (
             f"{self.total} instances: {self.hits} cache hits "
-            f"({100.0 * self.hit_rate:.0f}%), {self.executed} executed "
-            + (f"({self.batched} batched) " if self.batched else "")
-            + f"on {self.jobs} worker(s); "
+            f"({100.0 * self.hit_rate:.0f}%{self._hits_detail()}), "
+            f"{self.executed} executed "
+            + self._executed_detail()
+            + f"on {self.jobs} worker(s){backend}; "
             f"sim {self.exec_s:.2f}s, wall {self.wall_s:.2f}s"
             + (f", saved ~{self.cached_s:.2f}s" if self.cached_s > 0 else "")
         )

@@ -19,7 +19,15 @@ reassignment is expensive at large N).  The campaign-backed sweeps
 (:mod:`repro.campaign`): results are stored content-addressed under
 ``--cache-dir`` (default ``.repro-cache``), so a warm re-run completes
 without executing a single simulation.  ``--refresh`` clears the cache
-first; ``--no-cache`` disables it for the run.
+first; ``--no-cache`` disables it for the run; ``--backend`` picks the
+execution fabric (``serial``, ``mp-pool``, ``work-stealing`` — all
+bit-identical at any ``--jobs``).
+
+``cache`` inspects and maintains the result cache: by default it
+prints entry/byte counts per tier, ``--prune`` evicts least-recently
+used disk entries down to ``--max-bytes``/``--max-entries``, and
+``--gc`` deletes entries whose salt no longer matches the current
+code (stale closures that selective invalidation has re-keyed).
 
 ``bench`` runs the simulator perf harness (:mod:`repro.bench`) and
 writes ``BENCH_simcore.json``; ``--quick`` selects the CI smoke
@@ -41,6 +49,7 @@ import sys
 import time
 from typing import Sequence
 
+from repro.campaign.backends import BACKEND_NAMES as _BACKEND_NAMES
 from repro.experiments import ALL_EXPERIMENTS
 from repro.experiments.workloads import DEFAULT_N_VALUES, FULL_N_VALUES
 
@@ -60,9 +69,9 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         choices=sorted(ALL_EXPERIMENTS)
-        + ["all", "list", "campaign", "bench", "lint", "serve", "submit"],
+        + ["all", "list", "campaign", "cache", "bench", "lint", "serve", "submit"],
         help="experiment id (paper table/figure), 'all', 'list', 'campaign', "
-        "'bench', 'lint', 'serve', or 'submit'",
+        "'cache', 'bench', 'lint', 'serve', or 'submit'",
     )
     parser.add_argument(
         "--profile",
@@ -125,11 +134,46 @@ def _build_parser() -> argparse.ArgumentParser:
         help="clear the result cache before running",
     )
     campaign.add_argument(
+        "--backend",
+        choices=list(_BACKEND_NAMES),
+        default="auto",
+        help="execution fabric for campaign-backed sweeps: serial, mp-pool, "
+        "or work-stealing (default: auto = serial when --jobs 1, mp-pool "
+        "otherwise; every backend is bit-identical)",
+    )
+    campaign.add_argument(
         "--targets",
         metavar="IDS",
         default=",".join(_CAMPAIGN_DEFAULT_TARGETS),
         help="comma-separated campaign experiments "
         f"(subset of {sorted(_CAMPAIGN_EXPERIMENTS)}; default: fig6,fig7)",
+    )
+    cache_group = parser.add_argument_group("cache options")
+    cache_group.add_argument(
+        "--prune",
+        action="store_true",
+        help="cache: evict least-recently-used disk entries down to "
+        "--max-bytes / --max-entries",
+    )
+    cache_group.add_argument(
+        "--gc",
+        action="store_true",
+        help="cache: delete entries whose salt no longer matches the "
+        "current code (superseded by selective invalidation)",
+    )
+    cache_group.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cache --prune: keep the disk tier under N bytes",
+    )
+    cache_group.add_argument(
+        "--max-entries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cache --prune: keep at most N disk entries",
     )
     service = parser.add_argument_group("service options (serve/submit/campaign)")
     service.add_argument(
@@ -258,7 +302,12 @@ def _n_values(args: argparse.Namespace) -> tuple[int, ...]:
 def _run_one(name: str, args: argparse.Namespace, *, cache=None) -> list:
     module = ALL_EXPERIMENTS[name]
     if name in _KERNEL_EXPERIMENTS:
-        kwargs = {"n_values": _n_values(args), "jobs": args.jobs, "cache": cache}
+        kwargs = {
+            "n_values": _n_values(args),
+            "jobs": args.jobs,
+            "cache": cache,
+            "backend": args.backend,
+        }
         if args.kernel == "all":
             return module.run_all(**kwargs)
         return [module.run(args.kernel, **kwargs)]
@@ -300,7 +349,12 @@ def _run_campaign_spec(args: argparse.Namespace, cache) -> int:
         groups.setdefault(item.tenant, []).append(item.to_instance_spec())
     for tenant in sorted(groups):
         tenant_cache = None if cache is None else namespaced_cache(cache, tenant)
-        outcome = run_campaign(groups[tenant], jobs=args.jobs, cache=tenant_cache)
+        outcome = run_campaign(
+            groups[tenant],
+            jobs=args.jobs,
+            cache=tenant_cache,
+            backend=args.backend,
+        )
         label = f" [tenant {tenant}]" if tenant else ""
         for record in outcome.records:
             print(
@@ -363,6 +417,55 @@ def _run_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_cache(args: argparse.Namespace) -> int:
+    """The ``repro cache`` subcommand: inspect / prune / gc the result cache."""
+    from pathlib import Path
+
+    from repro.campaign import ResultCache
+
+    root = Path(args.cache_dir)
+    if not root.is_dir():
+        print(f"[cache] no cache at {root}", file=sys.stderr)
+        return 0 if not (args.prune or args.gc) else 2
+    cache = ResultCache(root)
+    acted = False
+    if args.gc:
+        removed = cache.gc()
+        print(f"[cache] gc: removed {removed} stale-salt entries")
+        acted = True
+    if args.prune:
+        if args.max_bytes is None and args.max_entries is None:
+            print(
+                "[cache] --prune needs --max-bytes and/or --max-entries",
+                file=sys.stderr,
+            )
+            return 2
+        removed = cache.prune(
+            max_bytes=args.max_bytes, max_entries=args.max_entries
+        )
+        print(f"[cache] prune: evicted {removed} least-recently-used entries")
+        acted = True
+    entries, size = cache.disk_usage()
+    tenants = sorted(
+        p.name for p in (root / "tenants").iterdir() if p.is_dir()
+    ) if (root / "tenants").is_dir() else []
+    print(
+        f"[cache] {root}: {entries} disk entries, {size} bytes "
+        f"(salt {cache.salt}; memory tier capacity "
+        f"{cache.memory_entries} entries per process)"
+    )
+    for tenant in tenants:
+        t_entries, t_size = ResultCache(root / "tenants" / tenant).disk_usage()
+        print(f"[cache]   tenant {tenant}: {t_entries} entries, {t_size} bytes")
+    if not acted and (args.max_bytes is not None or args.max_entries is not None):
+        print(
+            "[cache] note: --max-bytes/--max-entries have no effect "
+            "without --prune",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def _run_bench(args: argparse.Namespace) -> int:
     """The ``repro bench`` subcommand: the simulator perf harness."""
     from repro import bench
@@ -404,6 +507,8 @@ def main_dispatch(args: argparse.Namespace) -> int:
         return 0
     if args.experiment == "campaign":
         return _run_campaign(args)
+    if args.experiment == "cache":
+        return _run_cache(args)
     if args.experiment == "bench":
         return _run_bench(args)
     if args.experiment == "serve":

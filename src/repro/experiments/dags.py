@@ -67,16 +67,17 @@ def dag_sweep(
     bound_method: str = "auto",
     jobs: int | None = 1,
     cache: ResultCache | None = None,
+    backend: str | None = None,
     telemetry: list[CampaignStats] | None = None,
 ) -> dict[tuple[str, int], RunMetrics]:
     """Simulate every (algorithm, N) pair for one kernel family.
 
     Returns a mapping ``(algorithm, N) -> RunMetrics``.  Results are
     memoised per argument combination for the lifetime of the process
-    (``jobs`` and ``cache`` only affect how fresh results are computed,
-    never their values, so they are not part of the memo key); when
-    *telemetry* is given, the run's :class:`CampaignStats` is appended
-    to it.
+    (``jobs``, ``cache`` and ``backend`` only affect how fresh results
+    are computed, never their values, so they are not part of the memo
+    key); when *telemetry* is given, the run's :class:`CampaignStats`
+    is appended to it.
     """
     key = (kernel, n_values, algorithms, platform, bound_method)
     if key in _CACHE:
@@ -92,7 +93,7 @@ def dag_sweep(
         platform=platform,
         bound_method=bound_method,
     )
-    outcome = run_campaign(specs, jobs=jobs, cache=cache)
+    outcome = run_campaign(specs, jobs=jobs, cache=cache, backend=backend)
     results: dict[tuple[str, int], RunMetrics] = {
         (spec.algorithm, spec.size): metrics_to_run_metrics(record.metrics)
         for spec, record in zip(specs, outcome.records)

@@ -59,10 +59,11 @@ def run(
     platform: Platform = PAPER_PLATFORM,
     jobs: int | None = 1,
     cache: ResultCache | None = None,
+    backend: str | None = None,
 ) -> ExperimentResult:
     """Reproduce one panel of Figure 6 (one kernel family)."""
     specs = sweep_specs(kernel, n_values=n_values, platform=platform)
-    outcome = run_campaign(specs, jobs=jobs, cache=cache)
+    outcome = run_campaign(specs, jobs=jobs, cache=cache, backend=backend)
     ratios: dict[str, list[float]] = {name: [] for name in ALGORITHMS}
     for spec, record in zip(specs, outcome.records):
         ratios[spec.algorithm].append(record.metrics["ratio"])
@@ -88,9 +89,17 @@ def run_all(
     platform: Platform = PAPER_PLATFORM,
     jobs: int | None = 1,
     cache: ResultCache | None = None,
+    backend: str | None = None,
 ) -> list[ExperimentResult]:
     """All three panels (Cholesky, QR, LU) of Figure 6."""
     return [
-        run(kernel, n_values=n_values, platform=platform, jobs=jobs, cache=cache)
+        run(
+            kernel,
+            n_values=n_values,
+            platform=platform,
+            jobs=jobs,
+            cache=cache,
+            backend=backend,
+        )
         for kernel in ("cholesky", "qr", "lu")
     ]

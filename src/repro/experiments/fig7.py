@@ -32,6 +32,7 @@ def run(
     platform: Platform = PAPER_PLATFORM,
     jobs: int | None = 1,
     cache: ResultCache | None = None,
+    backend: str | None = None,
 ) -> ExperimentResult:
     """Reproduce one panel of Figure 7 (one kernel family)."""
     telemetry: list[CampaignStats] = []
@@ -42,6 +43,7 @@ def run(
         platform=platform,
         jobs=jobs,
         cache=cache,
+        backend=backend,
         telemetry=telemetry,
     )
     series = [
@@ -77,6 +79,7 @@ def run_all(
     platform: Platform = PAPER_PLATFORM,
     jobs: int | None = 1,
     cache: ResultCache | None = None,
+    backend: str | None = None,
 ) -> list[ExperimentResult]:
     """All three panels (Cholesky, QR, LU) of Figure 7."""
     return [
@@ -87,6 +90,7 @@ def run_all(
             platform=platform,
             jobs=jobs,
             cache=cache,
+            backend=backend,
         )
         for kernel in ("cholesky", "qr", "lu")
     ]

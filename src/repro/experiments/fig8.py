@@ -29,6 +29,7 @@ def run(
     platform: Platform = PAPER_PLATFORM,
     jobs: int | None = 1,
     cache: ResultCache | None = None,
+    backend: str | None = None,
 ) -> ExperimentResult:
     """Reproduce one panel pair (CPU, GPU) of Figure 8."""
     metrics = dag_sweep(
@@ -38,6 +39,7 @@ def run(
         platform=platform,
         jobs=jobs,
         cache=cache,
+        backend=backend,
     )
     series: list[Series] = []
     for name in algorithms:
@@ -71,6 +73,7 @@ def run_all(
     platform: Platform = PAPER_PLATFORM,
     jobs: int | None = 1,
     cache: ResultCache | None = None,
+    backend: str | None = None,
 ) -> list[ExperimentResult]:
     """All three kernel families of Figure 8."""
     return [
@@ -81,6 +84,7 @@ def run_all(
             platform=platform,
             jobs=jobs,
             cache=cache,
+            backend=backend,
         )
         for kernel in ("cholesky", "qr", "lu")
     ]

@@ -30,6 +30,7 @@ def run(
     platform: Platform = PAPER_PLATFORM,
     jobs: int | None = 1,
     cache: ResultCache | None = None,
+    backend: str | None = None,
 ) -> ExperimentResult:
     """Reproduce one panel pair (CPU, GPU) of Figure 9."""
     metrics = dag_sweep(
@@ -39,6 +40,7 @@ def run(
         platform=platform,
         jobs=jobs,
         cache=cache,
+        backend=backend,
     )
     series: list[Series] = []
     for name in algorithms:
@@ -72,6 +74,7 @@ def run_all(
     platform: Platform = PAPER_PLATFORM,
     jobs: int | None = 1,
     cache: ResultCache | None = None,
+    backend: str | None = None,
 ) -> list[ExperimentResult]:
     """All three kernel families of Figure 9."""
     return [
@@ -82,6 +85,7 @@ def run_all(
             platform=platform,
             jobs=jobs,
             cache=cache,
+            backend=backend,
         )
         for kernel in ("cholesky", "qr", "lu")
     ]

@@ -6,8 +6,10 @@
 One :class:`Dispatcher` owns the compute resources of a server:
 
 * **warm path** — a request whose spec is already in the tenant's
-  :class:`~repro.campaign.cache.ResultCache` is answered from disk
-  without touching an executor (counted in ``cache_hits``);
+  :class:`~repro.campaign.cache.ResultCache` is answered without
+  touching an executor (counted in ``cache_hits``): from the in-process
+  memory tier when it is warm — a ``prefetch`` or an earlier request
+  populates it — falling back to a disk read that feeds the tier;
 * **single-flight** — concurrent requests for the same (tenant, spec
   hash) coalesce onto one in-flight execution; followers await the
   leader's future instead of recomputing (counted in ``coalesced``);
@@ -37,7 +39,7 @@ from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Any, Callable
 
-from repro.campaign.cache import ResultCache
+from repro.campaign.cache import CacheStats, ResultCache
 from repro.campaign.executor import (
     ensure_graph_store,
     execute_spec_batch,
@@ -177,8 +179,9 @@ class Dispatcher:
         Groups the cache misses of *specs* by shared batch key
         (:func:`repro.campaign.executor.plan_batches`) and runs each
         group through the vectorized batch engine, writing the results
-        into the tenant's cache so the per-request executions that
-        follow are warm hits.  Best-effort and bit-exact: payloads are
+        into *both* tiers of the tenant's cache — the parent-side
+        ``put`` feeds the in-process memory tier, so the per-request
+        lookups that follow are memory hits, not disk reads.  Best-effort and bit-exact: payloads are
         identical to the scalar path, so a request racing ahead of the
         warm-up merely recomputes the same entry.  Returns the number
         of specs warmed (0 when uncached or running behind a test
@@ -257,6 +260,25 @@ class Dispatcher:
 
     # -- observation / lifecycle ---------------------------------------------
 
+    def cache_tier_stats(self) -> dict[str, int]:
+        """Tier counters summed over the root + tenant caches.
+
+        Parent-process view: pool workers keep their own (discarded)
+        counters, so in pool mode this reflects the warm path the
+        dispatcher itself served — memory-tier hits from ``run`` and
+        ``prefetch`` promotions included.
+        """
+        caches: dict[int, ResultCache] = {}
+        if self._root_cache is not None:
+            caches[id(self._root_cache)] = self._root_cache
+        for cache in self._tenant_caches.values():
+            caches[id(cache)] = cache  # tenant "" aliases the root cache
+        total = CacheStats()
+        for cache in caches.values():
+            for name, value in cache.stats.to_dict().items():
+                setattr(total, name, getattr(total, name) + value)
+        return total.to_dict()
+
     def stats(self) -> dict[str, Any]:
         return {
             **self.counters,
@@ -268,6 +290,7 @@ class Dispatcher:
                 None if self._root_cache is None else str(self._root_cache.root)
             ),
             "salt": self.salt,
+            "cache_tiers": self.cache_tier_stats(),
         }
 
     def close(self) -> None:

@@ -206,7 +206,10 @@ class TestResultCache:
         spec = InstanceSpec(workload="qr", size=4, algorithm="heteroprio-min")
         path = cache.put(spec, {"makespan": 1.0})
         path.write_text("{not json")
-        assert cache.get(spec) is None
+        # The writing process still holds a bit-exact copy in its memory
+        # tier; only a fresh cache object sees the corrupt disk entry.
+        assert cache.get(spec)["metrics"]["makespan"] == 1.0
+        assert ResultCache(tmp_path).get(spec) is None
         cache.put(spec, {"makespan": 1.0})
         assert ResultCache(tmp_path, salt="other").get(spec) is None
 
@@ -339,7 +342,9 @@ class TestCampaignCli:
         assert "0 cache hits" in out.err
         assert main(argv) == 0
         out = capsys.readouterr()
-        assert "(100%)" in out.err
+        # Fresh cache object per CLI run: warm hits come from the disk tier.
+        assert "(100%" in out.err
+        assert "disk" in out.err
         assert (tmp_path / "manifests").exists()
 
     def test_campaign_rejects_unknown_target(self, capsys):

@@ -56,7 +56,7 @@ class TestCampaignSpec:
         assert "cholesky" in out.out and "makespan" in out.out
         assert "0 cache hits" in out.err
         assert main(argv) == 0
-        assert "(100%)" in capsys.readouterr().err  # warm: all hits
+        assert "(100%" in capsys.readouterr().err  # warm: all hits
 
     def test_batch_groups_by_tenant_namespace(self, tmp_path, capsys):
         spec_file = write_spec(tmp_path, BATCH)

@@ -140,7 +140,8 @@ def test_gate_fails_on_drift_without_bump(tmp_path):
         load_manifest(manifest_path), compute_fingerprints(src), code_version="v1"
     )
     assert len(failures) == 1
-    assert "without a CODE_VERSION bump" in failures[0]
+    assert "changed semantically" in failures[0]
+    assert "no CODE_VERSION bump needed" in failures[0]
     assert "repro/core/mod.py" in failures[0]
 
 

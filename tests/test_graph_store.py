@@ -168,3 +168,57 @@ class TestExecutorWiring:
     def test_factorizations_take_compiled_path(self):
         graph = executor_mod._campaign_graph("cholesky", 4, None, ())
         assert isinstance(graph, CompiledGraph)
+
+
+def _race_writer(root: str, rounds: int) -> None:
+    """Child process body: repeatedly overwrite the same store entry.
+
+    Module-level so the fork/spawn context can target it.  Uses a fixed
+    salt so the parent's reads address the same key without recomputing
+    selective salts in every child.
+    """
+    store = GraphStore(root, salt="race")
+    graph = cholesky_compiled(5)
+    for _ in range(rounds):
+        store.put(graph, "cholesky", 5)
+
+
+class TestConcurrentWriters:
+    def test_racing_writers_never_produce_torn_reads(self, tmp_path):
+        """Two processes hammering one entry: reads are all-or-nothing.
+
+        ``put`` writes to a tempfile and ``os.replace``s it into place,
+        so a reader racing the writers must see either a miss (before
+        the first replace lands) or a complete, valid graph — never a
+        torn .npz and never an exception.
+        """
+        import multiprocessing
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("no fork start method on this platform")
+        ctx = multiprocessing.get_context("fork")
+        rounds = 60
+        procs = [
+            ctx.Process(target=_race_writer, args=(str(tmp_path), rounds))
+            for _ in range(2)
+        ]
+        for proc in procs:
+            proc.start()
+        try:
+            reader = GraphStore(tmp_path, salt="race")
+            expected = cholesky_compiled(5)
+            hits = 0
+            while any(proc.is_alive() for proc in procs):
+                got = reader.get("cholesky", 5)
+                if got is not None:
+                    hits += 1
+                    assert graphs_equal(got, expected)
+        finally:
+            for proc in procs:
+                proc.join(timeout=60)
+                assert proc.exitcode == 0
+        # The dust has settled: the entry is durable and intact.
+        final = reader.get("cholesky", 5)
+        assert final is not None and graphs_equal(final, expected)
+        assert not list(reader.root.rglob(".tmp-*"))  # no temp litter
+        assert hits > 0  # the race actually overlapped with reads

@@ -1,0 +1,192 @@
+"""Tests for per-module cache salts (repro.campaign.salts).
+
+The selective-invalidation contract: a spec's cache salt digests the
+normalized-AST fingerprints of exactly the modules its execution path
+can reach, so a semantic edit re-keys the affected entries and *only*
+those.  The end-to-end test at the bottom proves it on a real campaign:
+edit one scheduler module (via the fingerprint-override seam), rerun a
+mixed grid, and watch only the closure-affected instances recompute.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import io
+from repro.campaign import InstanceSpec, ResultCache, run_campaign
+from repro.campaign import salts
+from repro.campaign.cache import encode_value
+from repro.campaign.spec import CODE_VERSION
+
+
+def canon(metrics: dict) -> str:
+    return io.canonical_dumps(encode_value(metrics))
+
+
+@pytest.fixture(autouse=True)
+def _clean_overrides():
+    """Never leak a fingerprint override (or stale memos) across tests."""
+    yield
+    salts.set_fingerprint_override(None)
+
+
+def spec_dag(algorithm: str, workload: str = "cholesky", size: int = 4) -> InstanceSpec:
+    return InstanceSpec(workload=workload, size=size, algorithm=algorithm)
+
+
+def spec_ind(algorithm: str, workload: str = "cholesky", size: int = 4) -> InstanceSpec:
+    return InstanceSpec(
+        workload=workload, size=size, algorithm=algorithm,
+        mode="independent", bound="area",
+    )
+
+
+class TestClosures:
+    def test_closure_contains_roots_and_their_imports(self):
+        closure = salts.dependency_closure(("repro/schedulers/online/heft.py",))
+        assert "repro/schedulers/online/heft.py" in closure
+        # heft imports the shared online-policy base machinery.
+        assert any(rel.startswith("repro/schedulers/online/") for rel in closure)
+
+    def test_init_edges_are_weak(self):
+        # __init__.py re-export hubs must not drag the whole package in:
+        # their outgoing edges are dropped from the import graph.
+        graph = salts.import_graph()
+        for rel, edges in graph.items():
+            if rel.endswith("__init__.py"):
+                assert edges == ()
+
+    def test_dag_policies_have_distinct_closures(self):
+        hp = salts.dependency_closure(salts.spec_roots(spec_dag("heteroprio-avg")))
+        heft = salts.dependency_closure(salts.spec_roots(spec_dag("heft-avg")))
+        assert "repro/schedulers/online/heteroprio.py" in hp
+        assert "repro/schedulers/online/heteroprio.py" not in heft
+        assert "repro/schedulers/online/heft.py" in heft
+        # The batch engine rides only with heteroprio-prefixed policies.
+        assert "repro/simulator/batch.py" in hp
+        assert "repro/simulator/batch.py" not in heft
+
+    def test_independent_mode_skips_the_dag_simulator(self):
+        ind = salts.dependency_closure(salts.spec_roots(spec_ind("heft")))
+        assert "repro/simulator/runtime.py" not in ind
+        assert "repro/schedulers/heft.py" in ind
+
+    def test_unknown_spec_widens_to_all_modules(self):
+        roots = salts.spec_roots(spec_dag("heft-avg", workload="mystery"))
+        assert roots == tuple(sorted(salts.live_fingerprints()))
+
+
+class TestSalts:
+    def test_salt_format_and_determinism(self):
+        salt = salts.salt_for_spec(spec_dag("heteroprio-avg"), base=CODE_VERSION)
+        assert salt.startswith(CODE_VERSION + "+m")
+        assert len(salt) == len(CODE_VERSION) + 2 + 16
+        assert salt == salts.salt_for_spec(spec_dag("heteroprio-avg"), base=CODE_VERSION)
+
+    def test_base_is_part_of_the_salt(self):
+        spec = spec_dag("heteroprio-avg")
+        assert salts.salt_for_spec(spec, base="a") != salts.salt_for_spec(spec, base="b")
+
+    def test_override_perturbs_only_affected_salts(self):
+        hp_spec, heft_spec = spec_dag("heteroprio-avg"), spec_dag("heft-avg")
+        before_hp = salts.salt_for_spec(hp_spec, base=CODE_VERSION)
+        before_heft = salts.salt_for_spec(heft_spec, base=CODE_VERSION)
+        salts.set_fingerprint_override(
+            {"repro/schedulers/online/heft.py": "deadbeef" * 8}
+        )
+        assert salts.salt_for_spec(hp_spec, base=CODE_VERSION) == before_hp
+        assert salts.salt_for_spec(heft_spec, base=CODE_VERSION) != before_heft
+
+    def test_workload_salt_tracks_the_generator_closure(self):
+        # qr.py imports cholesky.py (shared tiled-DAG helpers), so the
+        # edit direction matters: perturb qr and cholesky must hold.
+        before = salts.workload_salt("qr", base=CODE_VERSION)
+        other = salts.workload_salt("cholesky", base=CODE_VERSION)
+        salts.set_fingerprint_override({"repro/dag/qr.py": "feedface" * 8})
+        assert salts.workload_salt("qr", base=CODE_VERSION) != before
+        assert salts.workload_salt("cholesky", base=CODE_VERSION) == other
+
+
+class TestMigrationShim:
+    def test_tree_is_pristine_against_the_frozen_snapshot(self):
+        # The committed legacy snapshot matches the committed tree, so
+        # every closure is pristine for the frozen CODE_VERSION.
+        roots = salts.spec_roots(spec_dag("heteroprio-avg"))
+        assert salts.closure_is_pristine(roots, base=CODE_VERSION)
+
+    def test_pristine_is_per_closure_after_an_edit(self):
+        salts.set_fingerprint_override(
+            {"repro/schedulers/online/heft.py": "deadbeef" * 8}
+        )
+        hp = salts.spec_roots(spec_dag("heteroprio-avg"))
+        heft = salts.spec_roots(spec_dag("heft-avg"))
+        assert salts.closure_is_pristine(hp, base=CODE_VERSION)
+        assert not salts.closure_is_pristine(heft, base=CODE_VERSION)
+
+    def test_wrong_base_version_retires_the_shim(self):
+        roots = salts.spec_roots(spec_dag("heteroprio-avg"))
+        assert not salts.closure_is_pristine(roots, base="1999.01-1")
+
+
+class TestCoverage:
+    def test_curated_tables_cover_the_tree(self):
+        assert salts.check_salt_coverage() == []
+
+    def test_renamed_root_is_flagged(self, monkeypatch):
+        monkeypatch.setitem(
+            salts.DAG_POLICY_MODULES, "heft", "repro/schedulers/online/gone.py"
+        )
+        failures = salts.check_salt_coverage()
+        assert failures and "gone.py" in failures[0]
+
+
+class TestSelectiveInvalidationEndToEnd:
+    def test_editing_one_policy_recomputes_only_its_instances(self, tmp_path):
+        """The tentpole demonstration: one edited module, partial recompute."""
+        specs = [
+            spec_dag(algorithm, size=size)
+            for size in (4, 5)
+            for algorithm in ("heteroprio-avg", "heteroprio-min", "heft-avg")
+        ]
+        heft_count = sum(s.algorithm.startswith("heft") for s in specs)
+
+        cache = ResultCache(tmp_path)
+        cold = run_campaign(specs, jobs=1, cache=cache)
+        assert cold.stats.executed == len(specs)
+
+        # Same tree, fresh cache object: every instance hits.
+        warm = run_campaign(specs, jobs=1, cache=ResultCache(tmp_path))
+        assert warm.stats.hits == len(specs) and warm.stats.executed == 0
+
+        # "Edit" the heft policy module without touching the tree.
+        salts.set_fingerprint_override(
+            {"repro/schedulers/online/heft.py": "0" * 64}
+        )
+        after = run_campaign(specs, jobs=1, cache=ResultCache(tmp_path))
+        assert after.stats.hits == len(specs) - heft_count
+        assert after.stats.executed == heft_count
+        # CampaignStats proves the split came from the disk tier.
+        assert after.stats.disk_hits == len(specs) - heft_count
+
+        # The recompute landed under the new salt: a rerun is all hits
+        # again, and the metrics never changed (the code didn't really).
+        again = run_campaign(specs, jobs=1, cache=ResultCache(tmp_path))
+        assert again.stats.hits == len(specs)
+        for a, b in zip(cold.records, again.records):
+            assert canon(a.metrics) == canon(b.metrics)
+
+    def test_legacy_global_salt_entries_migrate_when_pristine(self, tmp_path):
+        specs = [spec_dag("heteroprio-avg"), spec_dag("heft-avg")]
+        legacy = ResultCache(tmp_path, selective=False)  # pre-PR layout
+        seeded = run_campaign(specs, jobs=1, cache=legacy)
+        assert seeded.stats.executed == len(specs)
+
+        selective = ResultCache(tmp_path)
+        shimmed = run_campaign(specs, jobs=1, cache=selective)
+        assert shimmed.stats.hits == len(specs)
+        assert shimmed.stats.migrated == len(specs)
+
+        # Migration promoted the entries: the shim is no longer needed.
+        promoted = run_campaign(specs, jobs=1, cache=ResultCache(tmp_path))
+        assert promoted.stats.hits == len(specs)
+        assert promoted.stats.migrated == 0

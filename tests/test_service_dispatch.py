@@ -211,6 +211,77 @@ class TestDispatcher:
         dispatcher.close()
 
 
+class TestPrefetch:
+    def seed_sweep(self) -> list[InstanceSpec]:
+        # Independent-mode heteroprio seed sweep: one batch group (the
+        # batch key drops the seed), large enough for the default
+        # MIN_BATCH so prefetch actually takes the lockstep engine.
+        return [
+            InstanceSpec(
+                workload="layered", size=3, algorithm="heteroprio",
+                mode="independent", bound="area", seed=seed,
+            )
+            for seed in (1, 2, 3, 4)
+        ]
+
+    def test_prefetch_routes_warm_hits_through_the_memory_tier(self, tmp_path):
+        async def body():
+            specs = self.seed_sweep()
+            dispatcher = Dispatcher(tmp_path, workers=0)
+            try:
+                warmed = await dispatcher.prefetch(specs)
+                assert warmed == len(specs)
+                assert dispatcher.counters["prefetched"] == len(specs)
+                # The parent-side puts fed the in-process memory tier.
+                tiers = dispatcher.cache_tier_stats()
+                assert tiers["puts"] == len(specs)
+
+                results = [await dispatcher.run(spec) for spec in specs]
+            finally:
+                dispatcher.close()
+            assert all(r.cached for r in results)
+            assert dispatcher.counters["cache_hits"] == len(specs)
+            assert dispatcher.counters["executed"] == 0
+            # Every warm hit came from memory — no disk reads at all.
+            tiers = dispatcher.cache_tier_stats()
+            assert tiers["memory_hits"] == len(specs)
+            assert tiers["disk_hits"] == 0
+            assert dispatcher.stats()["cache_tiers"]["memory_hits"] == len(specs)
+            # Bit-exactness: the batch engine wrote what the scalar
+            # path would compute.
+            for spec, result in zip(specs, results):
+                assert canon(result.metrics) == canon(execute_spec(spec))
+
+        asyncio.run(body())
+
+    def test_prefetch_skips_already_cached_specs(self, tmp_path):
+        async def body():
+            specs = self.seed_sweep()
+            dispatcher = Dispatcher(tmp_path, workers=0)
+            try:
+                assert await dispatcher.prefetch(specs) == len(specs)
+                # All warm now: a second prefetch has nothing to do.
+                assert await dispatcher.prefetch(specs) == 0
+            finally:
+                dispatcher.close()
+            assert dispatcher.counters["prefetched"] == len(specs)
+
+        asyncio.run(body())
+
+    def test_prefetch_is_inert_behind_a_test_seam(self, tmp_path):
+        async def body():
+            dispatcher = Dispatcher(
+                tmp_path, execute_fn=lambda spec: {"makespan": 1.0}
+            )
+            try:
+                assert await dispatcher.prefetch(self.seed_sweep()) == 0
+            finally:
+                dispatcher.close()
+            assert dispatcher.counters["prefetched"] == 0
+
+        asyncio.run(body())
+
+
 class TestPoolMode:
     def test_pool_execution_matches_inline(self, tmp_path):
         async def body():
