@@ -36,12 +36,16 @@ wall-time ratio, so ``speedup_vs_pre_pr`` is meaningful on that
 machine and indicative elsewhere.
 
 With ``--batch``, the suite additionally runs the **batch cases**: the
-same fig6/fig7 grids advanced through the lockstep batch engine
-(:mod:`repro.simulator.batch`), hundreds of instances per call.  Each
+same fig6/fig7 grids advanced through the lockstep batch kernels —
+HeteroPrio, HEFT and DualHP, on the DAG engine
+(:mod:`repro.simulator.batch`) and the offline independent schedulers
+(:mod:`repro.schedulers.batch`) — hundreds of instances per call.  Each
 batch case reports the aggregate ``batch_events_per_sec`` next to a
 scalar reference measured on a sample of the same rows (whose makespans
-the runner asserts bitwise-equal to the batch result), plus the derived
-``batch_speedup``.  The regression gate covers ``batch_events_per_sec``
+the runner asserts bitwise-equal to the batch result; DualHP cases also
+pin the accepted λ), plus the derived ``batch_speedup``.  The offline
+HEFT/DualHP cases have no event loop; their unit of work is one
+placement per task on both sides of the ratio.  The regression gate covers ``batch_events_per_sec``
 with the same calibration-normalized threshold; a baseline key absent
 from the current run is skipped with a note naming that key.
 
@@ -75,6 +79,9 @@ from repro.core.platform import Platform
 from repro.core.task import Instance, Task
 from repro.dag.priorities import assign_priorities
 from repro.experiments.workloads import PAPER_PLATFORM, build_compiled, build_graph
+from repro.schedulers.batch import batch_dualhp_schedule, batch_heft_schedule
+from repro.schedulers.dualhp import dualhp_schedule
+from repro.schedulers.heft import heft_schedule
 from repro.schedulers.online import make_policy
 from repro.simulator.batch import batch_heteroprio_schedule, batch_simulate_dag
 from repro.simulator.runtime import RuntimeSimulator
@@ -121,6 +128,14 @@ _POLICIES = {
     "heteroprio": "heteroprio-avg",
     "buckets": "buckets",
     "heft": "heft-avg",
+    "dualhp": "dualhp-avg",
+}
+
+#: Offline batch schedulers for the fig6 independent cases, by algorithm
+#: short name (``heteroprio`` runs the lockstep simulator engine instead).
+_INDEPENDENT_BATCH = {
+    "dualhp": batch_dualhp_schedule,
+    "heft": batch_heft_schedule,
 }
 
 
@@ -253,6 +268,7 @@ def _batch_dag_case(
     kernel: str,
     n_tiles: int,
     batch: int,
+    policy_key: str = "heteroprio",
     sample: int = 3,
     repeats: int = 2,
 ) -> BenchCase:
@@ -265,8 +281,10 @@ def _batch_dag_case(
     through the scalar simulator for the throughput denominator, and
     the runner asserts the sampled makespans bitwise-equal to the batch
     result — the report's speedup is over *verified-identical* work.
+    ``policy_key`` picks the policy kernel on both sides (``heteroprio``,
+    ``heft`` or ``dualhp``).
     """
-    case_id = f"batch:fig7:{kernel}:n{n_tiles}:heteroprio:b{batch}"
+    case_id = f"batch:fig7:{kernel}:n{n_tiles}:{policy_key}:b{batch}"
 
     def runner(reps: int) -> dict:
         graph = build_compiled(kernel, n_tiles)
@@ -287,18 +305,30 @@ def _batch_dag_case(
                 priorities,
                 cpu_times=cpu,
                 gpu_times=gpu,
+                algorithm=policy_key,
             )
             elapsed = time.perf_counter() - started
             if elapsed < wall:
                 result, wall = candidate, elapsed
         assert result is not None
+        # One warmed clone for every sample row: the simulator reads
+        # durations from the Task objects, so refreshing times in place
+        # reuses the materialized task tuple, the task index and the
+        # in-degree memo.  A fresh clone per row would pay those lazy
+        # builds inside each sample's timed region, inflating the
+        # scalar wall (and with it ``batch_speedup``) on small-n cases.
+        clone = graph.with_durations(cpu[0].copy(), gpu[0].copy())
+        clone_tasks = clone.tasks
         scalar_events = 0
         scalar_wall = 0.0
         for row in _sample_rows(batch, sample):
-            clone = graph.with_durations(cpu[row], gpu[row])
-            for task, priority in zip(clone.tasks, base_priorities):
-                task.priority = float(priority)
-            sim = RuntimeSimulator(clone, PAPER_PLATFORM, make_policy("heteroprio-avg"))
+            for i, task in enumerate(clone_tasks):
+                task.cpu_time = float(cpu[row, i])
+                task.gpu_time = float(gpu[row, i])
+                task.priority = float(base_priorities[i])
+            sim = RuntimeSimulator(
+                clone, PAPER_PLATFORM, make_policy(_POLICIES[policy_key])
+            )
             schedule = sim.run()
             stats = sim.last_stats
             assert stats is not None
@@ -318,12 +348,19 @@ def _batch_dag_case(
 def _batch_independent_case(
     n_tasks: int,
     batch: int,
+    algorithm: str = "heteroprio",
     seed: int = 42,
     sample: int = 4,
     repeats: int = 2,
 ) -> BenchCase:
-    """The fig6 grid as one lockstep call: *batch* seeded instances."""
-    case_id = f"batch:fig6:independent:n{n_tasks}:heteroprio:b{batch}"
+    """The fig6 grid as one lockstep call: *batch* seeded instances.
+
+    ``heteroprio`` runs the lockstep simulator engine; ``heft`` and
+    ``dualhp`` run the offline batch schedulers
+    (:mod:`repro.schedulers.batch`), whose unit of work is one placement
+    per task on both sides of the speedup.
+    """
+    case_id = f"batch:fig6:independent:n{n_tasks}:{algorithm}:b{batch}"
 
     def runner(reps: int) -> dict:
         cpu = np.empty((batch, n_tasks))
@@ -333,11 +370,12 @@ def _batch_independent_case(
             for i in range(n_tasks):
                 cpu[row, i] = rng.uniform(1.0, 50.0)
                 gpu[row, i] = rng.uniform(0.5, 10.0)
+        batch_fn = _INDEPENDENT_BATCH.get(algorithm, batch_heteroprio_schedule)
         result = None
         wall = float("inf")
         for _ in range(reps):
             started = time.perf_counter()
-            candidate = batch_heteroprio_schedule(cpu, gpu, PAPER_PLATFORM)
+            candidate = batch_fn(cpu, gpu, PAPER_PLATFORM)
             elapsed = time.perf_counter() - started
             if elapsed < wall:
                 result, wall = candidate, elapsed
@@ -353,11 +391,28 @@ def _batch_independent_case(
                 ]
             )
             started = time.perf_counter()
-            scalar = heteroprio_schedule(instance, PAPER_PLATFORM, compute_ns=False)
-            scalar_wall += time.perf_counter() - started
-            # Same counting convention as the fig6 scalar case.
-            scalar_events += n_tasks + len(scalar.spoliations)
-            assert scalar.makespan == float(result.makespans[row]), (
+            if algorithm == "heteroprio":
+                scalar = heteroprio_schedule(
+                    instance, PAPER_PLATFORM, compute_ns=False
+                )
+                scalar_wall += time.perf_counter() - started
+                # Same counting convention as the fig6 scalar case.
+                scalar_events += n_tasks + len(scalar.spoliations)
+                makespan = scalar.makespan
+            elif algorithm == "dualhp":
+                dual = dualhp_schedule(instance, PAPER_PLATFORM)
+                scalar_wall += time.perf_counter() - started
+                scalar_events += n_tasks
+                makespan = dual.schedule.makespan
+                assert dual.lam == float(result.lams[row]), (
+                    f"{case_id}: batch row {row} lambda diverged"
+                )
+            else:
+                schedule = heft_schedule(instance, PAPER_PLATFORM)
+                scalar_wall += time.perf_counter() - started
+                scalar_events += n_tasks
+                makespan = schedule.makespan
+            assert makespan == float(result.makespans[row]), (
                 f"{case_id}: batch row {row} diverged from the scalar core"
             )
         return _batch_payload(
@@ -379,14 +434,31 @@ def _batch_payload(
     independent: bool,
 ) -> dict:
     """Assemble one batch case's report payload."""
-    stats = result.stats
-    # Count like the scalar loops do: the independent core leaves one
-    # stale heap event per spoliation behind, which the batch engine
-    # (no event heap in static mode) never materializes — add aborts so
-    # scalar and batch events/sec measure the same work.  The DAG
-    # engine already counts stale (phantom) events like the scalar loop.
-    events = stats.events + (stats.aborts if independent else 0)
-    payload = stats.to_dict()
+    stats = getattr(result, "stats", None)
+    if stats is not None:
+        # Count like the scalar loops do: the independent core leaves one
+        # stale heap event per spoliation behind, which the batch engine
+        # (no event heap in static mode) never materializes — add aborts
+        # so scalar and batch events/sec measure the same work.  The DAG
+        # engine already counts stale (phantom) events like the scalar
+        # loop.
+        events = stats.events + (stats.aborts if independent else 0)
+        payload = stats.to_dict()
+    else:
+        # Offline batch schedulers (HEFT/DualHP) have no event loop; the
+        # unit of work is one placement per task, mirroring the per-task
+        # counting of their scalar references.
+        events = len(result) * result.n_tasks
+        payload = {
+            "events": events,
+            "stale_events": 0,
+            "picks": 0,
+            "tasks": events,
+            "aborts": 0,
+            "wall_s": wall,
+            "events_per_sec": 0.0,
+            "picks_per_sec": 0.0,
+        }
     payload["events"] = events
     payload["wall_s"] = wall
     payload["events_per_sec"] = events / wall if wall > 0 else float("inf")
@@ -523,15 +595,21 @@ QUICK_CASES: tuple[BenchCase, ...] = (
 BATCH_CASES: tuple[BenchCase, ...] = (
     _batch_dag_case("cholesky", 12, batch=128),
     _batch_dag_case("cholesky", 20, batch=256),
+    _batch_dag_case("cholesky", 20, batch=256, policy_key="heft"),
     _batch_dag_case("qr", 14, batch=128),
     _batch_dag_case("lu", 14, batch=128),
     _batch_independent_case(2000, batch=256),
+    _batch_independent_case(2000, batch=256, algorithm="dualhp"),
 )
 
 #: The ``--quick --batch`` CI smoke subset.
 QUICK_BATCH_CASES: tuple[BenchCase, ...] = (
     _batch_dag_case("cholesky", 12, batch=32, sample=2, repeats=2),
+    _batch_dag_case("cholesky", 12, batch=32, policy_key="heft", sample=2, repeats=2),
     _batch_independent_case(500, batch=64, sample=2, repeats=2),
+    _batch_independent_case(
+        500, batch=64, algorithm="dualhp", sample=2, repeats=2
+    ),
 )
 
 

@@ -60,6 +60,7 @@ from repro.dag.lu import lu_compiled, lu_graph
 from repro.dag.priorities import assign_priorities
 from repro.dag.qr import qr_compiled, qr_graph
 from repro.dag.random_graphs import layered_random_graph, random_chain_graph
+from repro.schedulers.batch import batch_dualhp_schedule, batch_heft_schedule
 from repro.schedulers.dualhp import dualhp_schedule
 from repro.schedulers.heft import heft_schedule
 from repro.schedulers.online import make_policy
@@ -77,6 +78,7 @@ __all__ = [
     "execute_unit",
     "derive_seeds",
     "ensure_graph_store",
+    "fallback_breakdown",
     "metrics_to_run_metrics",
     "plan_batches",
     "plan_units",
@@ -346,12 +348,22 @@ def metrics_to_run_metrics(metrics: dict) -> RunMetrics:
 MIN_BATCH = 4
 
 
+#: Algorithms with a lockstep batch implementation.  ``independent``
+#: mode routes through the offline batch schedulers
+#: (:mod:`repro.schedulers.batch`); ``dag`` mode through the policy
+#: kernels of :mod:`repro.simulator.batch_policies` (keyed by prefix —
+#: the ranking scheme varies per row inside one batch).
+_BATCH_INDEPENDENT_ALGORITHMS = frozenset({"heteroprio", "dualhp", "heft"})
+_BATCH_DAG_PREFIXES = frozenset({"heteroprio", "dualhp", "heft"})
+
+
 def _batch_key(spec: InstanceSpec) -> tuple | None:
     """Lockstep grouping key of *spec*, or ``None`` when not batchable.
 
-    Specs sharing a key can advance together in
-    :mod:`repro.simulator.batch`: HeteroPrio only (the engine implements
-    exactly that policy family), and in ``dag`` mode only the compiled
+    Specs sharing a key can advance together in the lockstep engines:
+    the HeteroPrio, HEFT and DualHP families (each batch runs exactly
+    one policy kernel, so the algorithm — the prefix, in ``dag`` mode —
+    is part of the key), and in ``dag`` mode only the compiled
     factorizations — all rows of a DAG batch share one
     :class:`CompiledGraph`, so workload, size, seed and params must
     match while the ranking scheme (priorities) varies per row.
@@ -360,15 +372,25 @@ def _batch_key(spec: InstanceSpec) -> tuple | None:
     """
     platform_shape = (spec.num_cpus, spec.num_gpus)
     if spec.mode == "independent":
-        if spec.algorithm != "heteroprio" or spec.bound not in ("area", "auto"):
+        if spec.algorithm not in _BATCH_INDEPENDENT_ALGORITHMS:
             return None
-        return ("independent", spec.workload, spec.size, spec.params, platform_shape)
-    if spec.algorithm.split("-", 1)[0] != "heteroprio":
+        if spec.bound not in ("area", "auto"):
+            return None
+        return (
+            "independent",
+            spec.algorithm,
+            spec.workload,
+            spec.size,
+            spec.params,
+            platform_shape,
+        )
+    if spec.algorithm.split("-", 1)[0] not in _BATCH_DAG_PREFIXES:
         return None
     if spec.workload not in COMPILED_FACTORIZATIONS:
         return None
     return (
         "dag",
+        spec.algorithm.split("-", 1)[0],
         spec.workload,
         spec.size,
         spec.seed,
@@ -410,7 +432,12 @@ def _execute_independent_batch(specs: Sequence[InstanceSpec]) -> list[dict] | No
         return None  # ragged task counts: fall back to the scalar path
     cpu = np.array([[t.cpu_time for t in tasks] for tasks in instances])
     gpu = np.array([[t.gpu_time for t in tasks] for tasks in instances])
-    result = batch_heteroprio_schedule(cpu, gpu, [s.platform for s in specs])
+    batch_scheduler = {
+        "heteroprio": batch_heteroprio_schedule,
+        "dualhp": batch_dualhp_schedule,
+        "heft": batch_heft_schedule,
+    }[specs[0].algorithm]
+    result = batch_scheduler(cpu, gpu, [s.platform for s in specs])
     payloads = []
     for i, spec in enumerate(specs):
         bound = area_bound(Instance(instances[i]), spec.platform).value
@@ -436,7 +463,12 @@ def _execute_dag_batch(specs: Sequence[InstanceSpec]) -> list[dict] | None:
         scheme = spec.algorithm.split("-", 1)[1] if "-" in spec.algorithm else "avg"
         levels = assign_priorities(graph, spec.platform, scheme)
         priorities[i] = [levels[task] for task in graph.tasks]
-    result = batch_simulate_dag(graph, [s.platform for s in specs], priorities)
+    result = batch_simulate_dag(
+        graph,
+        [s.platform for s in specs],
+        priorities,
+        algorithm=first.algorithm.split("-", 1)[0],
+    )
     payloads = []
     for i, spec in enumerate(specs):
         lower = _dag_bound(
@@ -472,25 +504,39 @@ def execute_spec_batch(specs: Sequence[InstanceSpec]) -> list[dict] | None:
     return _execute_dag_batch(specs)
 
 
+def fallback_breakdown(specs: Sequence[InstanceSpec]) -> dict[str, int]:
+    """Per-algorithm counts of specs with no lockstep batch key.
+
+    The attribution behind ``CampaignStats.fallback_by_algorithm`` and
+    the dispatcher's ``prefetch_fallbacks``: which algorithms still pay
+    the scalar path because no batch kernel implements them.
+    """
+    counts: dict[str, int] = {}
+    for spec in specs:
+        if _batch_key(spec) is None:
+            counts[spec.algorithm] = counts.get(spec.algorithm, 0) + 1
+    return dict(sorted(counts.items()))
+
+
 def plan_units(
     specs: Sequence[InstanceSpec],
     *,
     batch: bool = True,
     min_batch: int = MIN_BATCH,
-) -> tuple[list[WorkUnit], int, int]:
+) -> tuple[list[WorkUnit], dict[str, int], int]:
     """Plan *specs* (a miss list) into backend work units.
 
     Lockstep groups of >= *min_batch* specs become single batch units
     (kept whole — they are the steal granularity); everything else
     becomes one scalar unit per spec, in ascending index order.
-    Returns ``(units, fallback_policy, fallback_small)`` — the counts
-    of specs that fell back to the scalar path because their policy has
-    no batch implementation vs. because their group was too small (both
-    0 when *batch* is off: no fallback happened, batching was never
-    requested).
+    Returns ``(units, fallback_policy, fallback_small)`` —
+    ``fallback_policy`` maps each algorithm with no batch implementation
+    to its count of scalar-path specs, ``fallback_small`` counts specs
+    whose group was too small (both empty/0 when *batch* is off: no
+    fallback happened, batching was never requested).
     """
     units: list[WorkUnit] = []
-    fallback_policy = 0
+    fallback_policy: dict[str, int] = {}
     fallback_small = 0
     scalar: list[int] = []
     if batch:
@@ -498,7 +544,8 @@ def plan_units(
         for i, spec in enumerate(specs):
             key = _batch_key(spec)
             if key is None:
-                fallback_policy += 1
+                alg = spec.algorithm
+                fallback_policy[alg] = fallback_policy.get(alg, 0) + 1
                 scalar.append(i)
             else:
                 groups.setdefault(key, []).append(i)
@@ -736,9 +783,11 @@ def run_campaign(
 
     if miss_indices:
         miss_specs = [spec_list[i] for i in miss_indices]
-        units, stats.fallback_policy, stats.fallback_small = plan_units(
+        units, by_algorithm, stats.fallback_small = plan_units(
             miss_specs, batch=batch, min_batch=min_batch
         )
+        stats.fallback_by_algorithm = dict(sorted(by_algorithm.items()))
+        stats.fallback_policy = sum(by_algorithm.values())
         if resolved_backend == "work-stealing":
             unit_by_id = {unit.unit_id: unit for unit in units}
             counters: dict[str, int] = {}

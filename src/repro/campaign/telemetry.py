@@ -44,11 +44,12 @@ class CampaignStats:
     migration shim).  ``batched`` counts the executed instances that
     went through the lockstep batch engine; the scalar remainder is
     broken out by *why* it fell back — ``fallback_policy`` (the policy
-    has no batch implementation: HEFT/DualHP rows), ``fallback_small``
-    (the lockstep group was smaller than ``MIN_BATCH``) and
-    ``fallback_runtime`` (the engine declined at run time, e.g. ragged
-    task counts).  ``backend`` names the executor backend that ran the
-    misses and ``steals`` counts work-stealing transfers (0 elsewhere).
+    has no batch implementation, with the per-algorithm attribution in
+    ``fallback_by_algorithm``), ``fallback_small`` (the lockstep group
+    was smaller than ``MIN_BATCH``) and ``fallback_runtime`` (the
+    engine declined at run time, e.g. ragged task counts).  ``backend``
+    names the executor backend that ran the misses and ``steals``
+    counts work-stealing transfers (0 elsewhere).
     """
 
     total: int = 0
@@ -64,6 +65,7 @@ class CampaignStats:
     disk_hits: int = 0
     migrated: int = 0
     fallback_policy: int = 0
+    fallback_by_algorithm: dict = field(default_factory=dict)
     fallback_small: int = 0
     fallback_runtime: int = 0
     steals: int = 0
@@ -89,6 +91,7 @@ class CampaignStats:
             "disk_hits": self.disk_hits,
             "migrated": self.migrated,
             "fallback_policy": self.fallback_policy,
+            "fallback_by_algorithm": dict(sorted(self.fallback_by_algorithm.items())),
             "fallback_small": self.fallback_small,
             "fallback_runtime": self.fallback_runtime,
             "steals": self.steals,
@@ -109,7 +112,13 @@ class CampaignStats:
             parts.append(f"{self.batched} batched")
         fallbacks = []
         if self.fallback_policy:
-            fallbacks.append(f"{self.fallback_policy} policy-unsupported")
+            detail = ""
+            if self.fallback_by_algorithm:
+                detail = " [" + ", ".join(
+                    f"{alg}: {count}"
+                    for alg, count in sorted(self.fallback_by_algorithm.items())
+                ) + "]"
+            fallbacks.append(f"{self.fallback_policy} policy-unsupported{detail}")
         if self.fallback_small:
             fallbacks.append(f"{self.fallback_small} small-group")
         if self.fallback_runtime:

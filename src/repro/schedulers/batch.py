@@ -1,0 +1,491 @@
+"""Lockstep batch execution of the offline independent-task schedulers.
+
+The campaign's Figure-6 pipeline runs :func:`repro.schedulers.heft` and
+:func:`repro.schedulers.dualhp` once per seed; a seed sweep is a ``(B, n)``
+grid of instances that differ only in their duration samples.  This module
+advances the whole grid at once: per-class worker loads live in ``(B, m)`` /
+``(B, n_gpu)`` arrays and every scalar decision — ranked earliest-finish
+selection for HEFT, the dual-approximation pack rules and binary search for
+DualHP — becomes a masked vector operation across the batch.
+
+Bit-identity with the scalar schedulers is load-bearing (the campaign cache
+stores batch and scalar payloads under the same keys), and rests on the same
+toolkit as :mod:`repro.simulator.batch`: identical IEEE-754 operands combined
+by identical operations in an identical order produce identical floats.
+``np.argmin`` over padded per-class load arrays reproduces the dict-``min`` /
+heap tie-breaks (first occurrence == lowest within-class worker index);
+``np.lexsort`` with negated keys reproduces the scalar ``sorted(...)`` rank
+orders (task position stands in for ``uid``, which is monotone in instance
+order for every campaign generator); ``np.cumsum`` along the task axis
+reproduces the sequential ``sum()`` of ``Instance.total_*_work``; and
+``np.where``/``np.maximum`` select an operand exactly rather than computing a
+new value.  ``tests/test_batch_differential.py`` pins both schedulers
+placement-for-placement against the scalar loops.
+
+Deliberately imports nothing from the scalar scheduler modules so the
+campaign salt closure of a batch entry stays minimal (see
+``repro.campaign.salts``); the duplicated constants below are tripwired
+against their scalar twins by the differential suite.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.platform import Platform, Worker
+from repro.core.schedule import Schedule
+from repro.core.task import Task
+
+__all__ = ["BatchScheduleResult", "batch_heft_schedule", "batch_dualhp_schedule"]
+
+#: Relative precision of the DualHP binary search.  Must equal
+#: ``repro.schedulers.dualhp.SEARCH_RTOL`` (tripwired by the differential
+#: suite); duplicated so this module's salt closure stays scalar-free.
+SEARCH_RTOL = 1e-9
+
+
+class BatchScheduleResult:
+    """Outcome of one offline lockstep batch run.
+
+    ``makespans`` is available immediately; :meth:`schedule` materializes
+    one row's :class:`Schedule` on demand, in the scalar scheduler's exact
+    placement-append order, with values converted to Python floats.
+    DualHP results also carry the accepted guesses ``lams``.
+    """
+
+    def __init__(
+        self,
+        *,
+        platforms: tuple[Platform, ...],
+        makespans: np.ndarray,
+        rec_tasks: np.ndarray,
+        rec_slots: np.ndarray,
+        rec_starts: np.ndarray,
+        rec_ends: np.ndarray,
+        lams: np.ndarray | None = None,
+    ):
+        self.platforms = platforms
+        #: Tasks per row (every row schedules the same count).
+        self.n_tasks = int(rec_tasks.shape[1])
+        #: (B,) float64 makespans.
+        self.makespans = makespans
+        #: (B,) float64 accepted DualHP guesses (``None`` for HEFT).
+        self.lams = lams
+        self._rec_tasks = rec_tasks
+        self._rec_slots = rec_slots
+        self._rec_starts = rec_starts
+        self._rec_ends = rec_ends
+
+    def __len__(self) -> int:
+        return len(self.platforms)
+
+    def schedule(self, i: int, tasks: Sequence[Task]) -> Schedule:
+        """Materialize row *i* against its :class:`Task` objects.
+
+        ``tasks`` maps task indices (instance order) to objects; slot
+        ``s`` maps to the ``s``-th worker of ``platform.workers()``
+        (CPUs first, then GPUs — each ascending by index).
+        """
+        platform = self.platforms[i]
+        workers = tuple(platform.workers())
+        schedule = Schedule(platform)
+        add = schedule.add
+        for t, s, start, end in zip(
+            self._rec_tasks[i].tolist(),
+            self._rec_slots[i].tolist(),
+            self._rec_starts[i].tolist(),
+            self._rec_ends[i].tolist(),
+        ):
+            add(tasks[t], workers[s], start, end=end)
+        return schedule
+
+
+def _as_platforms(
+    platforms: Platform | Sequence[Platform], batch: int
+) -> tuple[Platform, ...]:
+    if isinstance(platforms, Platform):
+        return (platforms,) * batch
+    out = tuple(platforms)
+    if len(out) != batch:
+        raise ValueError(f"expected {batch} platforms, got {len(out)}")
+    return out
+
+
+def _check_times(cpu_times: np.ndarray, gpu_times: np.ndarray):
+    cpu = np.ascontiguousarray(cpu_times, dtype=np.float64)
+    gpu = np.ascontiguousarray(gpu_times, dtype=np.float64)
+    if cpu.ndim != 2 or cpu.shape != gpu.shape:
+        raise ValueError("cpu_times/gpu_times must be matching (B, n) arrays")
+    return cpu, gpu
+
+
+def _class_loads(platforms: tuple[Platform, ...]) -> tuple[np.ndarray, np.ndarray]:
+    """Padded per-class load arrays, ``inf`` on non-existent workers.
+
+    Real loads stay finite, so a padded slot never wins an ``argmin`` and
+    ``inf + duration <= limit`` never packs — no masking needed later.
+    """
+    B = len(platforms)
+    m_max = max(p.num_cpus for p in platforms)
+    n_max = max(p.num_gpus for p in platforms)
+    cpu_loads = np.full((B, max(m_max, 1)), np.inf)
+    gpu_loads = np.full((B, max(n_max, 1)), np.inf)
+    for i, p in enumerate(platforms):
+        cpu_loads[i, : p.num_cpus] = 0.0
+        gpu_loads[i, : p.num_gpus] = 0.0
+    return cpu_loads, gpu_loads
+
+
+def batch_heft_schedule(
+    cpu_times: np.ndarray,
+    gpu_times: np.ndarray,
+    platforms: Platform | Sequence[Platform],
+    *,
+    priorities: np.ndarray | None = None,
+    rank: str = "avg",
+) -> BatchScheduleResult:
+    """Ranked earliest-finish HEFT over a ``(B, n)`` batch of instances.
+
+    Bit-identical to per-row :func:`repro.schedulers.heft.heft_schedule`:
+    rows process tasks by decreasing rank (resource-count-weighted average
+    for ``"avg"``, ``min(p, q)`` for ``"min"``; priority then instance
+    position break ties) and assign each to the worker with the least
+    ``(load + duration, CPUs before GPUs, index)``.
+    """
+    cpu, gpu = _check_times(cpu_times, gpu_times)
+    B, n = cpu.shape
+    platforms = _as_platforms(platforms, B)
+    prio = (
+        np.zeros_like(cpu)
+        if priorities is None
+        else np.ascontiguousarray(np.broadcast_to(priorities, cpu.shape))
+    )
+
+    mc = np.array([p.num_cpus for p in platforms], dtype=np.float64)[:, None]
+    nc = np.array([p.num_gpus for p in platforms], dtype=np.float64)[:, None]
+    if rank == "avg":
+        weight = (mc * cpu + nc * gpu) / (mc + nc)
+    elif rank == "min":
+        weight = np.minimum(cpu, gpu)
+    else:
+        raise ValueError(f"rank {rank!r} does not define node weights")
+    # sorted(key=(-weight, -priority, uid)): position stands in for uid.
+    order = np.lexsort((np.broadcast_to(np.arange(n), cpu.shape), -prio, -weight))
+
+    cpu_loads, gpu_loads = _class_loads(platforms)
+    has_cpu = mc[:, 0] > 0
+    m_off = np.array([p.num_cpus for p in platforms], dtype=np.int64)
+
+    rec_slots = np.zeros((B, n), dtype=np.int64)
+    rec_starts = np.zeros((B, n))
+    rec_ends = np.zeros((B, n))
+    makespans = np.zeros(B)
+    rows = np.arange(B)
+
+    for k in range(n):
+        tk = order[:, k]
+        dc = cpu[rows, tk]
+        dg = gpu[rows, tk]
+        # Per class: least (load + duration, index).  Ties on *finish*
+        # (not load) — two loads can round to the same finish — exactly
+        # as LoadHeap.best_finish compares.
+        fin_c = cpu_loads + dc[:, None]
+        fin_g = gpu_loads + dg[:, None]
+        slot_c = np.argmin(fin_c, axis=1)
+        slot_g = np.argmin(fin_g, axis=1)
+        best_c = fin_c[rows, slot_c]
+        best_g = fin_g[rows, slot_g]
+        # Cross-class key is (finish, CPUs-before-GPUs, index): the GPU
+        # class wins only on a strictly smaller finish (or no CPUs).
+        g = np.isfinite(best_g) & (~has_cpu | (best_g < best_c))
+        start = np.where(g, gpu_loads[rows, slot_g], cpu_loads[rows, slot_c])
+        end = np.where(g, best_g, best_c)
+        gr = rows[g]
+        cr = rows[~g]
+        gpu_loads[gr, slot_g[g]] = best_g[g]
+        cpu_loads[cr, slot_c[~g]] = best_c[~g]
+        rec_slots[:, k] = np.where(g, m_off + slot_g, slot_c)
+        rec_starts[:, k] = start
+        rec_ends[:, k] = end
+        makespans = np.maximum(makespans, end)
+
+    return BatchScheduleResult(
+        platforms=platforms,
+        makespans=makespans,
+        rec_tasks=order,
+        rec_slots=rec_slots,
+        rec_starts=rec_starts,
+        rec_ends=rec_ends,
+    )
+
+
+# -- DualHP -------------------------------------------------------------------
+
+
+def _batch_bounds(
+    cpu: np.ndarray, gpu: np.ndarray, platforms: tuple[Platform, ...]
+) -> np.ndarray:
+    """Per-row ``makespan_lower_bound``: ``max(area bound, min-time bound)``.
+
+    The mixed-platform rows (``m == 0`` or ``n == 0``) take the scalar
+    closed forms verbatim (1-D ``.sum()`` per row, preserving numpy's
+    pairwise reduction on exactly the operand the scalar code sums).
+    """
+    B, n_tasks = cpu.shape
+    mc = np.array([p.num_cpus for p in platforms], dtype=np.float64)
+    nc = np.array([p.num_gpus for p in platforms], dtype=np.float64)
+    rows = np.arange(B)
+    value = np.zeros(B)
+    mtb = np.zeros(B)
+    if n_tasks == 0:
+        return value
+
+    both = (mc > 0) & (nc > 0)
+    for i in np.flatnonzero(mc == 0):
+        value[i] = float(gpu[i].sum()) / platforms[i].num_gpus
+        mtb[i] = np.max(gpu[i])
+    for i in np.flatnonzero(nc == 0):
+        value[i] = float(cpu[i].sum()) / platforms[i].num_cpus
+        mtb[i] = np.max(cpu[i])
+    if not both.any():
+        return np.maximum(value, mtb)
+
+    # The Lemma 2 threshold structure, row-vectorized: move tasks to the
+    # GPU class by decreasing acceleration factor until the per-class
+    # completion times cross, splitting at most one task fractionally.
+    rho = cpu / gpu
+    order = np.argsort(-rho, axis=1, kind="stable")
+    p_s = np.take_along_axis(cpu, order, axis=1)
+    q_s = np.take_along_axis(gpu, order, axis=1)
+    zeros = np.zeros((B, 1))
+    gpu_prefix = np.concatenate((zeros, np.cumsum(q_s, axis=1)), axis=1)
+    cpu_suffix = np.concatenate(
+        (np.cumsum(p_s[:, ::-1], axis=1)[:, ::-1], zeros), axis=1
+    )
+    safe_m = np.maximum(mc, 1.0)[:, None]
+    safe_n = np.maximum(nc, 1.0)[:, None]
+    g = gpu_prefix / safe_n
+    c = cpu_suffix / safe_m
+    k = np.argmax(g >= c, axis=1)
+    gk = g[rows, k]
+    ck = c[rows, k]
+    simple = (gk == ck) | (k == 0)
+    v_simple = np.where(gk >= ck, gk, ck)
+    si = np.maximum(k - 1, 0)
+    ps = p_s[rows, si]
+    qs = q_s[rows, si]
+    f = (nc * (cpu_suffix[rows, k] + ps) - mc * gpu_prefix[rows, si]) / (
+        mc * qs + nc * ps
+    )
+    f = np.clip(f, 0.0, 1.0)
+    v_split = (gpu_prefix[rows, si] + f * qs) / safe_n[:, 0]
+    value = np.where(both, np.where(simple, v_simple, v_split), value)
+    mtb = np.where(both, np.max(np.minimum(cpu, gpu), axis=1), mtb)
+    return np.maximum(value, mtb)
+
+
+class _BatchDualHPTrier:
+    """One binary-search worker: vectorized ``dualhp_try`` over live rows.
+
+    Holds the lam-independent state (phase sort orders, class geometry,
+    preallocated scratch) so each guess costs only the masked k-loops.
+    """
+
+    def __init__(
+        self,
+        cpu: np.ndarray,
+        gpu: np.ndarray,
+        prio: np.ndarray,
+        platforms: tuple[Platform, ...],
+    ):
+        self.cpu = cpu
+        self.gpu = gpu
+        self.platforms = platforms
+        B, n = cpu.shape
+        self.B, self.n = B, n
+        pos = np.broadcast_to(np.arange(n), cpu.shape)
+        # Forced phases and the leftover phase process tasks sorted by
+        # (-priority, uid); the optional phase by (-acceleration,
+        # -priority, uid).  Position stands in for uid.
+        self.prio_order = np.lexsort((pos, -prio))
+        self.acc_order = np.lexsort((pos, -prio, -(cpu / gpu)))
+        self.m = np.array([p.num_cpus for p in platforms], dtype=np.int64)
+        self.g = np.array([p.num_gpus for p in platforms], dtype=np.int64)
+
+    def try_rows(
+        self, rs: np.ndarray, lam: np.ndarray, record: "_DualHPRecorder | None" = None
+    ) -> np.ndarray:
+        """Feasibility of guess ``lam[j]`` for row ``rs[j]``, vectorized.
+
+        Mirrors ``dualhp_try`` phase for phase: forced-GPU and forced-CPU
+        packs (any overflow is infeasible), the acceleration-ordered
+        optional pack on the GPUs (overflow falls through), then the
+        leftover pack on the CPUs.  With *record*, placements are logged
+        in the scalar replay order — which equals pack order per class,
+        since the replay re-runs the same least-loaded rule per class.
+        """
+        cpu, gpu = self.cpu, self.gpu
+        R = rs.size
+        n = self.n
+        limit = 2.0 * lam
+        lam_col = lam[:, None]
+        cpu_loads, gpu_loads = _class_loads(tuple(self.platforms[i] for i in rs))
+        ar = np.arange(R)
+
+        forced_gpu = cpu[rs] > lam_col
+        forced_cpu = gpu[rs] > lam_col
+        both = forced_gpu & forced_cpu
+        forced_gpu &= ~both
+        forced_cpu &= ~both
+        optional = ~forced_gpu & ~forced_cpu & ~both
+        infeasible = both.any(axis=1)
+        infeasible |= forced_gpu.any(axis=1) & (self.g[rs] == 0)
+        infeasible |= forced_cpu.any(axis=1) & (self.m[rs] == 0)
+
+        leftover = np.zeros((R, n), dtype=bool)
+        po = self.prio_order[rs]
+        ao = self.acc_order[rs]
+        has_gpu = self.g[rs] > 0
+
+        def pack(loads, member, order_k, dur, k, overflow_to=None):
+            tk = order_k[:, k]
+            sel = np.flatnonzero(member[ar, tk])
+            if not sel.size:
+                return
+            tks = tk[sel]
+            d = dur[sel, tks]
+            sub = loads[sel]
+            slot = np.argmin(sub, axis=1)  # least (load, index)
+            old = sub[np.arange(sel.size), slot]
+            can = old + d <= limit[sel]
+            okr = sel[can]
+            loads[okr, slot[can]] = old[can] + d[can]
+            if record is not None:
+                record.log(rs[okr], loads is gpu_loads, slot[can], tks[can], old[can], d[can])
+            if overflow_to is None:
+                infeasible[sel[~can]] = True
+            else:
+                overflow_to[sel[~can], tks[~can]] = True
+
+        for k in range(n):
+            pack(gpu_loads, forced_gpu, po, gpu[rs], k)
+        for k in range(n):
+            pack(cpu_loads, forced_cpu, po, cpu[rs], k)
+        # Optional tasks on rows without GPUs skip straight to leftover.
+        no_gpu_opt = optional & ~has_gpu[:, None]
+        leftover |= no_gpu_opt
+        opt_try = optional & has_gpu[:, None]
+        for k in range(n):
+            pack(gpu_loads, opt_try, ao, gpu[rs], k, overflow_to=leftover)
+        infeasible |= leftover.any(axis=1) & (self.m[rs] == 0)
+        for k in range(n):
+            pack(cpu_loads, leftover, po, cpu[rs], k)
+        return ~infeasible
+
+
+class _DualHPRecorder:
+    """Per-row placement log filled during the accepting ``try_rows``."""
+
+    def __init__(self, B: int, n: int, m_off: np.ndarray):
+        self.tasks = np.zeros((B, n), dtype=np.int64)
+        self.slots = np.zeros((B, n), dtype=np.int64)
+        self.starts = np.zeros((B, n))
+        self.ends = np.zeros((B, n))
+        self.ptr = np.zeros(B, dtype=np.int64)
+        self.m_off = m_off
+        self.makespans = np.zeros(B)
+
+    def log(self, rows, on_gpu, slots, tasks, starts, durations):
+        pp = self.ptr[rows]
+        self.tasks[rows, pp] = tasks
+        self.slots[rows, pp] = self.m_off[rows] + slots if on_gpu else slots
+        self.starts[rows, pp] = starts
+        ends = starts + durations
+        self.ends[rows, pp] = ends
+        self.ptr[rows] = pp + 1
+        np.maximum.at(self.makespans, rows, ends)
+
+
+def batch_dualhp_schedule(
+    cpu_times: np.ndarray,
+    gpu_times: np.ndarray,
+    platforms: Platform | Sequence[Platform],
+    *,
+    priorities: np.ndarray | None = None,
+    rtol: float = SEARCH_RTOL,
+) -> BatchScheduleResult:
+    """Dual-approximation DualHP over a ``(B, n)`` batch of instances.
+
+    Bit-identical to per-row
+    :func:`repro.schedulers.dualhp.dualhp_schedule`: every row runs the
+    same binary search on its own guess ``lambda`` — same lower/upper
+    seeds from the area and work bounds, same midpoints, same accepted
+    guess — and the final schedule replays ``dualhp_try`` at the accepted
+    guess.  Rows converge independently; finished rows drop out of the
+    masked iterations.
+    """
+    cpu, gpu = _check_times(cpu_times, gpu_times)
+    B, n = cpu.shape
+    platforms = _as_platforms(platforms, B)
+    prio = (
+        np.zeros_like(cpu)
+        if priorities is None
+        else np.ascontiguousarray(np.broadcast_to(priorities, cpu.shape))
+    )
+    m_off = np.array([p.num_cpus for p in platforms], dtype=np.int64)
+    if n == 0:
+        empty = np.zeros((B, 0))
+        return BatchScheduleResult(
+            platforms=platforms,
+            makespans=np.zeros(B),
+            rec_tasks=np.zeros((B, 0), dtype=np.int64),
+            rec_slots=np.zeros((B, 0), dtype=np.int64),
+            rec_starts=empty,
+            rec_ends=empty.copy(),
+            lams=np.zeros(B),
+        )
+
+    bound = _batch_bounds(cpu, gpu, platforms)
+    lo = bound / 2.0
+    # hi = max(lower bound, per-class average work, largest min-time);
+    # total_*_work is a sequential Python sum, hence the cumsum tail.
+    mc = np.array([p.num_cpus for p in platforms], dtype=np.float64)
+    nc = np.array([p.num_gpus for p in platforms], dtype=np.float64)
+    cpu_avg = np.where(mc > 0, np.cumsum(cpu, axis=1)[:, -1] / np.maximum(mc, 1.0), 0.0)
+    gpu_avg = np.where(nc > 0, np.cumsum(gpu, axis=1)[:, -1] / np.maximum(nc, 1.0), 0.0)
+    max_min = np.max(np.minimum(cpu, gpu), axis=1)
+    hi = np.maximum(np.maximum(bound, cpu_avg), np.maximum(gpu_avg, max_min))
+
+    trier = _BatchDualHPTrier(cpu, gpu, prio, platforms)
+    rows = np.arange(B)
+    feasible = trier.try_rows(rows, hi)
+    while not feasible.all():  # pragma: no cover - degenerate platforms
+        bad = np.flatnonzero(~feasible)
+        hi[bad] *= 2.0
+        feasible[bad] = trier.try_rows(bad, hi[bad])
+    best_lam = hi.copy()
+
+    active = (hi - lo) > rtol * np.maximum(hi, 1.0)
+    while active.any():
+        rs = np.flatnonzero(active)
+        mid = 0.5 * (lo[rs] + hi[rs])
+        ok = trier.try_rows(rs, mid)
+        lo[rs[~ok]] = mid[~ok]
+        accepted = rs[ok]
+        hi[accepted] = mid[ok]
+        best_lam[accepted] = mid[ok]
+        active[rs] = (hi[rs] - lo[rs]) > rtol * np.maximum(hi[rs], 1.0)
+
+    recorder = _DualHPRecorder(B, n, m_off)
+    trier.try_rows(rows, best_lam, record=recorder)
+    return BatchScheduleResult(
+        platforms=platforms,
+        makespans=recorder.makespans,
+        rec_tasks=recorder.tasks,
+        rec_slots=recorder.slots,
+        rec_starts=recorder.starts,
+        rec_ends=recorder.ends,
+        lams=best_lam,
+    )

@@ -43,6 +43,7 @@ from repro.campaign.cache import CacheStats, ResultCache
 from repro.campaign.executor import (
     ensure_graph_store,
     execute_spec_batch,
+    fallback_breakdown,
     execute_spec_cached,
     plan_batches,
 )
@@ -113,6 +114,9 @@ class Dispatcher:
             "prefetched": 0,
             "errors": 0,
         }
+        #: Per-algorithm counts of prefetch misses with no batch kernel
+        #: (they stay cold until requested through the scalar path).
+        self.prefetch_fallbacks: dict[str, int] = {}
 
     # -- caches --------------------------------------------------------------
 
@@ -191,6 +195,10 @@ class Dispatcher:
         if cache is None or self._execute_fn is not None:
             return 0
         misses = [spec for spec in specs if cache.get(spec) is None]
+        for alg, count in fallback_breakdown(misses).items():
+            self.prefetch_fallbacks[alg] = (
+                self.prefetch_fallbacks.get(alg, 0) + count
+            )
         groups = plan_batches(misses)
         if not groups:
             return 0
@@ -282,6 +290,7 @@ class Dispatcher:
     def stats(self) -> dict[str, Any]:
         return {
             **self.counters,
+            "prefetch_fallbacks": dict(sorted(self.prefetch_fallbacks.items())),
             "mode": "pool" if self._pool is not None else "inline",
             "workers": self.workers,
             "inflight": len(self._inflight),

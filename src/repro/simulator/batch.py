@@ -1,6 +1,6 @@
 # repro-lint: disable=wall-clock -- SimStats.wall_s is bench telemetry
 # only; no simulated time or cached metric is derived from it.
-"""Lockstep batch execution of the HeteroPrio simulation kernel.
+"""Lockstep batch execution of the online scheduling policies.
 
 One interpreted Python event loop per instance is the binding constraint
 on campaign throughput (ROADMAP item 2).  This module advances a whole
@@ -18,6 +18,12 @@ independent-task recipe — in lockstep over numpy arrays:
   whose queue runs dry — is handled by masked sub-stepping: rows that
   take a given branch are selected with boolean masks and updated
   together, rows that don't are untouched.
+
+The engine owns everything policy-independent — worker slots, the
+dependency CSR, completion windows, placement records — and delegates
+each policy decision to a *kernel* object from
+:mod:`repro.simulator.batch_policies` (HeteroPrio, HEFT and DualHP)
+that expresses the scalar policy's picks as masked vector operations.
 
 Semantics are **event-for-event identical** to the scalar loops
 (:mod:`repro.simulator.runtime` for DAGs,
@@ -47,12 +53,11 @@ scalar windows drift apart after the first spoliation.  The scalar
 *independent* loop skips stale events at the pop instead, so the
 independent wrapper runs with phantoms disabled.
 
-Queues are the static HeteroPrio affinity order
-(:func:`repro.core.heteroprio.batch_queue_order`): independent rows pop
-from the two ends of a fixed window (O(1) pointers — tasks are never
-re-inserted), DAG rows keep a boolean membership mask in sorted-position
-space (ready tasks arrive over time) and locate the ends with masked
-argmax.
+Ready-queue layout is the kernel's business: HeteroPrio keeps the
+static affinity order (two-ended window / membership mask), HEFT keeps
+per-worker FIFOs as array-encoded linked lists, DualHP keeps a task
+pool plus two pop-ordered class queues rebuilt on demand — see
+:mod:`repro.simulator.batch_policies`.
 
 Placements are recorded append-only into flat preallocated arrays in
 global chronological order; because each row's records land in its own
@@ -69,11 +74,16 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.core.heteroprio import SpoliationEvent, batch_queue_order
+from repro.core.heteroprio import SpoliationEvent
 from repro.core.platform import Platform, ResourceKind, Worker
 from repro.core.schedule import Schedule, TIME_EPS
 from repro.core.task import Task
 from repro.dag.compiled import CompiledGraph, _ragged_gather
+from repro.simulator.batch_policies import (
+    HeteroPrioKernel,
+    _row_groups,
+    make_dag_kernel,
+)
 from repro.simulator.runtime import SimStats
 
 __all__ = ["BatchResult", "batch_heteroprio_schedule", "batch_simulate_dag"]
@@ -274,11 +284,10 @@ class _LockstepEngine:
         gpu: np.ndarray,
         priority: np.ndarray,
         platforms: Sequence[Platform],
+        kernel,
         succ_indptr: np.ndarray | None = None,
         succ_indices: np.ndarray | None = None,
         indegree: np.ndarray | None = None,
-        migrate: bool = True,
-        victim_rule: str = "priority",
         anchor_stale: bool = False,
     ):
         B, n = cpu.shape
@@ -297,45 +306,16 @@ class _LockstepEngine:
             for s, w in enumerate(ws):
                 if w.kind is ResourceKind.GPU:
                     self.is_gpu[b, s] = True
-        self.migrate = migrate
-        self.victim_rule = victim_rule
         self.anchor_stale = anchor_stale
 
-        # Affinity queue in sorted-position space; position 0 = CPU end.
-        self.order = batch_queue_order(self.cpu, self.gpu, self.prio)
-        self.static_queue = succ_indptr is None
-        if self.static_queue:
-            # Independent tasks: the queue only ever shrinks from its two
-            # ends, so a [front, back] window is enough.
-            self.front = np.zeros(B, dtype=np.int64)
-            self.back = np.full(B, n - 1, dtype=np.int64)
-        else:
+        self.static = succ_indptr is None
+        if not self.static:
             self.succ_indptr = succ_indptr
             self.succ_indices = succ_indices
-            self.pos = np.empty((B, n), dtype=np.int64)
-            np.put_along_axis(
-                self.pos,
-                self.order,
-                np.broadcast_to(np.arange(n, dtype=np.int64), (B, n)),
-                axis=1,
-            )
             self.indeg = np.ascontiguousarray(
                 np.broadcast_to(indegree, (B, n)), dtype=np.int64
             )
             self.indeg_flat = self.indeg.reshape(-1)
-            self.qmask = np.zeros((B, n), dtype=bool)
-            rr, tt = np.nonzero(self.indeg == 0)
-            pp = self.pos[rr, tt]
-            self.qmask[rr, pp] = True
-            self.qcount = self.qmask.sum(axis=1).astype(np.int64)
-            # Live-band hints: every queued position of row b lies in
-            # [qlo[b], qhi[b]].  The band tightens as the two ends are
-            # popped and re-widens on insertion, so the end-of-queue
-            # argmax scans only the active band instead of all n slots.
-            self.qlo = np.full(B, n, dtype=np.int64)
-            self.qhi = np.full(B, -1, dtype=np.int64)
-            np.minimum.at(self.qlo, rr, pp)
-            np.maximum.at(self.qhi, rr, pp)
 
         # Worker slot state; an idle slot has w_end == +inf.
         self.w_task = np.full((B, W), -1, dtype=np.int64)
@@ -354,6 +334,16 @@ class _LockstepEngine:
             "rows": [], "tasks": [], "vslots": [], "nslots": [],
             "times": [], "olds": [], "news": [],
         }
+        #: reusable (B, W) scratch for the per-pass idle snapshot
+        self._snap = np.empty((B, W), dtype=bool)
+
+        self.kernel = kernel
+        kernel.bind(self)
+        if not self.static:
+            # Sources are announced at t=0 like the scalar loop's first
+            # announce — in (-priority, uid) order per row.
+            rr, tt = np.nonzero(self.indeg == 0)
+            self._announce(rr, tt, np.zeros(B))
 
     # -- primitive steps ---------------------------------------------------
 
@@ -372,129 +362,41 @@ class _LockstepEngine:
         self.w_seq[rows, slots] = self.seq_counter[rows]
         self.seq_counter[rows] += 1
 
-    def _pop_queue(
-        self, rows: np.ndarray, gpu_side: np.ndarray
-    ) -> tuple[np.ndarray, np.ndarray]:
-        """Pop each row's queue from the CPU or GPU end; returns task ids."""
-        if self.static_queue:
-            posv = np.where(gpu_side, self.back[rows], self.front[rows])
-            tasks = self.order[rows, posv]
-            self.back[rows[gpu_side]] -= 1
-            self.front[rows[~gpu_side]] += 1
-        else:
-            lo = int(self.qlo[rows].min())
-            hi = int(self.qhi[rows].max()) + 1
-            sub = self.qmask[rows, lo:hi]  # (K, band) — argmax both ends
-            fpos = sub.argmax(axis=1) + lo
-            bpos = (hi - 1) - sub[:, ::-1].argmax(axis=1)
-            posv = np.where(gpu_side, bpos, fpos)
-            tasks = self.order[rows, posv]
-            self.qmask[rows, posv] = False
-            self.qcount[rows] -= 1
-            # Rows in one call are distinct, so each hint moves once.
-            self.qlo[rows[~gpu_side]] = fpos[~gpu_side] + 1
-            self.qhi[rows[gpu_side]] = bpos[gpu_side] - 1
-        durations = np.where(
-            gpu_side, self.gpu[rows, tasks], self.cpu[rows, tasks]
-        )
-        return tasks, durations
-
-    def _queue_nonempty(self, rows: np.ndarray) -> np.ndarray:
-        if self.static_queue:
-            return self.front[rows] <= self.back[rows]
-        return self.qcount[rows] > 0
-
-    # -- spoliation --------------------------------------------------------
-
-    def _try_spoliate(
+    def _start_multi(
         self,
         rows: np.ndarray,
         slots: np.ndarray,
-        gpu_side: np.ndarray,
-        t: np.ndarray,
-        progress: np.ndarray,
-    ) -> np.ndarray:
-        """Poll rows whose queue ran dry for a spoliation victim.
+        tasks: np.ndarray,
+        now: np.ndarray,
+        durations: np.ndarray,
+    ) -> None:
+        """Begin executions; rows may repeat, sorted, (row, slot) unique.
 
-        Returns a boolean array over *rows* marking which polls
-        spoliated (the rest changed no state).
-
-        Victim choice mirrors the scalar rules exactly: among running
-        executions on the *other* resource class that the polling worker
-        would finish strictly earlier (``now + new_time < end -
-        TIME_EPS``), pick by maximal priority then latest completion
-        (``victim_rule="priority"``, the DAG policy) or latest
-        completion then maximal priority (``"completion"``, the
-        independent loop), tie-broken by smallest task index.  The
-        successive masked-max filters below implement that lexicographic
-        choice; the exact float ``==`` against the column max selects
-        ties, not approximate equality, which is why no epsilon belongs
-        there.
+        Callers present each row's starts in service order (slots
+        ascending), so stamping sequence numbers by position within the
+        row group reproduces the scalar loop's per-start heap tiebreak
+        counter exactly.
         """
-        sub_end = self.w_end[rows]  # (K, W)
-        sub_task = self.w_task[rows]
-        running = self.exists[rows] & np.isfinite(sub_end)
-        other = running & (self.is_gpu[rows] != gpu_side[:, None])
-        if not other.any():
-            return np.zeros(rows.size, dtype=bool)
-        safe_task = np.where(other, sub_task, 0)
-        rows_col = rows[:, None]
-        new_time = np.where(
-            gpu_side[:, None],
-            self.gpu[rows_col, safe_task],
-            self.cpu[rows_col, safe_task],
-        )
-        improving = other & (t[rows][:, None] + new_time < sub_end - TIME_EPS)
-        found = improving.any(axis=1)
-        if not found.any():
-            return found
-        fr = np.flatnonzero(found)
-        imp = improving[fr]
-        stc = safe_task[fr]
-        k_prio = np.where(imp, self.prio[rows[fr][:, None], stc], -np.inf)
-        k_end = np.where(imp, sub_end[fr], -np.inf)
-        if self.victim_rule == "priority":
-            k1, k2 = k_prio, k_end
-        else:
-            k1, k2 = k_end, k_prio
-        m1 = k1.max(axis=1)
-        tie1 = imp & (k1 == m1[:, None])
-        k2m = np.where(tie1, k2, -np.inf)
-        m2 = k2m.max(axis=1)
-        tie2 = tie1 & (k2m == m2[:, None])
-        cand_idx = np.where(tie2, stc, self.n)
-        vtask = cand_idx.min(axis=1)
-        vcol = (tie2 & (stc == vtask[:, None])).argmax(axis=1)
+        if rows.size == 0:
+            return
+        _, urows, counts, offsets = _row_groups(rows)
+        self.w_task[rows, slots] = tasks
+        self.w_start[rows, slots] = now
+        self.w_end[rows, slots] = now + durations
+        self.w_seq[rows, slots] = self.seq_counter[rows] + offsets
+        self.seq_counter[urows] += counts
 
-        rr = rows[fr]
-        ss = slots[fr]
-        ar = np.arange(fr.size)
-        vend = sub_end[fr][ar, vcol]
-        vstart = self.w_start[rr, vcol]
-        ndur = new_time[fr][ar, vcol]
-        now = t[rr]
+    def _announce(self, rows: np.ndarray, tasks: np.ndarray, t: np.ndarray) -> None:
+        """Hand newly ready tasks to the kernel in scalar announce order.
 
-        self.records.append(rr, vcol, vtask, vstart, now, True)
-        sp = self._sp_chunks
-        sp["rows"].append(rr)
-        sp["tasks"].append(vtask)
-        sp["vslots"].append(vcol)
-        sp["nslots"].append(ss)
-        sp["times"].append(now)
-        sp["olds"].append(vend)
-        sp["news"].append(now + ndur)
-
-        self.w_end[rr, vcol] = np.inf
-        self.w_task[rr, vcol] = -1
-        self.stats.aborts += int(rr.size)
-        if self.anchor_stale:
-            # The scalar DAG loop leaves the victim's old completion in
-            # its heap and lets it anchor a (possibly empty) window.
-            for b, e in zip(rr.tolist(), vend.tolist()):
-                heapq.heappush(self.phantoms.setdefault(b, []), e)
-        self._start(rr, ss, vtask, now, ndur)
-        progress[rr] = True
-        return found
+        The scalar loop announces ``sorted(ready, key=(-priority,
+        uid))``; task uids ascend with task index in every batch layout,
+        so the index is the uid tiebreak.
+        """
+        if rows.size == 0:
+            return
+        order = np.lexsort((tasks, -self.prio[rows, tasks], rows))
+        self.kernel.on_ready(rows[order], tasks[order], t)
 
     # -- settle ------------------------------------------------------------
 
@@ -502,71 +404,22 @@ class _LockstepEngine:
         """Serve idle workers until no row makes progress.
 
         Mirrors the scalar settle structure: each *pass* snapshots a
-        row's idle slots and serves each exactly once, in service order
-        (GPUs first); slots freed mid-pass by spoliation wait for the
-        next pass.  Each *sub-iteration* serves at most one slot per
-        row — rows at different service positions advance together.
-
-        A failed empty-queue poll is stateless, and the queue cannot
-        refill mid-settle, so once a row's poll of one resource class
-        comes up empty every later poll of that class in the same pass
-        must fail too: those slots are bulk-skipped (the class is marked
-        *dead* for the rest of the pass), charging their ``pick()``
-        calls to the stats in one add.  This collapses the
-        empty-queue tail — per pass each row performs at most one
-        meaningful poll per class plus its queue pops.
+        row's idle slots and hands them to the kernel, which serves
+        each exactly once in service order (GPUs first); slots freed
+        mid-pass (spoliation) wait for the next pass.  Rows that
+        started nothing drop out; the loop ends when no row progresses
+        — exactly the scalar ``while progress`` settle.
         """
-        cols = self._cols
-        is_gpu = self.is_gpu
         active = rows_mask
+        snapshot = self._snap
+        serve = self.kernel.serve_pass
         while active.any():
-            snapshot = active[:, None] & self.exists & ~np.isfinite(self.w_end)
+            np.isfinite(self.w_end, out=snapshot)
+            np.logical_not(snapshot, out=snapshot)
+            snapshot &= self.exists
+            snapshot &= active[:, None]
             progress = np.zeros(self.B, dtype=bool)
-            ptr = np.zeros(self.B, dtype=np.int64)
-            dead_cpu = np.zeros(self.B, dtype=bool)
-            dead_gpu = np.zeros(self.B, dtype=bool)
-            any_dead = False
-            while True:
-                eligible = snapshot & (cols >= ptr[:, None])
-                if any_dead:
-                    eligible &= ~(is_gpu & dead_gpu[:, None])
-                    eligible &= is_gpu | ~dead_cpu[:, None]
-                serving = eligible.any(axis=1)
-                if not serving.any():
-                    break
-                slot_of = eligible.argmax(axis=1)
-                rset = np.flatnonzero(serving)
-                svec = slot_of[rset]
-                self.stats.picks += rset.size
-                gpu_side = is_gpu[rset, svec]
-                has_queue = self._queue_nonempty(rset)
-                if has_queue.any():
-                    sel = np.flatnonzero(has_queue)
-                    pr, ps, pg = rset[sel], svec[sel], gpu_side[sel]
-                    tasks, durations = self._pop_queue(pr, pg)
-                    self._start(pr, ps, tasks, t[pr], durations)
-                    progress[pr] = True
-                if not has_queue.all():
-                    sel = np.flatnonzero(~has_queue)
-                    er, es, eg = rset[sel], svec[sel], gpu_side[sel]
-                    unset = np.isnan(self.first_idle[er])
-                    if unset.any():
-                        self.first_idle[er[unset]] = t[er[unset]]
-                    if self.migrate:
-                        spoliated = self._try_spoliate(er, es, eg, t, progress)
-                    else:
-                        spoliated = np.zeros(er.size, dtype=bool)
-                    failed = ~spoliated
-                    if failed.any():
-                        fr, fs, fg = er[failed], es[failed], eg[failed]
-                        dead_gpu[fr[fg]] = True
-                        dead_cpu[fr[~fg]] = True
-                        any_dead = True
-                        # Charge the skipped same-class polls of this pass.
-                        same = is_gpu[fr] == fg[:, None]
-                        skipped = snapshot[fr] & (cols > fs[:, None]) & same
-                        self.stats.picks += int(skipped.sum())
-                ptr[rset] = svec + 1
+            serve(t, snapshot, progress)
             active = progress
 
     # -- main loop ---------------------------------------------------------
@@ -635,7 +488,7 @@ class _LockstepEngine:
             self.w_end[rows, slots] = np.inf
             self.w_task[rows, slots] = -1
             self.remaining[urows] -= counts
-            if not self.static_queue:
+            if not self.static:
                 s0 = self.succ_indptr[tasks]
                 cnt = self.succ_indptr[tasks + 1] - s0
                 if cnt.sum():
@@ -650,11 +503,7 @@ class _LockstepEngine:
                     if ready.size:
                         ready_r = ready // n
                         ready_t = ready - ready_r * n
-                        ready_p = self.pos[ready_r, ready_t]
-                        self.qmask[ready_r, ready_p] = True
-                        np.add.at(self.qcount, ready_r, 1)
-                        np.minimum.at(self.qlo, ready_r, ready_p)
-                        np.maximum.at(self.qhi, ready_r, ready_p)
+                        self._announce(ready_r, ready_t, t)
             settle_rows = np.zeros(B, dtype=bool)
             settle_rows[urows] = True
             settle_rows &= self.remaining > 0
@@ -753,8 +602,9 @@ def batch_heteroprio_schedule(
         gpu=gpu,
         priority=prio,
         platforms=_as_platforms(platforms, B),
-        migrate=mode == "spoliation",
-        victim_rule="completion",
+        kernel=HeteroPrioKernel(
+            migrate=mode == "spoliation", victim_rule="completion"
+        ),
         anchor_stale=False,
     )
     engine.run()
@@ -768,20 +618,25 @@ def batch_simulate_dag(
     platforms: Platform | Sequence[Platform],
     priorities: np.ndarray,
     *,
+    algorithm: str = "heteroprio",
     cpu_times: np.ndarray | None = None,
     gpu_times: np.ndarray | None = None,
     spoliation: bool = True,
     victim_rule: str = "priority",
 ) -> BatchResult:
-    """Run the HeteroPrio DAG policy on a batch sharing one graph structure.
+    """Run one online DAG policy on a batch sharing one graph structure.
 
+    ``algorithm`` picks the policy kernel — ``"heteroprio"`` (default),
+    ``"heft"`` or ``"dualhp"`` (see
+    :data:`repro.simulator.batch_policies.DAG_KERNELS`).
     ``priorities`` is ``(B, n)`` (one priority vector per row — e.g. one
     ranking scheme per row); ``cpu_times``/``gpu_times`` default to the
     graph's own durations broadcast across the batch, or may be
     ``(B, n)`` per-row samples (noise sweeps over one structure).
-    Bit-identical to :func:`repro.simulator.simulate` with
-    :class:`~repro.schedulers.online.heteroprio.HeteroPrioPolicy` per
-    row.
+    Bit-identical to :func:`repro.simulator.simulate` with the matching
+    :func:`repro.schedulers.online.make_policy` policy per row;
+    ``spoliation``/``victim_rule`` parameterize HeteroPrio only (the
+    scalar HEFT and DualHP policies never spoliate).
     """
     prio = np.atleast_2d(np.asarray(priorities, dtype=np.float64))
     B, n = prio.shape
@@ -796,11 +651,12 @@ def batch_simulate_dag(
         gpu=gpu,
         priority=prio,
         platforms=_as_platforms(platforms, B),
+        kernel=make_dag_kernel(
+            algorithm, spoliation=spoliation, victim_rule=victim_rule
+        ),
         succ_indptr=graph.succ_indptr,
         succ_indices=graph.succ_indices,
         indegree=np.diff(graph.pred_indptr),
-        migrate=spoliation,
-        victim_rule=victim_rule,
         anchor_stale=True,
     )
     engine.run()

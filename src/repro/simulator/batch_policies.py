@@ -1,0 +1,749 @@
+# repro-lint: disable=wall-clock -- no wall-clock use; marker kept in
+# sync with repro.simulator.batch, whose engine this module serves.
+"""Array-level policy kernels for the lockstep batch engine.
+
+The engine (:class:`repro.simulator.batch._LockstepEngine`) owns the
+shared ``(B, n)`` dependency/worker-slot state and the settle-pass
+structure; a *kernel* owns everything policy-specific — ready queues,
+availability estimates, reassignment — and expresses each decision the
+scalar policy makes as a masked vector operation over the whole batch.
+
+The kernel contract (duck-typed; the engine never imports policy
+classes):
+
+``bind(engine)``
+    Allocate per-batch state against the engine's arrays.
+``on_ready(rows, tasks, t)``
+    Newly ready tasks, flat and grouped by row, each row's group in the
+    scalar announce order (``(-priority, uid)`` — the engine pre-sorts).
+``serve_pass(t, snapshot, progress)``
+    One settle pass: ``snapshot`` is the boolean ``(B, W)`` mask of
+    slots idle at pass start; serve each at most once, start work via
+    ``engine._start``/``engine._start_multi``, and set ``progress[b]``
+    for rows that started anything (the engine re-passes those rows).
+
+Every kernel here is **bit-identical** to its scalar reference policy
+(``tests/test_batch_differential.py`` pins placements, makespans,
+spoliations and ``SimStats`` event-for-event):
+
+* :class:`HeteroPrioKernel` — the affinity-queue + spoliation logic the
+  engine originally hard-coded, unchanged semantically;
+* :class:`HeftKernel` — earliest-finish-time commitment at announce
+  (``schedulers/online/heft.py``): per-class masked argmin over the
+  ``(B, W)`` availability array reproduces ``AvailabilityHeap``'s
+  ``(finish, CPUs-before-GPUs, index)`` tie-break, per-worker FIFO
+  queues live as array-encoded linked lists;
+* :class:`DualHPKernel` — the dual-queue pack policy
+  (``schedulers/online/dualhp.py``): lazy λ binary search and the
+  two-phase pack (forced classes, then acceleration-ordered optionals
+  with CPU overflow) run as masked lockstep loops, with per-row
+  ``lo``/``hi`` floats tracked exactly so every row's λ trajectory
+  matches its scalar run bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.core.heteroprio import batch_queue_order
+from repro.core.schedule import TIME_EPS
+
+__all__ = [
+    "HeteroPrioKernel",
+    "HeftKernel",
+    "DualHPKernel",
+    "make_dag_kernel",
+    "DAG_KERNELS",
+]
+
+#: Relative λ tolerance of the scalar online DualHP search.  Duplicated
+#: from :data:`repro.schedulers.online.dualhp.ONLINE_RTOL` (importing it
+#: would pull the scalar policy module into *every* batch spec's salt
+#: closure, re-keying HeteroPrio cache entries on DualHP edits); the
+#: differential suite asserts the two constants stay equal.
+ONLINE_RTOL = 1e-3
+
+
+def _row_groups(
+    rows: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Group a sorted row-id array: (first_ix, urows, counts, offsets).
+
+    ``offsets`` is each element's position within its row group — the
+    building block for per-row sequencing (seq stamps, queue positions,
+    arrival counters) over flat ``np.nonzero``-shaped selections.
+    """
+    change = np.empty(rows.size, dtype=bool)
+    change[0] = True
+    np.not_equal(rows[1:], rows[:-1], out=change[1:])
+    first_ix = np.flatnonzero(change)
+    urows = rows[first_ix]
+    counts = np.diff(np.append(first_ix, rows.size))
+    offsets = np.arange(rows.size) - np.repeat(first_ix, counts)
+    return first_ix, urows, counts, offsets
+
+
+class HeteroPrioKernel:
+    """HeteroPrio affinity queues + spoliation as array kernels.
+
+    The queue is the static acceleration-factor order
+    (:func:`repro.core.heteroprio.batch_queue_order`); independent rows
+    pop from the two ends of a fixed window (O(1) pointers), DAG rows
+    keep a boolean membership mask in sorted-position space and locate
+    the ends with banded argmax.  Spoliation polls mirror the scalar
+    victim rules exactly — see :meth:`_try_spoliate`.
+    """
+
+    name = "heteroprio"
+
+    def __init__(self, *, migrate: bool = True, victim_rule: str = "priority"):
+        self.migrate = migrate
+        self.victim_rule = victim_rule
+
+    def bind(self, engine) -> None:
+        self.e = e = engine
+        B, n = e.B, e.n
+        self.order = batch_queue_order(e.cpu, e.gpu, e.prio)
+        self.static_queue = e.static
+        if self.static_queue:
+            # Independent tasks: the queue only ever shrinks from its two
+            # ends, so a [front, back] window is enough.
+            self.front = np.zeros(B, dtype=np.int64)
+            self.back = np.full(B, n - 1, dtype=np.int64)
+        else:
+            self.pos = np.empty((B, n), dtype=np.int64)
+            np.put_along_axis(
+                self.pos,
+                self.order,
+                np.broadcast_to(np.arange(n, dtype=np.int64), (B, n)),
+                axis=1,
+            )
+            self.qmask = np.zeros((B, n), dtype=bool)
+            self.qcount = np.zeros(B, dtype=np.int64)
+            # Live-band hints: every queued position of row b lies in
+            # [qlo[b], qhi[b]].  The band tightens as the two ends are
+            # popped and re-widens on insertion, so the end-of-queue
+            # argmax scans only the active band instead of all n slots.
+            self.qlo = np.full(B, n, dtype=np.int64)
+            self.qhi = np.full(B, -1, dtype=np.int64)
+
+    def on_ready(self, rows: np.ndarray, tasks: np.ndarray, t: np.ndarray) -> None:
+        if self.static_queue or rows.size == 0:
+            return
+        pp = self.pos[rows, tasks]
+        self.qmask[rows, pp] = True
+        np.add.at(self.qcount, rows, 1)
+        np.minimum.at(self.qlo, rows, pp)
+        np.maximum.at(self.qhi, rows, pp)
+
+    # -- queue primitives --------------------------------------------------
+
+    def _pop_queue(
+        self, rows: np.ndarray, gpu_side: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Pop each row's queue from the CPU or GPU end; returns task ids."""
+        e = self.e
+        if self.static_queue:
+            posv = np.where(gpu_side, self.back[rows], self.front[rows])
+            tasks = self.order[rows, posv]
+            self.back[rows[gpu_side]] -= 1
+            self.front[rows[~gpu_side]] += 1
+        else:
+            lo = int(self.qlo[rows].min())
+            hi = int(self.qhi[rows].max()) + 1
+            sub = self.qmask[rows, lo:hi]  # (K, band) — argmax both ends
+            fpos = sub.argmax(axis=1) + lo
+            bpos = (hi - 1) - sub[:, ::-1].argmax(axis=1)
+            posv = np.where(gpu_side, bpos, fpos)
+            tasks = self.order[rows, posv]
+            self.qmask[rows, posv] = False
+            self.qcount[rows] -= 1
+            # Rows in one call are distinct, so each hint moves once.
+            self.qlo[rows[~gpu_side]] = fpos[~gpu_side] + 1
+            self.qhi[rows[gpu_side]] = bpos[gpu_side] - 1
+        durations = np.where(gpu_side, e.gpu[rows, tasks], e.cpu[rows, tasks])
+        return tasks, durations
+
+    def _queue_nonempty(self, rows: np.ndarray) -> np.ndarray:
+        if self.static_queue:
+            return self.front[rows] <= self.back[rows]
+        return self.qcount[rows] > 0
+
+    # -- spoliation --------------------------------------------------------
+
+    def _try_spoliate(
+        self,
+        rows: np.ndarray,
+        slots: np.ndarray,
+        gpu_side: np.ndarray,
+        t: np.ndarray,
+        progress: np.ndarray,
+    ) -> np.ndarray:
+        """Poll rows whose queue ran dry for a spoliation victim.
+
+        Returns a boolean array over *rows* marking which polls
+        spoliated (the rest changed no state).
+
+        Victim choice mirrors the scalar rules exactly: among running
+        executions on the *other* resource class that the polling worker
+        would finish strictly earlier (``now + new_time < end -
+        TIME_EPS``), pick by maximal priority then latest completion
+        (``victim_rule="priority"``, the DAG policy) or latest
+        completion then maximal priority (``"completion"``, the
+        independent loop), tie-broken by smallest task index.  The
+        successive masked-max filters below implement that lexicographic
+        choice; the exact float ``==`` against the column max selects
+        ties, not approximate equality, which is why no epsilon belongs
+        there.
+        """
+        e = self.e
+        sub_end = e.w_end[rows]  # (K, W)
+        sub_task = e.w_task[rows]
+        running = e.exists[rows] & np.isfinite(sub_end)
+        other = running & (e.is_gpu[rows] != gpu_side[:, None])
+        if not other.any():
+            return np.zeros(rows.size, dtype=bool)
+        safe_task = np.where(other, sub_task, 0)
+        rows_col = rows[:, None]
+        new_time = np.where(
+            gpu_side[:, None],
+            e.gpu[rows_col, safe_task],
+            e.cpu[rows_col, safe_task],
+        )
+        improving = other & (t[rows][:, None] + new_time < sub_end - TIME_EPS)
+        found = improving.any(axis=1)
+        if not found.any():
+            return found
+        fr = np.flatnonzero(found)
+        imp = improving[fr]
+        stc = safe_task[fr]
+        k_prio = np.where(imp, e.prio[rows[fr][:, None], stc], -np.inf)
+        k_end = np.where(imp, sub_end[fr], -np.inf)
+        if self.victim_rule == "priority":
+            k1, k2 = k_prio, k_end
+        else:
+            k1, k2 = k_end, k_prio
+        m1 = k1.max(axis=1)
+        tie1 = imp & (k1 == m1[:, None])
+        k2m = np.where(tie1, k2, -np.inf)
+        m2 = k2m.max(axis=1)
+        tie2 = tie1 & (k2m == m2[:, None])
+        cand_idx = np.where(tie2, stc, e.n)
+        vtask = cand_idx.min(axis=1)
+        vcol = (tie2 & (stc == vtask[:, None])).argmax(axis=1)
+
+        rr = rows[fr]
+        ss = slots[fr]
+        ar = np.arange(fr.size)
+        vend = sub_end[fr][ar, vcol]
+        vstart = e.w_start[rr, vcol]
+        ndur = new_time[fr][ar, vcol]
+        now = t[rr]
+
+        e.records.append(rr, vcol, vtask, vstart, now, True)
+        sp = e._sp_chunks
+        sp["rows"].append(rr)
+        sp["tasks"].append(vtask)
+        sp["vslots"].append(vcol)
+        sp["nslots"].append(ss)
+        sp["times"].append(now)
+        sp["olds"].append(vend)
+        sp["news"].append(now + ndur)
+
+        e.w_end[rr, vcol] = np.inf
+        e.w_task[rr, vcol] = -1
+        e.stats.aborts += int(rr.size)
+        if e.anchor_stale:
+            # The scalar DAG loop leaves the victim's old completion in
+            # its heap and lets it anchor a (possibly empty) window.
+            for b, end in zip(rr.tolist(), vend.tolist()):
+                heapq.heappush(e.phantoms.setdefault(b, []), end)
+        e._start(rr, ss, vtask, now, ndur)
+        progress[rr] = True
+        return found
+
+    # -- settle pass -------------------------------------------------------
+
+    def serve_pass(
+        self, t: np.ndarray, snapshot: np.ndarray, progress: np.ndarray
+    ) -> None:
+        """Serve one pass over the snapshot, in service order.
+
+        Each *sub-iteration* serves at most one slot per row — rows at
+        different service positions advance together.
+
+        A failed empty-queue poll is stateless, and the queue cannot
+        refill mid-settle, so once a row's poll of one resource class
+        comes up empty every later poll of that class in the same pass
+        must fail too: those slots are bulk-skipped (the class is marked
+        *dead* for the rest of the pass), charging their ``pick()``
+        calls to the stats in one add.  This collapses the
+        empty-queue tail — per pass each row performs at most one
+        meaningful poll per class plus its queue pops.
+        """
+        e = self.e
+        cols = e._cols
+        is_gpu = e.is_gpu
+        ptr = np.zeros(e.B, dtype=np.int64)
+        dead_cpu = np.zeros(e.B, dtype=bool)
+        dead_gpu = np.zeros(e.B, dtype=bool)
+        any_dead = False
+        while True:
+            eligible = snapshot & (cols >= ptr[:, None])
+            if any_dead:
+                eligible &= ~(is_gpu & dead_gpu[:, None])
+                eligible &= is_gpu | ~dead_cpu[:, None]
+            serving = eligible.any(axis=1)
+            if not serving.any():
+                break
+            slot_of = eligible.argmax(axis=1)
+            rset = np.flatnonzero(serving)
+            svec = slot_of[rset]
+            e.stats.picks += rset.size
+            gpu_side = is_gpu[rset, svec]
+            has_queue = self._queue_nonempty(rset)
+            if has_queue.any():
+                sel = np.flatnonzero(has_queue)
+                pr, ps, pg = rset[sel], svec[sel], gpu_side[sel]
+                tasks, durations = self._pop_queue(pr, pg)
+                e._start(pr, ps, tasks, t[pr], durations)
+                progress[pr] = True
+            if not has_queue.all():
+                sel = np.flatnonzero(~has_queue)
+                er, es, eg = rset[sel], svec[sel], gpu_side[sel]
+                unset = np.isnan(e.first_idle[er])
+                if unset.any():
+                    e.first_idle[er[unset]] = t[er[unset]]
+                if self.migrate:
+                    spoliated = self._try_spoliate(er, es, eg, t, progress)
+                else:
+                    spoliated = np.zeros(er.size, dtype=bool)
+                failed = ~spoliated
+                if failed.any():
+                    fr, fs, fg = er[failed], es[failed], eg[failed]
+                    dead_gpu[fr[fg]] = True
+                    dead_cpu[fr[~fg]] = True
+                    any_dead = True
+                    # Charge the skipped same-class polls of this pass.
+                    same = is_gpu[fr] == fg[:, None]
+                    skipped = snapshot[fr] & (cols > fs[:, None]) & same
+                    e.stats.picks += int(skipped.sum())
+            ptr[rset] = svec + 1
+
+
+class HeftKernel:
+    """Earliest-finish-time HEFT as an array kernel (DAG mode).
+
+    The scalar policy commits each task to a worker *at announce time*
+    — per class, the least ``(finish, index)`` over an availability
+    heap, then CPUs-before-GPUs across classes — and each worker drains
+    its own FIFO queue.  Here availability is a ``(B, W)`` array (the
+    per-class argmin in slot space reproduces the heap's index
+    tie-break, because slots within a class are index-ordered), and the
+    FIFOs are array-encoded linked lists (``q_head``/``q_tail`` per
+    slot, ``q_next`` per task).  HEFT never spoliates, so a settle is
+    one serving pass plus one all-fail pass, exactly like the scalar
+    loop's.
+    """
+
+    name = "heft"
+
+    def bind(self, engine) -> None:
+        self.e = e = engine
+        if e.static:
+            raise ValueError(
+                "HeftKernel drives the online DAG policy; independent "
+                "instances go through repro.schedulers.batch"
+            )
+        B, n, W = e.B, e.n, e.W
+        self.avail = np.zeros((B, W))
+        self.q_head = np.full((B, W), -1, dtype=np.int64)
+        self.q_tail = np.full((B, W), -1, dtype=np.int64)
+        self.q_next = np.full((B, n), -1, dtype=np.int64)
+
+    def on_ready(self, rows: np.ndarray, tasks: np.ndarray, t: np.ndarray) -> None:
+        if rows.size == 0:
+            return
+        # Commitment is sequential within a row (each choice moves the
+        # availability the next choice reads), so walk announce
+        # positions in lockstep: the k-th new task of every row commits
+        # together.
+        first_ix, _, counts, _ = _row_groups(rows)
+        for k in range(int(counts.max())):
+            sel = first_ix[counts > k] + k
+            self._commit(rows[sel], tasks[sel], t)
+
+    def _commit(self, rr: np.ndarray, tk: np.ndarray, t: np.ndarray) -> None:
+        """Choose a worker for one task per row; rows are unique."""
+        e = self.e
+        avail = self.avail[rr]  # (K, W)
+        now = t[rr][:, None]
+        is_gpu = e.is_gpu[rr]
+        dur = np.where(is_gpu, e.gpu[rr, tk][:, None], e.cpu[rr, tk][:, None])
+        # AvailabilityHeap.best_finish: an idle worker (avail <= now)
+        # finishes at now + duration, a busy one at avail + duration —
+        # np.where selects the exact operand, so both branches are the
+        # scalar's own addition.
+        fin = np.where(avail <= now, now, avail) + dur
+        ar = np.arange(rr.size)
+        fin_cpu = np.where(e.exists[rr] & ~is_gpu, fin, np.inf)
+        cpu_slot = fin_cpu.argmin(axis=1)  # first min = smallest index
+        best_cpu = fin_cpu[ar, cpu_slot]
+        fin_gpu = np.where(is_gpu, fin, np.inf)
+        gpu_slot = fin_gpu.argmin(axis=1)
+        best_gpu = fin_gpu[ar, gpu_slot]
+        # Cross-class key is (finish, CPUs-before-GPUs, index): a GPU
+        # wins only on strictly smaller finish.
+        choose_gpu = np.isfinite(best_gpu) & (
+            ~np.isfinite(best_cpu) | (best_gpu < best_cpu)
+        )
+        slot = np.where(choose_gpu, gpu_slot, cpu_slot)
+        self.avail[rr, slot] = np.where(choose_gpu, best_gpu, best_cpu)
+        # FIFO push onto the chosen worker's queue.
+        tail = self.q_tail[rr, slot]
+        has = tail >= 0
+        self.q_next[rr[has], tail[has]] = tk[has]
+        hr = ~has
+        self.q_head[rr[hr], slot[hr]] = tk[hr]
+        self.q_tail[rr, slot] = tk
+
+    def serve_pass(
+        self, t: np.ndarray, snapshot: np.ndarray, progress: np.ndarray
+    ) -> None:
+        e = self.e
+        e.stats.picks += int(snapshot.sum())
+        served = snapshot & (self.q_head >= 0)
+        rows, slots = np.nonzero(served)  # row-major = service order
+        if rows.size:
+            tk = self.q_head[rows, slots]
+            nxt = self.q_next[rows, tk]
+            self.q_head[rows, slots] = nxt
+            drained = nxt < 0
+            self.q_tail[rows[drained], slots[drained]] = -1
+            dur = np.where(
+                e.is_gpu[rows, slots], e.gpu[rows, tk], e.cpu[rows, tk]
+            )
+            e._start_multi(rows, slots, tk, t[rows], dur)
+            # task_started anchors availability at the true finish.
+            self.avail[rows, slots] = np.maximum(
+                self.avail[rows, slots], t[rows] + dur
+            )
+            progress[rows] = True
+        failed = (snapshot & ~served).any(axis=1)
+        unset = failed & np.isnan(e.first_idle)
+        if unset.any():
+            e.first_idle[unset] = t[unset]
+
+
+class DualHPKernel:
+    """Online DualHP (dual-queue λ pack) as an array kernel (DAG mode).
+
+    The scalar policy pools announced tasks, and on the first poll after
+    an announce re-plans the whole pool: binary-search the smallest
+    feasible λ (to ``ONLINE_RTOL``) where *feasible* means every task
+    packs onto a worker below ``2λ`` total load — forced tasks first
+    (the other resource exceeds λ), then acceleration-ordered optionals
+    on GPU with failures overflowing to CPU — and split the pool into a
+    CPU and a GPU queue, each drained best-priority-first.  Here the
+    pool, arrival stamps and both queues are ``(B, n)`` arrays; the
+    search runs in masked lockstep with per-row ``lo``/``hi`` floats
+    updated only on that row's own trajectory, so every λ midpoint is
+    the scalar's own.  DualHP never spoliates.
+    """
+
+    name = "dualhp"
+
+    def bind(self, engine) -> None:
+        self.e = e = engine
+        if e.static:
+            raise ValueError(
+                "DualHPKernel drives the online DAG policy; independent "
+                "instances go through repro.schedulers.batch"
+            )
+        B, n = e.B, e.n
+        self.pool = np.zeros((B, n), dtype=bool)
+        self.arrival = np.zeros((B, n), dtype=np.int64)
+        self.counter = np.zeros(B, dtype=np.int64)
+        self.dirty = np.zeros(B, dtype=bool)
+        # Class queues stored in pop order (best priority first, FIFO
+        # within ties); ptr..len is the live window.
+        self.cpu_q = np.zeros((B, n), dtype=np.int64)
+        self.gpu_q = np.zeros((B, n), dtype=np.int64)
+        self.cpu_len = np.zeros(B, dtype=np.int64)
+        self.gpu_len = np.zeros(B, dtype=np.int64)
+        self.cpu_ptr = np.zeros(B, dtype=np.int64)
+        self.gpu_ptr = np.zeros(B, dtype=np.int64)
+
+    def on_ready(self, rows: np.ndarray, tasks: np.ndarray, t: np.ndarray) -> None:
+        if rows.size == 0:
+            return
+        _, urows, counts, offsets = _row_groups(rows)
+        self.arrival[rows, tasks] = self.counter[rows] + offsets
+        self.pool[rows, tasks] = True
+        self.counter[urows] += counts
+        self.dirty[urows] = True
+
+    def serve_pass(
+        self, t: np.ndarray, snapshot: np.ndarray, progress: np.ndarray
+    ) -> None:
+        e = self.e
+        e.stats.picks += int(snapshot.sum())
+        # The scalar policy re-plans inside the first pick() after an
+        # announce — i.e. at the head of the first pass that polls it.
+        replan = snapshot.any(axis=1) & self.dirty
+        if replan.any():
+            self._reassign(np.flatnonzero(replan), t)
+        # Service order is GPUs first, then CPUs; the j-th idle slot of
+        # a class pops the j-th remaining entry of that class's queue.
+        for gpu_side in (True, False):
+            if gpu_side:
+                cls = snapshot & e.is_gpu
+                q, qlen, qptr = self.gpu_q, self.gpu_len, self.gpu_ptr
+                dur_src = e.gpu
+            else:
+                cls = snapshot & e.exists & ~e.is_gpu
+                q, qlen, qptr = self.cpu_q, self.cpu_len, self.cpu_ptr
+                dur_src = e.cpu
+            rows, slots = np.nonzero(cls)
+            if rows.size == 0:
+                continue
+            _, _, _, offsets = _row_groups(rows)
+            qpos = qptr[rows] + offsets
+            ok = qpos < qlen[rows]
+            if ok.any():
+                sr, ss = rows[ok], slots[ok]
+                tk = q[sr, qpos[ok]]
+                _, su, sc, _ = _row_groups(sr)
+                qptr[su] += sc
+                self.pool[sr, tk] = False
+                e._start_multi(sr, ss, tk, t[sr], dur_src[sr, tk])
+                progress[su] = True
+            if not ok.all():
+                fr = np.unique(rows[~ok])
+                unset = np.isnan(e.first_idle[fr])
+                if unset.any():
+                    e.first_idle[fr[unset]] = t[fr[unset]]
+
+    # -- re-planning -------------------------------------------------------
+
+    def _reassign(self, rs: np.ndarray, t: np.ndarray) -> None:
+        """Rebuild both queues of rows *rs* from their pools at time t."""
+        e = self.e
+        self.dirty[rs] = False
+        w_end = e.w_end[rs]
+        running = np.isfinite(w_end)  # nonexistent slots carry +inf too
+        rem = np.where(running, np.maximum(w_end - t[rs, None], 0.0), 0.0)
+        pool = self.pool[rs]
+        has = pool.any(axis=1)
+        if not has.all():
+            empty = rs[~has]
+            self.cpu_len[empty] = 0
+            self.cpu_ptr[empty] = 0
+            self.gpu_len[empty] = 0
+            self.gpu_ptr[empty] = 0
+            keep = np.flatnonzero(has)
+            rs, rem, pool = rs[keep], rem[keep], pool[keep]
+            if rs.size == 0:
+                return
+        base = rem.max(axis=1)
+        # Pool in the scalar's main-loop order: by acceleration factor,
+        # then priority, then arrival — padded to (R, K).
+        pr, pt = np.nonzero(pool)
+        gr = rs[pr]
+        acc = e.cpu[gr, pt] / e.gpu[gr, pt]
+        order = np.lexsort(
+            (self.arrival[gr, pt], -e.prio[gr, pt], -acc, pr)
+        )
+        pr, pt = pr[order], pt[order]
+        _, _, counts, offsets = _row_groups(pr)
+        R, K = rs.size, int(counts.max())
+        tidx = np.full((R, K), -1, dtype=np.int64)
+        tidx[pr, offsets] = pt
+        valid = tidx >= 0
+        safe = np.where(valid, tidx, 0)
+        grows = rs[:, None]
+        dc = np.where(valid, e.cpu[grows, safe], 0.0)
+        dg = np.where(valid, e.gpu[grows, safe], 0.0)
+        # hi = base + max(sum of min-times in pool order, max min-time):
+        # the cumsum reproduces the scalar's sequential sum (the zero
+        # padding sits at the tail and adds exactly nothing).
+        mint = np.minimum(dc, dg)
+        total = np.cumsum(mint, axis=1)[:, -1]
+        maxmin = np.max(np.where(valid, mint, -np.inf), axis=1)
+        hi = base + np.maximum(total, maxmin)
+        gsl = e.is_gpu[rs]
+        csl = e.exists[rs] & ~e.is_gpu[rs]
+        feas = self._try(rem, gsl, csl, dc, dg, valid, hi)
+        while not feas.all():  # pragma: no cover - scalar parity path
+            bad = np.flatnonzero(~feas)
+            hi[bad] *= 2.0
+            feas[bad] = self._try(
+                rem[bad], gsl[bad], csl[bad], dc[bad], dg[bad],
+                valid[bad], hi[bad],
+            )
+        lo = np.zeros(R)
+        while True:
+            act = (hi - lo) > ONLINE_RTOL * hi
+            if not act.any():
+                break
+            ai = np.flatnonzero(act)
+            mid = 0.5 * (lo[ai] + hi[ai])
+            ok = self._try(
+                rem[ai], gsl[ai], csl[ai], dc[ai], dg[ai], valid[ai], mid
+            )
+            lo[ai[~ok]] = mid[~ok]
+            hi[ai[ok]] = mid[ok]
+        # The accepted assignment is always _try(hi)'s — recompute it
+        # once at the converged λ and materialize the queues.
+        _, gpu_assign = self._try(
+            rem, gsl, csl, dc, dg, valid, hi, want_assignment=True
+        )
+        self._build_queues(rs, tidx, valid, gpu_assign)
+
+    def _try(
+        self,
+        rem: np.ndarray,
+        gslots: np.ndarray,
+        cslots: np.ndarray,
+        dc: np.ndarray,
+        dg: np.ndarray,
+        valid: np.ndarray,
+        lam: np.ndarray,
+        *,
+        want_assignment: bool = False,
+    ):
+        """One λ feasibility pack over (R, K) pools; loads start at rem.
+
+        Mirrors ``DualHPPolicy._try``: tasks in acceleration order, a
+        task whose other-resource time exceeds λ is forced to its fast
+        class (both exceeding → infeasible), optionals greedily pack on
+        the least-loaded GPU under the ``2λ`` limit and overflow to the
+        CPU pass afterwards.  Rows that fail any forced or overflow
+        pack go infeasible and stop evolving.
+        """
+        R, K = valid.shape
+        limit = 2.0 * lam
+        loads = rem.copy()
+        feasible = np.ones(R, dtype=bool)
+        overflow = np.zeros((R, K), dtype=bool)
+        gpu_assign = np.zeros((R, K), dtype=bool)
+        for k in range(K):
+            act = feasible & valid[:, k]
+            if not act.any():
+                continue
+            ai = np.flatnonzero(act)
+            dck, dgk = dc[ai, k], dg[ai, k]
+            lamk = lam[ai]
+            fg = dck > lamk
+            fc = dgk > lamk
+            both = fg & fc
+            if both.any():
+                feasible[ai[both]] = False
+                keep = ~both
+                ai, dck, dgk, fg, fc = (
+                    ai[keep], dck[keep], dgk[keep], fg[keep], fc[keep]
+                )
+                if ai.size == 0:
+                    continue
+            try_gpu = ~fc  # forced-CPU tasks never try the GPU side
+            gi = ai[try_gpu]
+            ok_gpu = np.zeros(ai.size, dtype=bool)
+            if gi.size:
+                lg = np.where(gslots[gi], loads[gi], np.inf)
+                slot = lg.argmin(axis=1)  # (load, index) heap order
+                can = lg[np.arange(gi.size), slot] + dgk[try_gpu] <= limit[gi]
+                ok_gpu[try_gpu] = can
+                wi = gi[can]
+                loads[wi, slot[can]] += dgk[try_gpu][can]
+                gpu_assign[wi, k] = True
+            failed_gpu = try_gpu & ~ok_gpu
+            feasible[ai[failed_gpu & fg]] = False
+            overflow[ai[failed_gpu & ~fg], k] = True
+            ci = ai[fc]
+            if ci.size:
+                lc = np.where(cslots[ci], loads[ci], np.inf)
+                slot = lc.argmin(axis=1)
+                can = lc[np.arange(ci.size), slot] + dck[fc] <= limit[ci]
+                wi = ci[can]
+                loads[wi, slot[can]] += dck[fc][can]
+                feasible[ci[~can]] = False
+        # Optionals that missed the GPU cut pack onto CPUs, same order.
+        for k in range(K):
+            act = feasible & overflow[:, k]
+            if not act.any():
+                continue
+            ai = np.flatnonzero(act)
+            dck = dc[ai, k]
+            lc = np.where(cslots[ai], loads[ai], np.inf)
+            slot = lc.argmin(axis=1)
+            can = lc[np.arange(ai.size), slot] + dck <= limit[ai]
+            wi = ai[can]
+            loads[wi, slot[can]] += dck[can]
+            feasible[ai[~can]] = False
+        if want_assignment:
+            return feasible, gpu_assign
+        return feasible
+
+    def _build_queues(
+        self,
+        rs: np.ndarray,
+        tidx: np.ndarray,
+        valid: np.ndarray,
+        gpu_assign: np.ndarray,
+    ) -> None:
+        """Split the pool into class queues, stored in pop order."""
+        e = self.e
+        mr, mk = np.nonzero(valid)
+        tk = tidx[mr, mk]
+        grows = rs[mr]
+        pri = e.prio[grows, tk]
+        arr = self.arrival[grows, tk]
+        gq = gpu_assign[mr, mk]
+        for side in (True, False):
+            q, qlen, qptr = (
+                (self.gpu_q, self.gpu_len, self.gpu_ptr)
+                if side
+                else (self.cpu_q, self.cpu_len, self.cpu_ptr)
+            )
+            qptr[rs] = 0
+            qlen[rs] = 0
+            sel = gq if side else ~gq
+            rr, tt = mr[sel], tk[sel]
+            if rr.size == 0:
+                continue
+            # Scalar pop order: best (priority, -arrival) first.
+            order = np.lexsort((arr[sel], -pri[sel], rr))
+            rr, tt = rr[order], tt[order]
+            _, urows, counts, offsets = _row_groups(rr)
+            q[rs[rr], offsets] = tt
+            qlen[rs[urows]] = counts
+
+
+#: DAG-mode kernel factories by campaign algorithm prefix.
+DAG_KERNELS = {
+    "heteroprio": HeteroPrioKernel,
+    "heft": HeftKernel,
+    "dualhp": DualHPKernel,
+}
+
+
+def make_dag_kernel(
+    algorithm: str, *, spoliation: bool = True, victim_rule: str = "priority"
+):
+    """Instantiate the DAG-mode kernel for a campaign algorithm prefix.
+
+    ``spoliation``/``victim_rule`` only parameterize HeteroPrio — the
+    scalar HEFT and DualHP policies never spoliate, so their kernels
+    take no knobs.
+    """
+    if algorithm == "heteroprio":
+        return HeteroPrioKernel(migrate=spoliation, victim_rule=victim_rule)
+    try:
+        return DAG_KERNELS[algorithm]()
+    except KeyError:
+        raise ValueError(
+            f"no batch kernel for algorithm {algorithm!r}; expected one of "
+            f"{sorted(DAG_KERNELS)}"
+        ) from None

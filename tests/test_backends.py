@@ -69,15 +69,16 @@ class TestResolveBackend:
 
 class TestPlanUnits:
     def test_batch_groups_become_single_units(self):
-        # The dag batch key includes the size, so the heteroprio rows
-        # pair up per size: two groups of two at min_batch=2.
+        # The dag batch key includes the size and the algorithm prefix,
+        # so the heteroprio rows pair up per size (mixed ranking schemes
+        # share one kernel) while each heft-avg row is a group of one.
         specs = fig7_specs()
         units, fallback_policy, fallback_small = plan_units(specs, min_batch=2)
         batch_units = [u for u in units if u.batched]
         assert len(batch_units) == 2
         assert all(len(u.indices) == 2 for u in batch_units)
-        assert fallback_policy == 2  # the two heft-avg rows
-        assert fallback_small == 0
+        assert fallback_policy == {}  # every paper policy has a kernel now
+        assert fallback_small == 2  # the two singleton heft-avg groups
         scalar = [u for u in units if not u.batched]
         assert all(len(u.indices) == 1 for u in scalar)
         # Every index appears exactly once across all units.
@@ -85,20 +86,34 @@ class TestPlanUnits:
         assert seen == list(range(len(specs)))
 
     def test_small_groups_fall_back_with_a_count(self):
-        # At the default MIN_BATCH the per-size pairs are too small.
+        # At the default MIN_BATCH the per-size groups are too small.
         specs = fig7_specs()
         assert MIN_BATCH > 2
         units, fallback_policy, fallback_small = plan_units(specs)
         assert all(not u.batched for u in units)
-        assert fallback_small == 4
-        assert fallback_policy == 2
+        assert fallback_small == 6
+        assert fallback_policy == {}
+
+    def test_policy_fallback_breaks_down_by_algorithm(self):
+        # Bucketed HeteroPrio has no batch kernel; its rows are counted
+        # against their algorithm name, not a bare total.
+        specs = fig7_specs() + [
+            InstanceSpec(workload="qr", size=n, algorithm="buckets-avg")
+            for n in (4, 5)
+        ]
+        units, fallback_policy, fallback_small = plan_units(specs, min_batch=2)
+        assert fallback_policy == {"buckets-avg": 2}
+        assert fallback_small == 2
+        seen = sorted(i for u in units for i in u.indices)
+        assert seen == list(range(len(specs)))
 
     def test_batch_off_counts_nothing(self):
         units, fallback_policy, fallback_small = plan_units(
             fig7_specs(), batch=False
         )
         assert all(not u.batched for u in units)
-        assert fallback_policy == fallback_small == 0
+        assert fallback_policy == {}
+        assert fallback_small == 0
 
 
 class TestStealPolicy:
@@ -186,19 +201,35 @@ class TestRunCampaignBackends:
             assert canon(a.metrics) == canon(b.metrics)
 
     def test_stats_count_fallback_reasons(self):
+        with_buckets = fig7_specs() + [
+            InstanceSpec(workload="qr", size=n, algorithm="buckets-avg")
+            for n in (4, 5)
+        ]
         outcome = run_campaign(
-            fig7_specs(), jobs=1, backend="serial", min_batch=2
+            with_buckets, jobs=1, backend="serial", min_batch=2
         )
         assert outcome.stats.fallback_policy == 2
-        assert outcome.stats.fallback_small == 0
-        assert outcome.stats.batched == 4  # two per-size pairs ran lockstep
+        assert outcome.stats.fallback_by_algorithm == {"buckets-avg": 2}
+        assert outcome.stats.fallback_small == 2  # singleton heft-avg groups
+        assert outcome.stats.batched == 4  # two heteroprio pairs ran lockstep
         summary = outcome.stats.summary()
-        assert "policy-unsupported" in summary
+        assert "policy-unsupported [buckets-avg: 2]" in summary
         assert "[serial]" in summary
         small = run_campaign(fig7_specs(), jobs=1, backend="serial")
         assert small.stats.batched == 0
-        assert small.stats.fallback_small == 4
+        assert small.stats.fallback_policy == 0
+        assert small.stats.fallback_by_algorithm == {}
+        assert small.stats.fallback_small == 6
         assert "small-group" in small.stats.summary()
+
+    def test_paper_grids_have_zero_policy_fallback(self):
+        # The ISSUE-9 invariant: every fig6/fig7 paper policy has a
+        # batch kernel, so nothing on the committed grids ever falls
+        # back for policy reasons.
+        for grid in (fig6_specs, fig7_specs):
+            outcome = run_campaign(grid(), jobs=1, backend="serial", min_batch=2)
+            assert outcome.stats.fallback_policy == 0, grid.__name__
+            assert outcome.stats.fallback_by_algorithm == {}, grid.__name__
 
     def test_unknown_backend_rejected_up_front(self):
         with pytest.raises(ValueError, match="unknown backend"):

@@ -338,10 +338,18 @@ def test_committed_report_has_batch_cases():
     batch_cases = {
         k: v for k, v in committed["cases"].items() if k.startswith("batch:")
     }
-    assert len(batch_cases) >= 4
+    assert len(batch_cases) >= 6
     for payload in batch_cases.values():
         assert payload["batch_events_per_sec"] > 0
-        assert payload["batch_speedup"] >= 5.0  # the PR's throughput target
+        # The batch floor is >= 3x per policy at B >= 128 (the HEFT and
+        # DualHP rollout target); the scalar reference now reuses one
+        # warmed graph build across sample rows, so the denominators are
+        # tighter than the original >= 5x HeteroPrio-only pin.
+        assert payload["batch_speedup"] >= 3.0
+    # The paper-policy roster is covered: HeteroPrio, HEFT and DualHP
+    # all appear as batch cases in the committed baseline.
+    for policy in ("heteroprio", "heft", "dualhp"):
+        assert any(f":{policy}:" in k for k in batch_cases), policy
 
 
 def test_cli_baseline_skips_cases_without_pre_pr_wall(tmp_path, capsys):

@@ -163,13 +163,16 @@ class TestGc:
         assert cache.get(spec(5)) is not None
 
     def test_gc_keeps_shim_valid_legacy_entries(self, tmp_path):
-        # A legacy (base-salt) entry on a pristine tree is still
-        # servable through the migration shim: gc must not eat it.
+        # A legacy (base-salt) entry whose closure is still pristine
+        # against the frozen snapshot is servable through the migration
+        # shim: gc must not eat it.  Use the buckets family — the one
+        # dag closure untouched by the batch-kernels rewrite.
+        bspec = InstanceSpec(workload="qr", size=4, algorithm="buckets-avg")
         legacy = ResultCache(tmp_path, selective=False)
-        legacy.put(spec(4), {"makespan": 1.0})
+        legacy.put(bspec, {"makespan": 1.0})
         cache = ResultCache(tmp_path)
         assert cache.gc() == 0
-        entry = cache.get(spec(4))
+        entry = cache.get(bspec)
         assert entry is not None
         assert cache.stats.migrated == 1
 

@@ -62,9 +62,12 @@ class TestClosures:
         assert "repro/schedulers/online/heteroprio.py" in hp
         assert "repro/schedulers/online/heteroprio.py" not in heft
         assert "repro/schedulers/online/heft.py" in heft
-        # The batch engine rides only with heteroprio-prefixed policies.
+        # The batch engine rides with every batch-routable dag family
+        # (HeteroPrio, HEFT, DualHP); the buckets family stays scalar.
         assert "repro/simulator/batch.py" in hp
-        assert "repro/simulator/batch.py" not in heft
+        assert "repro/simulator/batch.py" in heft
+        buckets = salts.dependency_closure(salts.spec_roots(spec_dag("buckets-avg")))
+        assert "repro/simulator/batch.py" not in buckets
 
     def test_independent_mode_skips_the_dag_simulator(self):
         ind = salts.dependency_closure(salts.spec_roots(spec_ind("heft")))
@@ -109,22 +112,33 @@ class TestSalts:
 
 class TestMigrationShim:
     def test_tree_is_pristine_against_the_frozen_snapshot(self):
-        # The committed legacy snapshot matches the committed tree, so
-        # every closure is pristine for the frozen CODE_VERSION.
-        roots = salts.spec_roots(spec_dag("heteroprio-avg"))
-        assert salts.closure_is_pristine(roots, base=CODE_VERSION)
+        # The legacy snapshot is frozen at the pre-batch-kernels tree.
+        # Closures that avoid the batch modules (the buckets family)
+        # are still pristine; closures that route through the rewritten
+        # batch engine are legitimately re-keyed and must refuse the
+        # shim.
+        buckets = salts.spec_roots(spec_dag("buckets-avg"))
+        assert salts.closure_is_pristine(buckets, base=CODE_VERSION)
+        hp = salts.spec_roots(spec_dag("heteroprio-avg"))
+        assert not salts.closure_is_pristine(hp, base=CODE_VERSION)
 
     def test_pristine_is_per_closure_after_an_edit(self):
         salts.set_fingerprint_override(
-            {"repro/schedulers/online/heft.py": "deadbeef" * 8}
+            {"repro/schedulers/online/heteroprio_buckets.py": "deadbeef" * 8}
         )
-        hp = salts.spec_roots(spec_dag("heteroprio-avg"))
-        heft = salts.spec_roots(spec_dag("heft-avg"))
-        assert salts.closure_is_pristine(hp, base=CODE_VERSION)
-        assert not salts.closure_is_pristine(heft, base=CODE_VERSION)
+        # The cholesky generator closure is untouched by the override
+        # (and by the batch-kernels rewrite), the buckets policy
+        # closure is not.
+        assert salts.closure_is_pristine(
+            ("repro/dag/cholesky.py",), base=CODE_VERSION
+        )
+        buckets = salts.spec_roots(spec_dag("buckets-avg"))
+        assert not salts.closure_is_pristine(buckets, base=CODE_VERSION)
 
     def test_wrong_base_version_retires_the_shim(self):
-        roots = salts.spec_roots(spec_dag("heteroprio-avg"))
+        # buckets-avg is pristine under the frozen CODE_VERSION, so the
+        # refusal here can only come from the base-version check.
+        roots = salts.spec_roots(spec_dag("buckets-avg"))
         assert not salts.closure_is_pristine(roots, base="1999.01-1")
 
 
@@ -176,7 +190,10 @@ class TestSelectiveInvalidationEndToEnd:
             assert canon(a.metrics) == canon(b.metrics)
 
     def test_legacy_global_salt_entries_migrate_when_pristine(self, tmp_path):
-        specs = [spec_dag("heteroprio-avg"), spec_dag("heft-avg")]
+        # The buckets family is the one dag closure still pristine
+        # against the frozen legacy snapshot (it avoids the rewritten
+        # batch modules), so it is the one that can exercise the shim.
+        specs = [spec_dag("buckets-avg"), spec_dag("buckets-min")]
         legacy = ResultCache(tmp_path, selective=False)  # pre-PR layout
         seeded = run_campaign(specs, jobs=1, cache=legacy)
         assert seeded.stats.executed == len(specs)
