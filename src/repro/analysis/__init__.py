@@ -17,8 +17,16 @@ story rests on:
   normalized AST of every salted module into a committed manifest
   (``analysis/fingerprints.json``); ``repro lint --cache-gate`` fails
   when a fingerprint drifts without a bump.
+* **Whole-program flow invariants** — the per-statement rules cannot
+  see nondeterminism laundered through helpers or containers, salt
+  tables drifting out of sync with the call graph, or concurrency
+  hazards that only exist across function boundaries.
+  :mod:`repro.analysis.flow` runs interprocedural checks over one
+  shared program model (:mod:`repro.analysis.callgraph` +
+  :mod:`repro.analysis.summaries`), surfaced as ``repro analyze``.
 
-Entry point: ``repro lint`` (see :mod:`repro.analysis.cli`).
+Entry points: ``repro lint`` and ``repro analyze`` (see
+:mod:`repro.analysis.cli`).
 """
 
 from __future__ import annotations
@@ -32,6 +40,7 @@ from repro.analysis.fingerprint import (
     normalized_fingerprint,
     write_manifest,
 )
+from repro.analysis.flow import AnalysisReport, Finding, analyze_tree
 from repro.analysis.lint import (
     LintReport,
     Rule,
@@ -43,6 +52,8 @@ from repro.analysis.lint import (
 )
 
 __all__ = [
+    "AnalysisReport",
+    "Finding",
     "LintReport",
     "MANIFEST_PATH",
     "Rule",
@@ -50,6 +61,7 @@ __all__ = [
     "Suppression",
     "Violation",
     "all_rules",
+    "analyze_tree",
     "check_gate",
     "compute_fingerprints",
     "lint_paths",

@@ -41,6 +41,7 @@ __all__ = [
     "LintedFile",
     "LintReport",
     "register_rule",
+    "register_rule_ids",
     "all_rules",
     "lint_paths",
     "iter_python_files",
@@ -79,6 +80,18 @@ class Violation:
             f"{self.path}:{self.line}:{self.col}: "
             f"{self.severity} [{self.rule_id}] {self.message}{hint}"
         )
+
+    def payload(self) -> Dict[str, object]:
+        """JSON-ready record (stable key set, CI annotation contract)."""
+        return {
+            "rule": self.rule_id,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "fix_hint": self.fix_hint,
+        }
 
 
 @dataclass(frozen=True)
@@ -191,6 +204,18 @@ class Rule(abc.ABC):
 
 _REGISTRY: Dict[str, type] = {}
 
+#: Rule ids owned by analyses outside this engine (the whole-program
+#: checks in :mod:`repro.analysis.flow`).  They share the per-file
+#: suppression-comment contract (``disable=RULE -- reason``), so the
+#: engine must treat their suppressions as naming *known* rules rather
+#: than flagging ``bad-suppression``.
+_EXTERNAL_RULE_IDS: set[str] = set()
+
+
+def register_rule_ids(rule_ids: Iterable[str]) -> None:
+    """Mark *rule_ids* as valid suppression targets of another analysis."""
+    _EXTERNAL_RULE_IDS.update(rule_ids)
+
 
 def register_rule(rule_cls: type) -> type:
     """Class decorator: add *rule_cls* to the rule catalog."""
@@ -280,6 +305,21 @@ class LintReport:
         )
         return "\n".join(lines)
 
+    def to_payload(self) -> Dict[str, object]:
+        """Canonical JSON payload: sorted findings, stable key sets."""
+        key = lambda v: (v.path, v.line, v.col, v.rule_id, v.message)  # noqa: E731
+        return {
+            "ok": self.ok,
+            "files_checked": self.files_checked,
+            "violations": [v.payload() for v in sorted(self.violations, key=key)],
+            "suppressed": [
+                {**violation.payload(), "reason": sup.reason}
+                for violation, sup in sorted(
+                    self.suppressed, key=lambda pair: key(pair[0])
+                )
+            ],
+        }
+
 
 def iter_python_files(root: Path, paths: Sequence[str]) -> Iterator[Path]:
     """All ``.py`` files under ``root/<path>`` for each path, sorted."""
@@ -316,7 +356,11 @@ def lint_paths(
     if paths is None:
         paths = [p for p in DEFAULT_LINT_PATHS if (root / p).exists()]
     active_rules = list(all_rules() if rules is None else rules)
-    known_ids = {rule.rule_id for rule in active_rules} | set(_REGISTRY)
+    known_ids = (
+        {rule.rule_id for rule in active_rules}
+        | set(_REGISTRY)
+        | _EXTERNAL_RULE_IDS
+    )
     report = LintReport()
     for path in iter_python_files(root, paths):
         rel = path.relative_to(root).as_posix()

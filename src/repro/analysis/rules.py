@@ -16,9 +16,16 @@ from __future__ import annotations
 
 import ast
 import re
-from typing import Iterator
+from dataclasses import dataclass
+from typing import Iterator, Tuple
 
-from repro.analysis.lint import LintedFile, Rule, Violation, register_rule
+from repro.analysis.lint import (
+    LintedFile,
+    Rule,
+    Violation,
+    register_rule,
+    register_rule_ids,
+)
 
 __all__ = [
     "UnseededRandomRule",
@@ -26,6 +33,8 @@ __all__ = [
     "UnorderedIterationRule",
     "FloatEqualityRule",
     "MutableDefaultRule",
+    "FlowRuleInfo",
+    "FLOW_RULES",
 ]
 
 #: Module-level functions of :mod:`random` that mutate/read the hidden
@@ -97,6 +106,99 @@ _TIME_LIKE_EXACT = frozenset(
     {"start", "end", "makespan", "finish", "cpu_time", "gpu_time", "eft", "est"}
 )
 _TIME_LIKE_RE = re.compile(r"(^|_)(time|start|end|makespan|finish|eft|est)s?$")
+
+
+# -- whole-program (flow) rule catalog ----------------------------------------
+#
+# The interprocedural checks in :mod:`repro.analysis.flow` are not
+# per-statement :class:`Rule` subclasses — they need the whole-program
+# model — but they share the finding format and the per-file
+# suppression contract.  Their catalog lives here as data so ``repro
+# lint --list-rules`` can show one unified rule set and the lint engine
+# accepts their ids in ``disable=`` comments.
+
+
+@dataclass(frozen=True)
+class FlowRuleInfo:
+    """Catalog entry of one whole-program rule (see ``repro analyze``)."""
+
+    rule_id: str
+    severity: str
+    description: str
+    fix_hint: str
+
+
+FLOW_RULES: Tuple[FlowRuleInfo, ...] = (
+    FlowRuleInfo(
+        rule_id="flow-nondeterminism",
+        severity="error",
+        description=(
+            "a nondeterminism source (RNG/wall-clock/id()/os.environ/"
+            "set order) flows through calls and containers into a "
+            "cache-keyed result (reachable from execute_spec)"
+        ),
+        fix_hint=(
+            "derive the value from the spec/seed instead, keep it out of "
+            "returned results, or suppress with a reason explaining why the "
+            "value never reaches a cached payload comparison"
+        ),
+    ),
+    FlowRuleInfo(
+        rule_id="flow-salt-coverage",
+        severity="error",
+        description=(
+            "the execution closure derived from the call graph disagrees "
+            "with the curated salt roots in campaign/salts.py (stale root "
+            "or module executed without salt coverage)"
+        ),
+        fix_hint=(
+            "add the module to the matching root table in "
+            "repro/campaign/salts.py (or delete the stale root)"
+        ),
+    ),
+    FlowRuleInfo(
+        rule_id="async-blocking",
+        severity="error",
+        description=(
+            "blocking call (time.sleep, subprocess, synchronous file I/O) "
+            "executed on the event loop inside or beneath an async def"
+        ),
+        fix_hint=(
+            "await an async equivalent or move the call into "
+            "run_in_executor; suppress with a reason if the call is "
+            "provably bounded and loop-safe"
+        ),
+    ),
+    FlowRuleInfo(
+        rule_id="fork-unsafe-state",
+        severity="error",
+        description=(
+            "module-global state rebound by code reachable from a "
+            "multiprocessing worker entry (each forked worker mutates its "
+            "own copy — the processes silently diverge)"
+        ),
+        fix_hint=(
+            "pass the state through worker arguments or derive it "
+            "per-process; suppress with a reason if per-process state is "
+            "the design"
+        ),
+    ),
+    FlowRuleInfo(
+        rule_id="mp-shared-sync",
+        severity="error",
+        description=(
+            "thread-synchronisation primitive at module level of a module "
+            "reachable from multiprocessing workers (after fork it is "
+            "per-process, not shared)"
+        ),
+        fix_hint=(
+            "use multiprocessing primitives created by the parent and "
+            "passed to workers explicitly"
+        ),
+    ),
+)
+
+register_rule_ids(info.rule_id for info in FLOW_RULES)
 
 
 def _terminal_name(expr: ast.expr) -> str | None:

@@ -1,0 +1,635 @@
+"""Per-function flow summaries: nondeterminism taint, blocking, globals.
+
+Each function (or method) in the :class:`~repro.analysis.callgraph.ProgramModel`
+gets one :class:`FunctionSummary` describing the facts the whole-program
+checks in :mod:`repro.analysis.flow` consume:
+
+* which **nondeterminism sources** the body touches (global RNG state,
+  wall-clock reads, ``id()``/``hash()``, ``os.environ``, set-order
+  escapes) — the source tables are shared with the per-statement rules
+  in :mod:`repro.analysis.rules` so the two layers can never disagree
+  about what counts as nondeterministic;
+* whether a nondeterministic value **flows to the return value**, with
+  witness events for traces.  Taint propagates through assignments,
+  container literals/subscripts (a dict round-trip does not launder),
+  attribute stores, and calls: passing a tainted argument taints the
+  result conservatively, and a call to a known function whose summary
+  says *returns nondet* taints the result interprocedurally — the
+  cross-function part is a fixpoint over all summaries;
+* **sink hits**: ``.put(...)`` cache-store calls whose stored arguments
+  are tainted (the ``elapsed_s=`` keyword is exempt: it is the cache's
+  own wall-time telemetry field, stored beside results and excluded
+  from every result comparison);
+* non-awaited **blocking calls** (``time.sleep``, ``subprocess``,
+  synchronous file I/O) for the async-concurrency rule;
+* module-global **writes** (``global NAME`` rebinding) for the
+  fork-safety rule.
+
+The intraprocedural pass is flow-insensitive (one tainted-set fixpoint
+per body, statement order ignored), which over-approximates: a variable
+tainted anywhere is tainted everywhere.  That direction is the safe one
+for a CI gate, and per-file reasoned suppressions absorb the places
+where the over-approximation is by design (e.g. ``SimStats.wall_s``).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Sequence, Set, Tuple
+
+from repro.analysis.callgraph import MODULE_SCOPE, ModuleModel, ProgramModel
+from repro.analysis.rules import (
+    _GLOBAL_NP_RANDOM_FUNCS,
+    _GLOBAL_RANDOM_FUNCS,
+    _WALL_CLOCK_CALLS,
+)
+
+__all__ = [
+    "BlockingCall",
+    "FunctionSummary",
+    "SinkHit",
+    "SourceEvent",
+    "TaintWitness",
+    "build_summaries",
+]
+
+#: Taint-source kinds (stable; surfaced in finding messages).
+KIND_RNG = "rng-global"
+KIND_WALL_CLOCK = "wall-clock"
+KIND_IDENTITY = "identity"
+KIND_ENVIRON = "environ"
+KIND_SET_ORDER = "set-order"
+
+#: Kinds that fire on mere *presence* in the sink cone (global RNG
+#: mutates process-wide state; no value needs to escape).
+PRESENCE_KINDS = frozenset({KIND_RNG})
+
+#: Exact dotted names of blocking calls that must not run on an event
+#: loop thread.
+_BLOCKING_EXACT = frozenset(
+    {
+        "time.sleep",
+        "os.system",
+        "os.wait",
+        "os.waitpid",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "subprocess.Popen",
+        "socket.create_connection",
+        "urllib.request.urlopen",
+    }
+)
+
+#: Method terminals that denote synchronous file I/O regardless of the
+#: receiver's (statically unknown) type — the ``Path`` API.
+_BLOCKING_TERMINALS = frozenset(
+    {"read_text", "write_text", "read_bytes", "write_bytes"}
+)
+
+#: Thread-synchronisation constructors that are per-process after a
+#: fork: a module-level instance *looks* shared across multiprocessing
+#: workers but is not.
+MP_SYNC_CONSTRUCTORS = frozenset(
+    {
+        "threading.Lock",
+        "threading.RLock",
+        "threading.Condition",
+        "threading.Semaphore",
+        "threading.BoundedSemaphore",
+        "threading.Event",
+        "threading.Barrier",
+        "queue.Queue",
+        "queue.LifoQueue",
+        "queue.PriorityQueue",
+        "asyncio.Lock",
+        "asyncio.Event",
+        "asyncio.Condition",
+        "asyncio.Semaphore",
+        "asyncio.Queue",
+    }
+)
+
+#: The cache-store method name taint must never reach (positionally or
+#: by keyword), and the keyword argument exempt from the check.
+_SINK_METHOD = "put"
+_SINK_EXEMPT_KWARGS = frozenset({"elapsed_s"})
+
+#: Pseudo-variable standing for a function's return value.
+_RET = "<return>"
+
+#: Caps keeping witness sets (and trace output) bounded.
+_MAX_WITNESSES = 3
+_MAX_VIA = 8
+
+
+@dataclass(frozen=True)
+class SourceEvent:
+    """One nondeterminism source observed in a function body."""
+
+    kind: str
+    detail: str  # e.g. "time.perf_counter()" / "id()"
+    module: str  # src-relative path of the module it occurs in
+    lineno: int
+
+
+@dataclass(frozen=True)
+class TaintWitness:
+    """A source event plus the call chain its value travelled through.
+
+    ``via`` lists ``(callee fid, call lineno)`` hops from the function
+    holding the source outward to the summarised function — enough to
+    render *source → returned via f (line n) → …* traces.
+    """
+
+    source: SourceEvent
+    via: Tuple[Tuple[str, int], ...] = ()
+
+    def extended(self, callee: str, lineno: int) -> "TaintWitness":
+        if len(self.via) >= _MAX_VIA:
+            return self
+        return TaintWitness(source=self.source, via=self.via + ((callee, lineno),))
+
+
+@dataclass(frozen=True)
+class BlockingCall:
+    """A non-awaited blocking call (event-loop hazard when async)."""
+
+    dotted: str
+    lineno: int
+
+
+@dataclass(frozen=True)
+class SinkHit:
+    """A ``.put(...)`` store whose cached arguments carry taint."""
+
+    lineno: int
+    witnesses: Tuple[TaintWitness, ...]
+
+
+@dataclass(frozen=True)
+class FunctionSummary:
+    """Flow facts of one function, consumed by the whole-program checks."""
+
+    fid: str
+    is_async: bool
+    lineno: int
+    local_sources: Tuple[SourceEvent, ...]
+    returns_nondet: bool
+    return_witnesses: Tuple[TaintWitness, ...]
+    sink_hits: Tuple[SinkHit, ...]
+    blocking_calls: Tuple[BlockingCall, ...]
+    global_writes: Tuple[Tuple[str, int], ...]
+
+
+# -- source classification ----------------------------------------------------
+
+
+def classify_source(dotted: str, module: str, lineno: int) -> SourceEvent | None:
+    """The :class:`SourceEvent` of an external call, or ``None``."""
+    parts = dotted.split(".")
+    if len(parts) == 2 and parts[0] == "random" and parts[1] in _GLOBAL_RANDOM_FUNCS:
+        return SourceEvent(KIND_RNG, f"{dotted}()", module, lineno)
+    if (
+        len(parts) == 3
+        and parts[0] == "numpy"
+        and parts[1] == "random"
+        and parts[2] in _GLOBAL_NP_RANDOM_FUNCS
+    ):
+        return SourceEvent(KIND_RNG, f"{dotted}()", module, lineno)
+    if dotted in _WALL_CLOCK_CALLS:
+        return SourceEvent(KIND_WALL_CLOCK, f"{dotted}()", module, lineno)
+    if dotted in ("id", "hash"):
+        return SourceEvent(KIND_IDENTITY, f"{dotted}()", module, lineno)
+    if dotted == "os.getenv" or dotted.startswith("os.environ"):
+        return SourceEvent(KIND_ENVIRON, dotted, module, lineno)
+    return None
+
+
+def _is_set_expr(expr: ast.expr) -> bool:
+    if isinstance(expr, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Name):
+        return expr.func.id in ("set", "frozenset")
+    return False
+
+
+def classify_blocking(dotted: str, terminal: str) -> bool:
+    """Whether an external call is a blocking (event-loop-hostile) call."""
+    if dotted in _BLOCKING_EXACT:
+        return True
+    if terminal in _BLOCKING_TERMINALS:
+        return True
+    return dotted == "open"
+
+
+# -- intermediate representation ---------------------------------------------
+
+
+@dataclass(frozen=True)
+class _Flow:
+    """One dataflow fact: *targets* receive data from *uses*/*sources*/*calls*."""
+
+    targets: FrozenSet[str]
+    uses: FrozenSet[str]
+    sources: Tuple[SourceEvent, ...]
+    calls: Tuple[Tuple[str, int], ...]  # resolved (callee fid, lineno)
+
+
+@dataclass(frozen=True)
+class _Sink:
+    """One cache-store call: which names feed the cached arguments."""
+
+    lineno: int
+    uses: FrozenSet[str]
+
+
+@dataclass
+class _FunctionIR:
+    fid: str
+    is_async: bool
+    lineno: int
+    flows: List[_Flow] = field(default_factory=list)
+    sinks: List[_Sink] = field(default_factory=list)
+    sources: List[SourceEvent] = field(default_factory=list)
+    blocking: List[BlockingCall] = field(default_factory=list)
+    global_writes: List[Tuple[str, int]] = field(default_factory=list)
+
+
+def _root_name(expr: ast.expr) -> str | None:
+    """The root variable of a name/attribute/subscript chain."""
+    node = expr
+    while isinstance(node, (ast.Attribute, ast.Subscript, ast.Starred)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _target_names(target: ast.expr) -> Set[str]:
+    names: Set[str] = set()
+    if isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            names |= _target_names(element)
+        return names
+    root = _root_name(target)
+    if root is not None:
+        names.add(root)
+    return names
+
+
+class _ExprFacts(ast.NodeVisitor):
+    """Uses / sources / resolved calls of one expression (or RHS)."""
+
+    def __init__(self, module: ModuleModel, awaited: FrozenSet[int]):
+        self._module = module
+        self._awaited = awaited
+        self.uses: Set[str] = set()
+        self.sources: List[SourceEvent] = []
+        self.calls: List[Tuple[str, int]] = []
+        self.blocking: List[BlockingCall] = []
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, ast.Load):
+            self.uses.add(node.id)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        fid = self._module.call_targets.get(id(node))
+        if fid is not None:
+            self.calls.append((fid, node.lineno))
+        else:
+            external = self._module.external_targets.get(id(node))
+            if external is not None:
+                event = classify_source(
+                    external.dotted, self._module.rel, node.lineno
+                )
+                if event is not None:
+                    self.sources.append(event)
+                elif (
+                    id(node) not in self._awaited
+                    and classify_blocking(external.dotted, external.terminal)
+                ):
+                    self.blocking.append(
+                        BlockingCall(dotted=external.dotted, lineno=node.lineno)
+                    )
+                # Materialising a set into a sequence pins an unordered
+                # iteration order: list({...}) escapes set order.
+                if (
+                    isinstance(node.func, ast.Name)
+                    and node.func.id in ("list", "tuple")
+                    and node.args
+                    and _is_set_expr(node.args[0])
+                ):
+                    self.sources.append(
+                        SourceEvent(
+                            KIND_SET_ORDER,
+                            f"{node.func.id}(<set>)",
+                            self._module.rel,
+                            node.lineno,
+                        )
+                    )
+        self.generic_visit(node)
+
+
+class _IRBuilder(ast.NodeVisitor):
+    """Builds the :class:`_FunctionIR` of one function body."""
+
+    def __init__(self, module: ModuleModel, ir: _FunctionIR, awaited: FrozenSet[int]):
+        self._module = module
+        self._ir = ir
+        self._awaited = awaited
+
+    def _facts(self, *exprs: ast.expr | None) -> _ExprFacts:
+        facts = _ExprFacts(self._module, self._awaited)
+        for expr in exprs:
+            if expr is not None:
+                facts.visit(expr)
+        self._ir.sources.extend(facts.sources)
+        self._ir.blocking.extend(facts.blocking)
+        return facts
+
+    def _add_flow(self, targets: Set[str], facts: _ExprFacts) -> None:
+        if not targets:
+            return
+        self._ir.flows.append(
+            _Flow(
+                targets=frozenset(targets),
+                uses=frozenset(facts.uses),
+                sources=tuple(facts.sources),
+                calls=tuple(facts.calls),
+            )
+        )
+
+    def _maybe_sink(self, node: ast.Call) -> None:
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr == _SINK_METHOD):
+            return
+        stored = _ExprFacts(self._module, self._awaited)
+        for arg in node.args:
+            stored.visit(arg)
+        for keyword in node.keywords:
+            if keyword.arg not in _SINK_EXEMPT_KWARGS:
+                stored.visit(keyword.value)
+        if stored.uses or stored.sources:
+            self._ir.flows.append(
+                _Flow(
+                    targets=frozenset(),
+                    uses=frozenset(),
+                    sources=tuple(stored.sources),
+                    calls=(),
+                )
+            )
+            self._ir.sinks.append(
+                _Sink(lineno=node.lineno, uses=frozenset(stored.uses))
+            )
+
+    # -- statements -----------------------------------------------------------
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        facts = self._facts(node.value)
+        targets: Set[str] = set()
+        for target in node.targets:
+            targets |= _target_names(target)
+        self._add_flow(targets, facts)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            facts = self._facts(node.value)
+            self._add_flow(_target_names(node.target), facts)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        facts = self._facts(node.value)
+        self._add_flow(_target_names(node.target), facts)
+        self.generic_visit(node)
+
+    def visit_Return(self, node: ast.Return) -> None:
+        if node.value is not None:
+            facts = self._facts(node.value)
+            self._add_flow({_RET}, facts)
+        self.generic_visit(node)
+
+    def visit_Yield(self, node: ast.Yield) -> None:
+        if node.value is not None:
+            facts = self._facts(node.value)
+            self._add_flow({_RET}, facts)
+
+    def visit_YieldFrom(self, node: ast.YieldFrom) -> None:
+        facts = self._facts(node.value)
+        self._add_flow({_RET}, facts)
+
+    def visit_For(self, node: ast.For) -> None:
+        facts = self._facts(node.iter)
+        self._add_flow(_target_names(node.target), facts)
+        self.generic_visit(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        facts = self._facts(node.iter)
+        self._add_flow(_target_names(node.target), facts)
+        self.generic_visit(node)
+
+    def visit_With(self, node: ast.With) -> None:
+        self._visit_with(node)
+        self.generic_visit(node)
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        self._visit_with(node)
+        self.generic_visit(node)
+
+    def _visit_with(self, node: ast.With | ast.AsyncWith) -> None:
+        for item in node.items:
+            facts = self._facts(item.context_expr)
+            if item.optional_vars is not None:
+                self._add_flow(_target_names(item.optional_vars), facts)
+
+    def visit_Expr(self, node: ast.Expr) -> None:
+        # Bare expression statement: sources/blocking must still be
+        # recorded even though no value is bound.  Sink detection runs
+        # in visit_Call (reached through generic_visit).
+        self._facts(node.value)
+        self.generic_visit(node)
+
+    def visit_Global(self, node: ast.Global) -> None:
+        for name in node.names:
+            self._ir.global_writes.append((name, node.lineno))
+
+    def visit_Call(self, node: ast.Call) -> None:
+        self._maybe_sink(node)
+        self.generic_visit(node)
+
+    # Comprehensions bind their own loop variables from their iterables.
+    def _visit_comp(
+        self, node: ast.ListComp | ast.SetComp | ast.GeneratorExp | ast.DictComp
+    ) -> None:
+        for gen in node.generators:
+            facts = self._facts(gen.iter)
+            self._add_flow(_target_names(gen.target), facts)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comp
+    visit_SetComp = _visit_comp
+    visit_GeneratorExp = _visit_comp
+    visit_DictComp = _visit_comp
+
+
+def _function_nodes(
+    module: ModuleModel,
+) -> Iterable[Tuple[str, ast.FunctionDef | ast.AsyncFunctionDef]]:
+    for node in module.tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node.name, node
+        elif isinstance(node, ast.ClassDef):
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    yield f"{node.name}.{item.name}", item
+
+
+def _build_ir(module: ModuleModel, scope: str, node: ast.FunctionDef | ast.AsyncFunctionDef) -> _FunctionIR:
+    awaited = frozenset(
+        id(n.value)
+        for n in ast.walk(node)
+        if isinstance(n, ast.Await) and isinstance(n.value, ast.Call)
+    )
+    ir = _FunctionIR(
+        fid=f"{module.rel}::{scope}",
+        is_async=isinstance(node, ast.AsyncFunctionDef),
+        lineno=node.lineno,
+    )
+    builder = _IRBuilder(module, ir, awaited)
+    for stmt in node.body:
+        builder.visit(stmt)
+    if scope.rsplit(".", 1)[-1] == "__hash__":
+        # The hash protocol is in-process by contract (Python itself
+        # randomises str hashing); ``hash(...)`` inside ``__hash__`` is
+        # the idiomatic implementation, not an identity leak.  A cached
+        # result that consumed a hash value would still be caught at
+        # the call site that computes it.
+        ir.sources = [e for e in ir.sources if e.kind != KIND_IDENTITY]
+        ir.flows = [
+            _Flow(
+                targets=flow.targets,
+                uses=flow.uses,
+                sources=tuple(
+                    e for e in flow.sources if e.kind != KIND_IDENTITY
+                ),
+                calls=flow.calls,
+            )
+            for flow in ir.flows
+        ]
+    return ir
+
+
+# -- solving ------------------------------------------------------------------
+
+
+def _merge(
+    into: Dict[str, Tuple[TaintWitness, ...]],
+    name: str,
+    witnesses: Sequence[TaintWitness],
+) -> bool:
+    existing = into.get(name, ())
+    merged = list(existing)
+    for witness in witnesses:
+        if witness not in merged and len(merged) < _MAX_WITNESSES:
+            merged.append(witness)
+    if len(merged) != len(existing):
+        into[name] = tuple(merged)
+        return True
+    return False
+
+
+def _solve(
+    ir: _FunctionIR,
+    env: Mapping[str, Tuple[TaintWitness, ...]],
+) -> Tuple[Tuple[TaintWitness, ...], Tuple[SinkHit, ...]]:
+    """Intraprocedural fixpoint: witnesses reaching the return + sinks.
+
+    *env* maps fids to the witnesses their return values carry (empty
+    tuple = clean); it is the interprocedural state of the outer
+    fixpoint in :func:`build_summaries`.
+    """
+    tainted: Dict[str, Tuple[TaintWitness, ...]] = {}
+    changed = True
+    while changed:
+        changed = False
+        for flow in ir.flows:
+            incoming: List[TaintWitness] = [
+                TaintWitness(source=event) for event in flow.sources
+            ]
+            for use in flow.uses:
+                incoming.extend(tainted.get(use, ()))
+            for callee, lineno in flow.calls:
+                for witness in env.get(callee, ()):
+                    incoming.append(witness.extended(callee, lineno))
+            if not incoming:
+                continue
+            for target in flow.targets:
+                if _merge(tainted, target, incoming):
+                    changed = True
+    sinks = tuple(
+        SinkHit(lineno=sink.lineno, witnesses=witnesses)
+        for sink in ir.sinks
+        if (
+            witnesses := tuple(
+                witness
+                for use in sorted(sink.uses)
+                for witness in tainted.get(use, ())
+            )[:_MAX_WITNESSES]
+        )
+    )
+    return tainted.get(_RET, ()), sinks
+
+
+def build_summaries(model: ProgramModel) -> Dict[str, FunctionSummary]:
+    """Flow summaries of every function in *model* (global fixpoint)."""
+    irs: Dict[str, _FunctionIR] = {}
+    for module in model.modules.values():
+        for scope, node in _function_nodes(module):
+            ir = _build_ir(module, scope, node)
+            irs[ir.fid] = ir
+
+    env: Dict[str, Tuple[TaintWitness, ...]] = {fid: () for fid in irs}
+    results: Dict[str, Tuple[Tuple[TaintWitness, ...], Tuple[SinkHit, ...]]] = {}
+    changed = True
+    iterations = 0
+    while changed and iterations < 50:  # tiny bound; depth converges fast
+        changed = False
+        iterations += 1
+        for fid, ir in irs.items():
+            ret, sinks = _solve(ir, env)
+            results[fid] = (ret, sinks)
+            if ret != env[fid]:
+                env[fid] = ret
+                changed = True
+
+    summaries: Dict[str, FunctionSummary] = {}
+    for fid, ir in irs.items():
+        ret, sinks = results[fid]
+        summaries[fid] = FunctionSummary(
+            fid=fid,
+            is_async=ir.is_async,
+            lineno=ir.lineno,
+            local_sources=tuple(dict.fromkeys(ir.sources)),
+            returns_nondet=bool(ret),
+            return_witnesses=ret,
+            sink_hits=sinks,
+            blocking_calls=tuple(dict.fromkeys(ir.blocking)),
+            global_writes=tuple(dict.fromkeys(ir.global_writes)),
+        )
+    return summaries
+
+
+def module_level_mp_sync(module: ModuleModel) -> List[Tuple[str, int]]:
+    """Module-scope thread-sync constructor calls: ``(dotted, lineno)``.
+
+    A module-level lock or queue is per-process after ``fork`` — code
+    that *looks* synchronised across multiprocessing workers is not.
+    """
+    hits: List[Tuple[str, int]] = []
+    for call in module.external_calls.get(MODULE_SCOPE, ()):
+        if call.dotted in MP_SYNC_CONSTRUCTORS:
+            hits.append((call.dotted, call.lineno))
+    return hits

@@ -55,6 +55,11 @@ sweep over warm entries per tier, reported as
 gated) plus their ratio ``memory_over_disk`` — the speedup the
 in-process LRU tier buys over re-reading the disk tier.
 
+The **analyze case** times ``repro analyze`` over the repo's own tree,
+cold (parse memo dropped) and warm (memo hit), reporting the gated
+``analyze_modules_per_sec`` on the warm pass plus ``warm_over_cold`` —
+the amortisation the per-module memo buys the CI lint job.
+
 For CI regression checks, absolute events/sec is useless across
 runners of different speeds.  Every report therefore includes a
 *calibration* measurement (a fixed pure-Python heap workload timed at
@@ -70,6 +75,7 @@ import json
 import random
 import time
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Callable, Iterable
 
 import numpy as np
@@ -562,6 +568,74 @@ def _cache_case(n_specs: int, repeats: int = 3) -> BenchCase:
     return BenchCase(case_id, runner, repeats)
 
 
+def _analyze_case(repeats: int = 3) -> BenchCase:
+    """Whole-program flow analysis throughput over the repo's own tree.
+
+    Times two full ``repro analyze`` passes: a *cold* one after
+    :func:`~repro.analysis.callgraph.clear_model_caches` (every module
+    is re-read, re-parsed and re-normalized) and a *warm* one that hits
+    the per-module parse memo (summaries and the checks re-run either
+    way — the memo only amortises the AST work).  The gated number is
+    ``analyze_modules_per_sec`` on the warm pass: it is what CI pays on
+    every lint job after the first.  ``warm_over_cold`` reports what
+    the memo buys.
+    """
+    case_id = "analyze:tree"
+
+    def runner(reps: int) -> dict:
+        from repro.analysis.callgraph import clear_model_caches
+        from repro.analysis.flow import analyze_tree
+
+        root = Path(__file__).resolve().parents[2]
+        if not (root / "src" / "repro").is_dir():  # installed wheel, no tree
+            return {
+                "events": 0,
+                "stale_events": 0,
+                "picks": 0,
+                "tasks": 0,
+                "aborts": 0,
+                "wall_s": 0.0,
+                "events_per_sec": 0.0,
+                "picks_per_sec": 0.0,
+                "makespan": 0.0,
+            }
+        cold_wall = float("inf")
+        modules = 0
+        for _ in range(reps):
+            clear_model_caches()
+            started = time.perf_counter()
+            report = analyze_tree(root)
+            cold_wall = min(cold_wall, time.perf_counter() - started)
+            modules = report.modules_checked
+        warm_wall = float("inf")
+        for _ in range(reps):
+            started = time.perf_counter()
+            warm = analyze_tree(root)
+            warm_wall = min(warm_wall, time.perf_counter() - started)
+            # The memo must not change the verdict, only the wall time.
+            assert warm.modules_checked == modules
+        warm_rate = modules / warm_wall if warm_wall > 0 else float("inf")
+        cold_rate = modules / cold_wall if cold_wall > 0 else float("inf")
+        return {
+            "events": modules,
+            "stale_events": 0,
+            "picks": 0,
+            "tasks": modules,
+            "aborts": 0,
+            "wall_s": warm_wall,
+            "events_per_sec": warm_rate,
+            "picks_per_sec": 0.0,
+            "makespan": 0.0,
+            "analyze_cold_s": cold_wall,
+            "analyze_warm_s": warm_wall,
+            "analyze_modules_per_sec": warm_rate,
+            "warm_over_cold": cold_wall / warm_wall if warm_wall > 0 else 1.0,
+            "analyze_cold_modules_per_sec": cold_rate,
+        }
+
+    return BenchCase(case_id, runner, repeats)
+
+
 #: The full ``repro bench`` suite: the fig7 sweeps at n >= 1000 tasks,
 #: plus the ``--quick`` smoke cases so the committed report doubles as
 #: the CI regression baseline for ``repro bench --quick``.
@@ -580,6 +654,7 @@ BENCH_CASES: tuple[BenchCase, ...] = (
     _dag_case("lu", 14, "heft"),
     _independent_case(2000),
     _cache_case(256),
+    _analyze_case(),
 )
 
 #: The ``--quick`` CI smoke subset (a few seconds total).
@@ -588,6 +663,7 @@ QUICK_CASES: tuple[BenchCase, ...] = (
     _dag_case("cholesky", 12, "buckets", repeats=2),
     _independent_case(500, repeats=2),
     _cache_case(256, repeats=2),
+    _analyze_case(repeats=2),
 )
 
 #: The lockstep batch-engine grids (``--batch``): the fig7 sweep and
@@ -674,6 +750,7 @@ GATED_KEYS = (
     "batch_events_per_sec",
     "cache_hit_memory_per_sec",
     "cache_hit_disk_per_sec",
+    "analyze_modules_per_sec",
 )
 
 

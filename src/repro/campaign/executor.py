@@ -165,6 +165,10 @@ def set_graph_store(store: GraphStore | None) -> None:
     Clears the in-memory graph memo so already-built graphs are
     re-resolved against the new store's contents.
     """
+    # repro-lint: disable=fork-unsafe-state -- the graph store is per-process by design
+    # Forked workers inherit the parent's handle; spawn-started workers
+    # re-install it from the (root, salt, selective) triple shipped in
+    # the worker args — both paths converge on the same on-disk store.
     global _graph_store
     _graph_store = store
     _compiled_workload.cache_clear()
@@ -611,6 +615,11 @@ def execute_unit(unit: WorkUnit) -> UnitResult:
 
 
 def _timed_execute(spec: InstanceSpec) -> tuple[dict, float]:
+    # repro-lint: disable=flow-nondeterminism -- elapsed_s wall-time telemetry rides beside metrics by design
+    # The elapsed value is stored under the cache's dedicated
+    # ``elapsed_s`` field and excluded from every cached-result
+    # comparison (see tests/test_campaign_cache.py); the metrics payload
+    # itself is untouched by the clock.
     started = time.perf_counter()
     metrics = execute_spec(spec)
     return metrics, time.perf_counter() - started

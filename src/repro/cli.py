@@ -40,6 +40,12 @@ and print the top cumulative-time hotspots.
 tree; ``--cache-gate`` additionally verifies the committed
 ``analysis/fingerprints.json`` salt manifest, and
 ``--write-fingerprints`` regenerates it after a ``CODE_VERSION`` bump.
+
+``analyze`` runs the whole-program flow checks
+(:mod:`repro.analysis.flow`): determinism taint into cache-keyed
+results, call-graph verification of the curated salt closure, and the
+async/fork concurrency lint pack.  Both ``lint`` and ``analyze``
+accept ``--format json`` for canonical machine-readable reports.
 """
 
 from __future__ import annotations
@@ -69,9 +75,19 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         choices=sorted(ALL_EXPERIMENTS)
-        + ["all", "list", "campaign", "cache", "bench", "lint", "serve", "submit"],
+        + [
+            "all",
+            "list",
+            "campaign",
+            "cache",
+            "bench",
+            "lint",
+            "analyze",
+            "serve",
+            "submit",
+        ],
         help="experiment id (paper table/figure), 'all', 'list', 'campaign', "
-        "'cache', 'bench', 'lint', 'serve', or 'submit'",
+        "'cache', 'bench', 'lint', 'analyze', 'serve', or 'submit'",
     )
     parser.add_argument(
         "--profile",
@@ -287,6 +303,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "--show-suppressed",
         action="store_true",
         help="lint: also list suppressed findings with their reasons",
+    )
+    lint.add_argument(
+        "--format",
+        dest="output_format",
+        choices=("text", "json"),
+        default="text",
+        help="lint/analyze: output format — 'json' emits one canonical "
+        "(sorted, byte-stable) JSON document for CI annotations",
     )
     return parser
 
@@ -541,6 +565,15 @@ def main_dispatch(args: argparse.Namespace) -> int:
             write_fingerprints=args.write_fingerprints,
             list_rules=args.list_rules,
             show_suppressed=args.show_suppressed,
+            output_format=args.output_format,
+        )
+    if args.experiment == "analyze":
+        from repro.analysis.cli import run_analyze
+
+        return run_analyze(
+            root=args.root,
+            show_suppressed=args.show_suppressed,
+            output_format=args.output_format,
         )
     names = sorted(ALL_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     out_dir = None

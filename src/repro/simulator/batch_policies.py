@@ -1,5 +1,3 @@
-# repro-lint: disable=wall-clock -- no wall-clock use; marker kept in
-# sync with repro.simulator.batch, whose engine this module serves.
 """Array-level policy kernels for the lockstep batch engine.
 
 The engine (:class:`repro.simulator.batch._LockstepEngine`) owns the

@@ -125,9 +125,10 @@ class RuntimeSimulator:
         forever while tasks remain), which would indicate a policy bug.
         """
         graph, platform, policy = self.graph, self.platform, self.policy
-        # repro-lint: disable=wall-clock -- SimStats.wall_s is bench
-        # instrumentation only; it never feeds the schedule, the event
-        # order, or any ResultCache-keyed metric.
+        # repro-lint: disable=wall-clock,flow-nondeterminism -- SimStats.wall_s is bench instrumentation only
+        # It never feeds the schedule, the event order, or any
+        # ResultCache-keyed metric; the flow analyzer sees it because
+        # the taint pass is flow-insensitive over `self`.
         started = _time.perf_counter()
         stats = SimStats()
         self.last_stats = stats

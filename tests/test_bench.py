@@ -21,12 +21,14 @@ def test_quick_report_shape(quick_report):
     assert quick_report["quick"] is True
     assert quick_report["calibration_s"] > 0
     assert set(quick_report["cases"]) == {c.case_id for c in bench.QUICK_CASES}
-    for payload in quick_report["cases"].values():
+    for case_id, payload in quick_report["cases"].items():
         assert payload["tasks"] > 0
         assert payload["wall_s"] > 0
         assert payload["events_per_sec"] > 0
         assert payload["events"] >= payload["tasks"]
-        assert payload["makespan"] > 0
+        if not case_id.startswith("analyze:"):
+            # The analyze case has no schedule, hence no makespan.
+            assert payload["makespan"] > 0
 
 
 def test_full_suite_contains_quick_cases_and_large_fig7():
@@ -41,6 +43,19 @@ def test_full_suite_contains_quick_cases_and_large_fig7():
 def test_pre_pr_reference_attached_to_known_cases():
     for case_id in bench.PRE_PR_WALL_S:
         assert case_id.startswith(("fig6:", "fig7:"))
+
+
+def test_analyze_case_reports_cold_and_warm(quick_report):
+    payload = quick_report["cases"]["analyze:tree"]
+    assert payload["analyze_cold_s"] > 0
+    assert payload["analyze_warm_s"] > 0
+    assert payload["analyze_modules_per_sec"] > 0
+    assert "analyze_modules_per_sec" in bench.GATED_KEYS
+    # The warm pass hits the parse memo: never slower than cold by more
+    # than timing noise.
+    assert payload["warm_over_cold"] > 0.5
+    # tasks doubles as the module count the analyzer covered.
+    assert payload["tasks"] > 50
 
 
 def test_compare_passes_on_identical_reports(quick_report):
